@@ -1,0 +1,66 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures (or an ablation the
+discussion section motivates) and prints the series next to the paper's
+reported numbers.  Absolute values come from a calibrated simulation —
+the *shape* (who wins, by what factor) is the reproduction target.
+
+Scale: the paper measures 2000 exchanges.  By default the harness runs a
+reduced workload so ``pytest benchmarks/ --benchmark-only`` finishes in a
+few minutes; set ``BCWAN_FULL=1`` in the environment for the full 2000.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+
+def exchanges_target(default: int = 400, full: int = 2000) -> int:
+    """Workload size: reduced by default, paper-scale with BCWAN_FULL=1."""
+    return full if os.environ.get("BCWAN_FULL") == "1" else default
+
+
+_CAPTURE_MANAGER = None
+
+
+def pytest_configure(config) -> None:
+    global _CAPTURE_MANAGER
+    _CAPTURE_MANAGER = config.pluginmanager.getplugin("capturemanager")
+
+
+def _emit(line: str = "") -> None:
+    """Write past pytest's capture so the tables always reach the
+    terminal (and any ``tee``), not just on failures."""
+    if _CAPTURE_MANAGER is not None:
+        with _CAPTURE_MANAGER.global_and_fixture_disabled():
+            sys.stdout.write(line + "\n")
+            sys.stdout.flush()
+    else:
+        sys.stdout.write(line + "\n")
+        sys.stdout.flush()
+
+
+def print_header(title: str) -> None:
+    _emit()
+    _emit("=" * 72)
+    _emit(title)
+    _emit("=" * 72)
+
+
+def print_row(label: str, *values) -> None:
+    cells = "  ".join(f"{v:>12}" if not isinstance(v, float)
+                      else f"{v:>12.3f}" for v in values)
+    _emit(f"{label:<34}{cells}")
+
+
+def print_histogram(samples, bins=16, width=40) -> None:
+    """ASCII histogram, the shape the paper's Figs. 5/6 plot."""
+    from repro.sim.trace import histogram
+    rows = histogram(samples, bins=bins)
+    peak = max(count for _lo, _hi, count in rows) or 1
+    for lo, hi, count in rows:
+        bar = "#" * max(1 if count else 0, round(count / peak * width))
+        _emit(f"  {lo:8.2f}-{hi:8.2f} s | {count:5d} | {bar}")

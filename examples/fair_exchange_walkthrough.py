@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""The fair exchange, step by step, at the blockchain level.
+
+Walks one message through Fig. 3's protocol with real cryptography and a
+real chain — no simulation clock, just the data path — then demonstrates
+the two failure modes the script defends against:
+
+1. the gateway never claims → the recipient's timelocked refund;
+2. a malicious recipient double-spends at zero confirmations → the §6
+   attack, and the one-confirmation policy that stops it.
+
+Run::
+
+    python examples/fair_exchange_walkthrough.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.attacks import run_double_spend
+from repro.blockchain import ChainParams, FullNode, Miner, Wallet
+from repro.core.messages import open_message, seal_message, sign_payload, verify_payload
+from repro.crypto import rsa
+from repro.crypto.keys import KeyPair
+
+
+def step(n: int, text: str) -> None:
+    print(f"  [{n:>2}] {text}")
+
+
+def main() -> None:
+    rng = random.Random(42)
+    params = ChainParams(coinbase_maturity=1)
+
+    print("setting the stage: one chain, a funded recipient, a gateway")
+    node = FullNode(params, "demo")
+    bank = Wallet(node.chain, KeyPair.generate(rng))
+    bank.watch_chain()
+    miner = Miner(chain=node.chain, mempool=node.mempool,
+                  reward_pubkey_hash=bank.pubkey_hash)
+    for i in range(3):
+        miner.mine_and_connect(float(i))
+
+    recipient = Wallet(node.chain, KeyPair.generate(rng))
+    recipient.watch_chain()
+    gateway = Wallet(node.chain, KeyPair.generate(rng))
+    gateway.watch_chain()
+    funding = bank.create_payment(recipient.pubkey_hash, 10_000)
+    assert node.submit_transaction(funding).accepted
+    miner.mine_and_connect(3.0)
+    print(f"  recipient balance: {recipient.balance}, "
+          f"gateway balance: {gateway.balance}\n")
+
+    print("provisioning (section 4.4): node and recipient share K and an")
+    print("RSA key pair; the node knows the recipient's address @R\n")
+    symmetric_key = bytes(rng.randrange(256) for _ in range(32))
+    node_signing_key = rsa.generate_keypair(512, rng)
+
+    print("the Fig. 3 exchange:")
+    step(1, "gateway generates an ephemeral RSA-512 pair (ePk, eSk)")
+    ephemeral = rsa.generate_keypair(512, rng)
+    epk_bytes = ephemeral.public_key.to_bytes()
+
+    step(3, "node double-encrypts: AES-256-CBC with K, then wraps with ePk")
+    reading = b"water:1532.7L"
+    encrypted = seal_message(reading, symmetric_key, ephemeral.public_key,
+                             rng=rng)
+    step(4, f"node signs (Em, ePk) with its secret key -> 64-byte Sig")
+    signature = sign_payload(encrypted, epk_bytes, node_signing_key)
+
+    step(8, "recipient authenticates the delivery")
+    assert verify_payload(encrypted, epk_bytes, signature,
+                          node_signing_key.public_key)
+    print("       signature valid: the data and ePk are genuine")
+
+    step(9, "recipient locks 100 units to the revelation of eSk (Listing 1)")
+    offer = recipient.create_key_release_offer(
+        epk_bytes, gateway.pubkey_hash, amount=100,
+    )
+    assert node.submit_transaction(offer.transaction).accepted
+    locking = offer.transaction.outputs[0].script_pubkey
+    print(f"       script: {locking.disassemble()[:100]}...")
+
+    step(10, "gateway spends the offer, publishing eSk in its scriptSig")
+    claim = gateway.claim_key_release(offer, ephemeral.to_bytes())
+    assert node.submit_transaction(claim).accepted
+    revealed = claim.inputs[0].script_sig.elements[2]
+    print(f"       revealed key matches ePk: "
+          f"{rsa.RSAPrivateKey.from_bytes(revealed).matches(ephemeral.public_key)}")
+
+    print("       recipient reads eSk from the mempool and decrypts:")
+    plaintext = open_message(encrypted,
+                             symmetric_key,
+                             rsa.RSAPrivateKey.from_bytes(revealed))
+    print(f"       -> {plaintext!r} (sent: {reading!r})")
+    assert plaintext == reading
+
+    miner.mine_and_connect(4.0)
+    gateway.refresh_from_utxo_set()
+    print(f"  settled: gateway balance is now {gateway.balance}\n")
+
+    print("failure mode 1 — gateway goes silent (withholds the claim):")
+    ephemeral2 = rsa.generate_keypair(512, rng)
+    offer2 = recipient.create_key_release_offer(
+        ephemeral2.public_key.to_bytes(), gateway.pubkey_hash, amount=100,
+        refund_locktime=node.chain.height + 3,
+    )
+    assert node.submit_transaction(offer2.transaction).accepted
+    miner.mine_and_connect(5.0)
+    refund = recipient.refund_key_release(offer2)
+    early = node.submit_transaction(refund)
+    print(f"  refund before locktime: rejected ({early.reason[:50]}...)")
+    while node.chain.height < offer2.refund_locktime:
+        miner.mine_and_connect(6.0)
+    assert node.submit_transaction(refund).accepted
+    miner.mine_and_connect(7.0)
+    print(f"  refund after locktime: accepted — the recipient lost nothing\n")
+
+    print("failure mode 2 — the §6 double-spend race:")
+    exposed = run_double_spend(confirmations_required=0)
+    safe = run_double_spend(confirmations_required=1)
+    print(f"  at 0 confirmations: attacker got the key without paying = "
+          f"{exposed.attack_succeeded}")
+    print(f"  at 1 confirmation:  attack succeeded = {safe.attack_succeeded} "
+          f"(the gateway waited; the bogus offer never confirmed)")
+
+
+if __name__ == "__main__":
+    main()

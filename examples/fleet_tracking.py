@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Cross-country fleet tracking — the roaming case BcWAN is built for.
+
+A logistics company ("fleet-co") tracks pallets that travel through
+regions covered by other actors' gateways.  A tracker never talks to its
+home infrastructure; every position report crosses whichever foreign
+gateway is nearby.  The journey is simulated as legs: on each leg the
+trackers are re-deployed into the next region's radio cell, and the
+delivery economics accumulate across the whole trip.
+
+Run::
+
+    python examples/fleet_tracking.py
+"""
+
+from __future__ import annotations
+
+from repro.core import BcWANNetwork, NetworkConfig
+
+REGIONS = ["region-north", "region-east", "region-south"]
+TRACKERS_PER_ACTOR = 4
+LEGS = 3
+
+
+def run_leg(leg: int) -> dict:
+    """One journey leg: trackers sit in the cell `leg` hops away."""
+    config = NetworkConfig(
+        num_gateways=len(REGIONS),
+        sensors_per_gateway=TRACKERS_PER_ACTOR,
+        roaming_offset=1 + (leg % (len(REGIONS) - 1)),
+        exchange_interval=30.0,
+        seed=100 + leg,
+    )
+    network = BcWANNetwork(config)
+    report = network.run(num_exchanges=24)
+    return {
+        "report": report,
+        "network": network,
+        "host_offset": config.roaming_offset,
+    }
+
+
+def main() -> None:
+    print(f"fleet of {len(REGIONS) * TRACKERS_PER_ACTOR} trackers, "
+          f"{LEGS} journey legs across {len(REGIONS)} regions\n")
+
+    total_completed = 0
+    total_launched = 0
+    earnings: dict[str, int] = {name: 0 for name in REGIONS}
+
+    for leg in range(LEGS):
+        outcome = run_leg(leg)
+        report = outcome["report"]
+        network = outcome["network"]
+        total_completed += report.completed
+        total_launched += report.exchanges_launched
+        for site in network.sites:
+            earnings[REGIONS[site.index]] += site.gateway.rewards_claimed
+        mean = report.mean_latency if report.latencies else float("nan")
+        print(f"leg {leg + 1}: trackers hosted {outcome['host_offset']} "
+              f"region(s) from home -> {report.completed}/"
+              f"{report.exchanges_launched} positions delivered, "
+              f"mean latency {mean:.2f} s")
+
+    print()
+    print(f"journey total: {total_completed}/{total_launched} position "
+          f"reports delivered through foreign gateways")
+    print("gateway earnings over the journey:")
+    for region, earned in earnings.items():
+        print(f"  {region:>13}: {earned} units")
+    print("\nno roaming agreements were signed in the making of this trip —")
+    print("every delivery settled through the on-chain fair exchange.")
+
+
+if __name__ == "__main__":
+    main()

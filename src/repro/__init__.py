@@ -1,0 +1,37 @@
+"""BcWAN reproduction — a federated, blockchain-backed low-power WAN.
+
+This package reproduces *"BcWAN: A Federated Low-Power WAN for the Internet
+of Things"* (Middleware '18 Industry) end to end:
+
+* :mod:`repro.crypto` — AES-256-CBC, RSA-512, secp256k1 ECDSA, hashing,
+  Base58 addresses, all from scratch;
+* :mod:`repro.script` — a Bitcoin-style script interpreter including the
+  paper's custom ``OP_CHECKRSA512PAIR`` operator and Listing 1's
+  ephemeral-key-release script;
+* :mod:`repro.blockchain` — a Multichain-like UTXO blockchain with
+  configurable mining interval, block size, and a block-verification stall
+  model;
+* :mod:`repro.sim` — a deterministic discrete-event simulator standing in
+  for the paper's PlanetLab testbed;
+* :mod:`repro.lora` — LoRa PHY/MAC: time-on-air, spreading factors, duty
+  cycle, collisions;
+* :mod:`repro.p2p` — gateway-to-gateway gossip of transactions and blocks;
+* :mod:`repro.core` — the BcWAN protocol itself: provisioning, the Fig. 3
+  message exchange, the on-chain IP directory, and the fair-exchange engine;
+* :mod:`repro.baselines` — legacy LoRaWAN, altruistic-blockchain, and
+  reputation-based comparison systems;
+* :mod:`repro.attacks` — double-spend, withholding, and RSA brute-force
+  threat models from the paper's discussion section.
+
+Quickstart::
+
+    from repro.core import BcWANNetwork, NetworkConfig
+
+    network = BcWANNetwork(NetworkConfig(num_gateways=5, sensors_per_gateway=30))
+    report = network.run(num_exchanges=100)
+    print(report.mean_latency)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

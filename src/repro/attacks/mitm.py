@@ -1,0 +1,85 @@
+"""Man-in-the-middle gateways: why the node signs ``(Em ‖ ePk)``.
+
+Section 5.1: "Using the shared asymmetric key with the recipient (Sk), we
+insure to the recipient the authenticity of the message and that (ePk)
+was the genuine ephemeral public key used in the process."
+
+The attack the binding prevents: a malicious gateway hands the node one
+key pair but presents a *different* public key to the recipient — hoping
+to get paid for revealing a key that never protected anything, or to
+re-wrap the data under a key it controls and sell it twice.  Because the
+node's RSA signature covers both ``Em`` and the exact ``ePk`` bytes, any
+substitution invalidates the signature and the recipient refuses before
+locking a single unit.
+
+:class:`MaliciousGatewayAgent` implements the substitution; the test
+suite and the security example run it inside a real federation.
+"""
+
+from __future__ import annotations
+
+from repro.core.gateway_agent import GatewayAgent
+from repro.crypto import rsa
+from repro.lora.frames import DataFrame
+from repro.p2p.message import DeliveryMessage
+
+__all__ = ["MaliciousGatewayAgent"]
+
+
+class MaliciousGatewayAgent(GatewayAgent):
+    """A gateway that substitutes its own ``ePk`` in the delivery.
+
+    Everything up to the delivery push is honest — the node is served a
+    genuine ephemeral key and encrypts against it.  At step 7 the
+    gateway swaps in a *second* key pair it generated on the side,
+    betting the recipient won't notice.  (It will: the signature check
+    of step 8 covers the key bytes.)
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.substitutions_attempted = 0
+
+    def _forward(self, frame: DataFrame):
+        record = self.tracker.get(frame.nonce)
+        if record is not None:
+            record.t_data_received = self.sim.now
+        pending = self._ephemeral.get(frame.nonce)
+        if pending is None:
+            if record is not None:
+                record.status = "failed"
+                record.failure_reason = "gateway lost ephemeral key state"
+            return
+        yield self.sim.timeout(self.cost_model.sample(
+            self.cost_model.gateway_frame_handling, self.rng,
+        ))
+        announcement = yield self.daemon.lookup(
+            lambda: self.directory.lookup(frame.recipient_address)
+        )
+        if announcement is None:
+            if record is not None:
+                record.status = "failed"
+                record.failure_reason = (
+                    f"no directory entry for {frame.recipient_address}"
+                )
+            self._ephemeral.pop(frame.nonce, None)
+            return
+
+        # The attack: generate a fresh pair and present ITS public key.
+        substitute = rsa.generate_keypair(self.rsa_bits, self.rng)
+        pending.ephemeral_key = substitute  # claim with the swapped key
+        pending.recipient_endpoint = announcement.endpoint
+        pending.quoted_price = self.pricing.quote(
+            frame.recipient_address, self.daemon.queue_length,
+        )
+        self.substitutions_attempted += 1
+        self.deliveries_forwarded += 1
+        self.wan.send(self.name, announcement.endpoint, DeliveryMessage(
+            delivery_id=frame.nonce,
+            encrypted_message=frame.encrypted_message,
+            ephemeral_pubkey=substitute.public_key.to_bytes(),
+            signature=frame.signature,
+            node_id=frame.sender,
+            gateway_pubkey_hash=self.wallet.pubkey_hash,
+            price=pending.quoted_price,
+        ))

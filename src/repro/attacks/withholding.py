@@ -1,0 +1,132 @@
+"""Withholding misbehaviour: the two halves of the fair-exchange dilemma.
+
+Section 4.4 frames the problem: "(1) The gateway could receive the
+payment but never deliver the data.  (2) The recipient could receive the
+data but never send back the payment."  In BcWAN, both misbehaviours are
+*loss-free* for the honest party:
+
+* a gateway that never claims reveals nothing; after the script locktime
+  the recipient's refund branch recovers the full payment;
+* a recipient that never pays never learns ``eSk`` — the data it holds is
+  double-encrypted and useless, and the gateway is only out the
+  forwarding effort.
+
+These are protocol-level facts; this module stages them concretely on a
+real chain so the property-based tests and the security example have an
+executable artifact.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.blockchain.miner import Miner
+from repro.blockchain.node import FullNode
+from repro.blockchain.params import ChainParams
+from repro.blockchain.wallet import Wallet
+from repro.core.messages import open_message, seal_message
+from repro.crypto import rsa
+from repro.crypto.keys import KeyPair
+from repro.errors import ProtocolError
+
+__all__ = [
+    "WithholdingOutcome",
+    "run_gateway_withholds_claim",
+    "run_recipient_withholds_payment",
+]
+
+
+@dataclass(frozen=True)
+class WithholdingOutcome:
+    """Who ends up with what after a withholding scenario."""
+
+    scenario: str
+    recipient_lost_funds: bool
+    recipient_got_plaintext: bool
+    gateway_got_payment: bool
+
+
+def _fresh_chain(seed: int):
+    rng = random.Random(seed)
+    params = ChainParams(coinbase_maturity=1)
+    node = FullNode(params, "node", verify_scripts=False)
+    miner_wallet = Wallet(node.chain, KeyPair.generate(rng))
+    miner_wallet.watch_chain()
+    miner = Miner(chain=node.chain, mempool=node.mempool,
+                  reward_pubkey_hash=miner_wallet.pubkey_hash)
+    for _ in range(3):
+        miner.mine_and_connect(0.0)
+    return rng, node, miner, miner_wallet
+
+
+def run_gateway_withholds_claim(seed: int = 0,
+                                refund_delta: int = 5) -> WithholdingOutcome:
+    """The gateway forwards data but never claims: recipient refunds."""
+    rng, node, miner, miner_wallet = _fresh_chain(seed)
+    recipient_wallet = Wallet(node.chain, KeyPair.generate(rng))
+    recipient_wallet.watch_chain()
+    gateway_wallet = Wallet(node.chain, KeyPair.generate(rng))
+    gateway_wallet.watch_chain()
+
+    funding = miner_wallet.create_payment(recipient_wallet.pubkey_hash, 10_000)
+    assert node.submit_transaction(funding).accepted
+    miner.mine_and_connect(1.0)
+
+    ephemeral = rsa.generate_keypair(512, rng)
+    offer = recipient_wallet.create_key_release_offer(
+        ephemeral.public_key.to_bytes(), gateway_wallet.pubkey_hash,
+        amount=100, refund_locktime=node.height + refund_delta,
+    )
+    assert node.submit_transaction(offer.transaction).accepted
+    miner.mine_and_connect(2.0)
+    balance_after_offer = recipient_wallet.balance
+
+    # The gateway goes silent.  Mine past the locktime, then refund.
+    while node.height < offer.refund_locktime:
+        miner.mine_and_connect(3.0)
+    refund = recipient_wallet.refund_key_release(offer)
+    assert node.submit_transaction(refund).accepted
+    miner.mine_and_connect(4.0)
+    recipient_wallet.refresh_from_utxo_set()
+    gateway_wallet.refresh_from_utxo_set()
+
+    return WithholdingOutcome(
+        scenario="gateway withholds claim",
+        recipient_lost_funds=recipient_wallet.balance
+        < balance_after_offer + 100,  # refund restores the locked 100
+        recipient_got_plaintext=False,
+        gateway_got_payment=gateway_wallet.balance > 0,
+    )
+
+
+def run_recipient_withholds_payment(seed: int = 0) -> WithholdingOutcome:
+    """The recipient takes the delivery but never creates an offer.
+
+    Without the claim transaction there is no ``eSk`` anywhere, and the
+    double-encrypted message is undecryptable — confidentiality holds,
+    the recipient gains nothing by stiffing the gateway.
+    """
+    rng = random.Random(seed)
+    symmetric_key = bytes(rng.randrange(256) for _ in range(32))
+    ephemeral = rsa.generate_keypair(512, rng)
+
+    encrypted = seal_message(b"reading-42", symmetric_key,
+                             ephemeral.public_key, rng=rng)
+
+    # The recipient holds Em and K, but not eSk.  The only decryption
+    # oracle it can build without eSk is a wrong key — which must fail.
+    wrong_key = rsa.generate_keypair(512, rng)
+    got_plaintext = False
+    try:
+        open_message(encrypted, symmetric_key, wrong_key)
+        got_plaintext = True  # pragma: no cover - must not happen
+    except ProtocolError:
+        pass
+
+    return WithholdingOutcome(
+        scenario="recipient withholds payment",
+        recipient_lost_funds=False,
+        recipient_got_plaintext=got_plaintext,
+        gateway_got_payment=False,
+    )

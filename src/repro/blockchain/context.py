@@ -1,0 +1,59 @@
+"""Bridges transactions to the script interpreter.
+
+:class:`TransactionContext` implements the interpreter's
+``ExecutionContext`` protocol for one input of one spending transaction:
+``OP_CHECKSIG`` verifies an ECDSA signature over the input's sighash, and
+``OP_CHECKLOCKTIMEVERIFY`` applies BIP-65 semantics against the spending
+transaction's ``locktime``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blockchain.transaction import SEQUENCE_FINAL, Transaction
+from repro.crypto import ecdsa
+from repro.script.script import Script
+
+__all__ = ["TransactionContext", "LOCKTIME_THRESHOLD"]
+
+# Locktime values below this are block heights; above, unix timestamps.
+LOCKTIME_THRESHOLD = 500_000_000
+
+
+@dataclass
+class TransactionContext:
+    """Execution context for verifying ``tx.inputs[input_index]``."""
+
+    tx: Transaction
+    input_index: int
+    locking_script: Script
+
+    def check_ecdsa_signature(self, pubkey: bytes, signature: bytes) -> bool:
+        """Verify a compact 64-byte signature over this input's sighash."""
+        try:
+            public_key = ecdsa.PublicKey.from_bytes(pubkey)
+            sig = ecdsa.Signature.from_bytes(signature)
+        except ecdsa.ECDSAError:
+            return False
+        digest = self.tx.sighash(self.input_index, self.locking_script)
+        return public_key.verify(digest, sig)
+
+    def check_locktime(self, required: int) -> bool:
+        """BIP-65: the spending tx must itself be locked at least as far.
+
+        Three conditions: the locktime *types* (height vs timestamp) must
+        match, the spending transaction's locktime must be >= the script's
+        requirement, and the input must not be final (a final sequence
+        disables locktime entirely, which would bypass the check).
+        """
+        tx_locktime = self.tx.locktime
+        required_is_height = required < LOCKTIME_THRESHOLD
+        tx_is_height = tx_locktime < LOCKTIME_THRESHOLD
+        if required_is_height != tx_is_height:
+            return False
+        if tx_locktime < required:
+            return False
+        if self.tx.inputs[self.input_index].sequence == SEQUENCE_FINAL:
+            return False
+        return True

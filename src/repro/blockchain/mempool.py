@@ -1,0 +1,187 @@
+"""The unconfirmed-transaction pool.
+
+Accepts transactions after full validation against the chain tip plus the
+pool itself (chained unconfirmed spends are allowed, conflicting spends are
+rejected — which is exactly where the paper's double-spend discussion
+starts: a conflicting respend is invisible to a node that already holds
+the first transaction, until a block proves otherwise).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.blockchain.chain import Chain
+from repro.blockchain.transaction import OutPoint, Transaction
+from repro.blockchain.utxo import UTXOEntry
+from repro.blockchain import validation
+from repro.errors import ValidationError
+from repro.script.interpreter import ScriptInterpreter
+from repro.blockchain.context import TransactionContext
+
+__all__ = ["Mempool"]
+
+
+class Mempool:
+    """Validated unconfirmed transactions, keyed by txid."""
+
+    def __init__(self, chain: Chain) -> None:
+        self._chain = chain
+        self._transactions: dict[bytes, Transaction] = {}
+        # outpoint -> txid of the pool transaction spending it.
+        self._spends: dict[OutPoint, bytes] = {}
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __contains__(self, txid: bytes) -> bool:
+        return txid in self._transactions
+
+    def get(self, txid: bytes) -> Optional[Transaction]:
+        return self._transactions.get(txid)
+
+    def transactions(self) -> Iterator[Transaction]:
+        return iter(self._transactions.values())
+
+    def conflicts_with(self, tx: Transaction) -> list[bytes]:
+        """Txids already in the pool that spend any of ``tx``'s inputs."""
+        seen = []
+        for tx_input in tx.inputs:
+            existing = self._spends.get(tx_input.outpoint)
+            if existing is not None and existing != tx.txid:
+                seen.append(existing)
+        return seen
+
+    def accept(self, tx: Transaction) -> None:
+        """Validate and admit ``tx``; raises :class:`ValidationError`.
+
+        Inputs may come from the confirmed UTXO set or from other pool
+        transactions (unconfirmed chaining), but never from outputs already
+        spent by another pool transaction.
+        """
+        if tx.txid in self._transactions:
+            raise ValidationError(f"transaction {tx.txid.hex()[:16]}.. already in pool")
+        if tx.is_coinbase:
+            raise ValidationError("coinbase transactions cannot enter the pool")
+        validation.check_transaction_syntax(tx)
+
+        conflicts = self.conflicts_with(tx)
+        if conflicts:
+            raise ValidationError(
+                f"transaction {tx.txid.hex()[:16]}.. double-spends inputs of "
+                f"pool transaction(s) {', '.join(c.hex()[:16] + '..' for c in conflicts)}"
+            )
+
+        next_height = self._chain.height + 1
+        input_value = 0
+        resolved: list[UTXOEntry] = []
+        for tx_input in tx.inputs:
+            entry = self._resolve(tx_input.outpoint)
+            if entry is None:
+                raise ValidationError(
+                    f"input {tx_input.outpoint} not found in chain or pool"
+                )
+            if (entry.is_coinbase
+                    and next_height - entry.height < self._chain.params.coinbase_maturity):
+                raise ValidationError(
+                    f"immature coinbase input {tx_input.outpoint}"
+                )
+            input_value += entry.value
+            resolved.append(entry)
+        if input_value < tx.total_output_value:
+            raise ValidationError(
+                f"outputs ({tx.total_output_value}) exceed inputs ({input_value})"
+            )
+
+        # Mempool policy mirrors Bitcoin: non-final transactions wait.
+        if not tx.is_final(next_height, self._chain.tip.block.header.timestamp):
+            raise ValidationError(
+                f"transaction {tx.txid.hex()[:16]}.. is not final at "
+                f"height {next_height}"
+            )
+
+        for index, (tx_input, entry) in enumerate(zip(tx.inputs, resolved)):
+            context = TransactionContext(
+                tx=tx, input_index=index,
+                locking_script=entry.output.script_pubkey,
+            )
+            interpreter = ScriptInterpreter(context=context)
+            if not interpreter.verify(tx_input.script_sig,
+                                      entry.output.script_pubkey):
+                raise ValidationError(
+                    f"script verification failed for input {index} of "
+                    f"{tx.txid.hex()[:16]}.."
+                )
+
+        self._transactions[tx.txid] = tx
+        for tx_input in tx.inputs:
+            self._spends[tx_input.outpoint] = tx.txid
+
+    def _resolve(self, outpoint: OutPoint) -> Optional[UTXOEntry]:
+        """Find an outpoint in the confirmed set or among pool outputs."""
+        entry = self._chain.utxos.get(outpoint)
+        if entry is not None:
+            return entry
+        parent = self._transactions.get(outpoint.txid)
+        if parent is not None and outpoint.index < len(parent.outputs):
+            return UTXOEntry(
+                output=parent.outputs[outpoint.index],
+                height=self._chain.height + 1,
+                is_coinbase=False,
+            )
+        return None
+
+    def remove(self, txid: bytes) -> Optional[Transaction]:
+        """Drop a transaction (and its spend claims) from the pool."""
+        tx = self._transactions.pop(txid, None)
+        if tx is None:
+            return None
+        for tx_input in tx.inputs:
+            if self._spends.get(tx_input.outpoint) == txid:
+                del self._spends[tx_input.outpoint]
+        return tx
+
+    def remove_confirmed(self, transactions) -> int:
+        """Evict transactions that made it into a block, plus conflicts.
+
+        Returns how many entries were removed.  A confirmed transaction
+        also invalidates any pool transaction spending the same inputs
+        (the loser of a double-spend race).
+        """
+        removed = 0
+        for tx in transactions:
+            if self.remove(tx.txid) is not None:
+                removed += 1
+            for tx_input in tx.inputs:
+                conflicting = self._spends.get(tx_input.outpoint)
+                if conflicting is not None:
+                    self.remove(conflicting)
+                    removed += 1
+        return removed
+
+    def select_for_block(self, max_bytes: int) -> list[Transaction]:
+        """Pick transactions for a block template, respecting dependencies.
+
+        Insertion order already topologically sorts unconfirmed chains
+        (a child can only be accepted after its parent), so a linear pass
+        suffices.
+        """
+        selected: list[Transaction] = []
+        used = 0
+        included: set[bytes] = set()
+        for tx in self._transactions.values():
+            size = len(tx.serialize())
+            if used + size > max_bytes:
+                continue
+            # Parents must be confirmed or already included.
+            depends_ok = all(
+                tx_input.outpoint.txid not in self._transactions
+                or tx_input.outpoint.txid in included
+                for tx_input in tx.inputs
+            )
+            if not depends_ok:
+                continue
+            selected.append(tx)
+            included.add(tx.txid)
+            used += size
+        return selected

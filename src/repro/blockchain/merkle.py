@@ -1,0 +1,60 @@
+"""Merkle trees over transaction ids (Bitcoin-style, duplicate-last-on-odd)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.crypto.hashing import double_sha256
+from repro.errors import ValidationError
+
+__all__ = ["merkle_root", "merkle_branch", "verify_branch"]
+
+
+def merkle_root(txids: Sequence[bytes]) -> bytes:
+    """Compute the Merkle root of a list of 32-byte txids."""
+    if not txids:
+        raise ValidationError("cannot build a Merkle tree over zero txids")
+    level = list(txids)
+    for txid in level:
+        if len(txid) != 32:
+            raise ValidationError(f"txid must be 32 bytes, got {len(txid)}")
+    while len(level) > 1:
+        if len(level) % 2:
+            level.append(level[-1])
+        level = [
+            double_sha256(level[i] + level[i + 1])
+            for i in range(0, len(level), 2)
+        ]
+    return level[0]
+
+
+def merkle_branch(txids: Sequence[bytes], index: int) -> list[bytes]:
+    """The authentication path proving ``txids[index]`` is in the tree."""
+    if not 0 <= index < len(txids):
+        raise ValidationError(f"index {index} out of range for {len(txids)} txids")
+    branch: list[bytes] = []
+    level = list(txids)
+    while len(level) > 1:
+        if len(level) % 2:
+            level.append(level[-1])
+        sibling = index ^ 1
+        branch.append(level[sibling])
+        level = [
+            double_sha256(level[i] + level[i + 1])
+            for i in range(0, len(level), 2)
+        ]
+        index //= 2
+    return branch
+
+
+def verify_branch(txid: bytes, branch: Sequence[bytes], index: int,
+                  root: bytes) -> bool:
+    """Check an authentication path against a Merkle ``root``."""
+    current = txid
+    for sibling in branch:
+        if index & 1:
+            current = double_sha256(sibling + current)
+        else:
+            current = double_sha256(current + sibling)
+        index //= 2
+    return current == root

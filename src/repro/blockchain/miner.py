@@ -1,0 +1,125 @@
+"""Block assembly and mining.
+
+The paper's deployment has a single AWS master node that mines on a
+schedule while the PlanetLab gateways only submit transactions — the
+Multichain private-chain pattern.  :class:`Miner` assembles templates from
+a mempool and (optionally trivial) proof-of-work; scheduling lives in the
+simulation layer (:mod:`repro.core.network`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.blockchain.block import Block
+from repro.blockchain.chain import Chain
+from repro.blockchain.mempool import Mempool
+from repro.blockchain.params import ChainParams
+from repro.blockchain.transaction import (
+    COINBASE_OUTPOINT,
+    Transaction,
+    TxInput,
+    TxOutput,
+)
+from repro.errors import ValidationError
+from repro.script.builder import p2pkh_locking
+from repro.script.script import Script, encode_number
+
+__all__ = ["Miner"]
+
+_MAX_NONCE = 1 << 62
+
+
+@dataclass
+class Miner:
+    """Assembles and mines blocks paying ``reward_pubkey_hash``."""
+
+    chain: Chain
+    mempool: Mempool
+    reward_pubkey_hash: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.reward_pubkey_hash) != 20:
+            raise ValidationError(
+                f"reward pubkey hash must be 20 bytes, "
+                f"got {len(self.reward_pubkey_hash)}"
+            )
+
+    @property
+    def params(self) -> ChainParams:
+        return self.chain.params
+
+    def build_coinbase(self, height: int, fees: int) -> Transaction:
+        """The subsidy+fees transaction for a block at ``height``.
+
+        The height is pushed into the coinbase scriptSig (as BIP 34 does)
+        so coinbases at different heights never collide on txid.
+        """
+        return Transaction(
+            inputs=[TxInput(outpoint=COINBASE_OUTPOINT,
+                            script_sig=Script([encode_number(height)]))],
+            outputs=[TxOutput(
+                value=self.params.coinbase_reward + fees,
+                script_pubkey=p2pkh_locking(self.reward_pubkey_hash),
+            )],
+        )
+
+    def build_template(self, timestamp: float) -> Block:
+        """Assemble an unmined block on the current tip."""
+        height = self.chain.height + 1
+        # Reserve room for the header (84 B) and the coinbase (~90 B,
+        # plus slack for a large fee value).
+        budget = self.params.max_block_size - 250
+        selected = self.mempool.select_for_block(budget)
+        fees = self._total_fees(selected, height)
+        coinbase = self.build_coinbase(height, fees)
+        return Block.assemble(
+            prev_hash=self.chain.tip.hash,
+            timestamp=timestamp,
+            transactions=[coinbase, *selected],
+        )
+
+    def _total_fees(self, transactions: list[Transaction], height: int) -> int:
+        """Sum of fees, resolving inputs from the UTXO set or the batch."""
+        by_txid = {tx.txid: tx for tx in transactions}
+        fees = 0
+        for tx in transactions:
+            input_value = 0
+            for tx_input in tx.inputs:
+                entry = self.chain.utxos.get(tx_input.outpoint)
+                if entry is not None:
+                    input_value += entry.value
+                    continue
+                parent = by_txid.get(tx_input.outpoint.txid)
+                if parent is None:
+                    raise ValidationError(
+                        f"template transaction input {tx_input.outpoint} "
+                        f"unresolvable"
+                    )
+                input_value += parent.outputs[tx_input.outpoint.index].value
+            fees += input_value - tx.total_output_value
+        return fees
+
+    def mine(self, timestamp: float) -> Block:
+        """Produce a valid block at ``timestamp`` (grinding nonces if needed)."""
+        template = self.build_template(timestamp)
+        if template.header.meets_target(self.params.pow_bits):
+            return template
+        for nonce in range(1, _MAX_NONCE):
+            candidate = Block.assemble(
+                prev_hash=template.header.prev_hash,
+                timestamp=timestamp,
+                transactions=template.transactions,
+                nonce=nonce,
+            )
+            if candidate.header.meets_target(self.params.pow_bits):
+                return candidate
+        raise ValidationError("nonce space exhausted")  # pragma: no cover
+
+    def mine_and_connect(self, timestamp: float) -> Block:
+        """Mine a block, connect it locally, and clear its pool entries."""
+        block = self.mine(timestamp)
+        self.chain.add_block(block)
+        self.mempool.remove_confirmed(block.transactions)
+        return block

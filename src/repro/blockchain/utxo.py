@@ -1,0 +1,103 @@
+"""The unspent-transaction-output set."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.blockchain.transaction import OutPoint, Transaction, TxOutput
+from repro.errors import ValidationError
+
+__all__ = ["UTXOEntry", "UTXOSet"]
+
+
+@dataclass(frozen=True)
+class UTXOEntry:
+    """An unspent output plus the metadata validation needs."""
+
+    output: TxOutput
+    height: int
+    is_coinbase: bool
+
+    @property
+    def value(self) -> int:
+        return self.output.value
+
+
+class UTXOSet:
+    """Mapping of :class:`OutPoint` to :class:`UTXOEntry` with undo support.
+
+    ``apply_transaction`` returns the spent entries so the chain layer can
+    undo a block during reorgs.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[OutPoint, UTXOEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, outpoint: OutPoint) -> bool:
+        return outpoint in self._entries
+
+    def get(self, outpoint: OutPoint) -> Optional[UTXOEntry]:
+        return self._entries.get(outpoint)
+
+    def items(self) -> Iterator[tuple[OutPoint, UTXOEntry]]:
+        return iter(self._entries.items())
+
+    def total_value(self) -> int:
+        return sum(entry.value for entry in self._entries.values())
+
+    def add(self, outpoint: OutPoint, entry: UTXOEntry) -> None:
+        if outpoint in self._entries:
+            raise ValidationError(f"duplicate UTXO: {outpoint}")
+        self._entries[outpoint] = entry
+
+    def remove(self, outpoint: OutPoint) -> UTXOEntry:
+        entry = self._entries.pop(outpoint, None)
+        if entry is None:
+            raise ValidationError(f"missing UTXO: {outpoint}")
+        return entry
+
+    def apply_transaction(self, tx: Transaction,
+                          height: int) -> dict[OutPoint, UTXOEntry]:
+        """Spend ``tx``'s inputs and create its outputs.
+
+        Returns the spent entries keyed by outpoint (the undo record).
+        Raises :class:`ValidationError` (leaving the set unchanged) if any
+        input is missing.
+        """
+        if not tx.is_coinbase:
+            missing = [
+                tx_input.outpoint for tx_input in tx.inputs
+                if tx_input.outpoint not in self._entries
+            ]
+            if missing:
+                raise ValidationError(
+                    f"transaction {tx.txid.hex()[:16]}.. spends missing "
+                    f"outputs: {', '.join(str(o) for o in missing)}"
+                )
+        spent: dict[OutPoint, UTXOEntry] = {}
+        if not tx.is_coinbase:
+            for tx_input in tx.inputs:
+                spent[tx_input.outpoint] = self.remove(tx_input.outpoint)
+        for index, output in enumerate(tx.outputs):
+            self.add(
+                OutPoint(txid=tx.txid, index=index),
+                UTXOEntry(output=output, height=height,
+                          is_coinbase=tx.is_coinbase),
+            )
+        return spent
+
+    def undo_transaction(self, tx: Transaction,
+                         spent: dict[OutPoint, UTXOEntry]) -> None:
+        """Reverse :meth:`apply_transaction` during a reorg."""
+        for index in range(len(tx.outputs)):
+            self.remove(OutPoint(txid=tx.txid, index=index))
+        for outpoint, entry in spent.items():
+            self.add(outpoint, entry)
+
+    def snapshot(self) -> dict[OutPoint, UTXOEntry]:
+        """A shallow copy of the current set (entries are immutable)."""
+        return dict(self._entries)

@@ -1,0 +1,323 @@
+"""Wallets: key management, UTXO tracking, transaction construction.
+
+Every BcWAN actor (gateway, recipient, master) holds a wallet.  Beyond
+plain payments it builds the three transaction shapes the protocol needs:
+
+* OP_RETURN *announcements* carrying a gateway's IP address (section 4.3);
+* the *key-release offer* locking payment to the revelation of an
+  ephemeral RSA-512 private key (Listing 1, step 9 of Fig. 3);
+* the *claim* and *refund* spends of such an offer (step 10).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.blockchain.chain import Chain
+from repro.blockchain.transaction import (
+    OutPoint,
+    SEQUENCE_FINAL,
+    Transaction,
+    TxInput,
+    TxOutput,
+)
+from repro.crypto.keys import KeyPair
+from repro.errors import ValidationError
+from repro.script import builder
+from repro.script.script import Script
+
+__all__ = ["Wallet", "KeyReleaseOffer"]
+
+
+@dataclass(frozen=True)
+class KeyReleaseOffer:
+    """A funded Listing-1 output, as seen by both gateway and recipient."""
+
+    transaction: Transaction
+    output_index: int
+    rsa_pubkey: bytes
+    gateway_pubkey_hash: bytes
+    buyer_pubkey_hash: bytes
+    refund_locktime: int
+
+    @property
+    def outpoint(self) -> OutPoint:
+        return OutPoint(txid=self.transaction.txid, index=self.output_index)
+
+    @property
+    def amount(self) -> int:
+        return self.transaction.outputs[self.output_index].value
+
+
+class Wallet:
+    """A single-key wallet bound to one chain view.
+
+    The wallet watches connected blocks for outputs paying its address and
+    for spends of its coins; register it via :meth:`watch_chain` or call
+    :meth:`scan_block` manually.  Mempool-pending spends are tracked so the
+    wallet never builds two transactions over the same coin.
+    """
+
+    def __init__(self, chain: Chain, keypair: Optional[KeyPair] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        self.chain = chain
+        self.keypair = keypair or KeyPair.generate(rng)
+        self._owned: dict[OutPoint, int] = {}  # outpoint -> value
+        self._pending_spends: set[OutPoint] = set()
+
+    # -- identity -------------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        return self.keypair.address
+
+    @property
+    def pubkey_hash(self) -> bytes:
+        return self.keypair.pubkey_hash
+
+    @property
+    def pubkey_bytes(self) -> bytes:
+        return self.keypair.public_key.to_bytes()
+
+    # -- balance tracking -------------------------------------------------------
+
+    def watch_chain(self) -> None:
+        """Subscribe to block-connect events and scan existing history."""
+        for _height, block in self.chain.iter_active_blocks():
+            self.scan_block(block)
+        self.chain.add_connect_listener(lambda block, height: self.scan_block(block))
+
+    def scan_block(self, block) -> None:
+        """Update owned coins from a connected block."""
+        my_script = builder.p2pkh_locking(self.pubkey_hash).to_bytes()
+        for tx in block.transactions:
+            for tx_input in tx.inputs:
+                self._owned.pop(tx_input.outpoint, None)
+                self._pending_spends.discard(tx_input.outpoint)
+            for index, output in enumerate(tx.outputs):
+                if output.script_pubkey.to_bytes() == my_script:
+                    outpoint = OutPoint(txid=tx.txid, index=index)
+                    if self.chain.utxos.get(outpoint) is not None:
+                        self._owned[outpoint] = output.value
+
+    def refresh_from_utxo_set(self) -> None:
+        """Rebuild ownership from the chain's UTXO set (e.g. after reorg)."""
+        my_script = builder.p2pkh_locking(self.pubkey_hash).to_bytes()
+        self._owned = {
+            outpoint: entry.value
+            for outpoint, entry in self.chain.utxos.items()
+            if entry.output.script_pubkey.to_bytes() == my_script
+        }
+        self._pending_spends &= set(self._owned)
+
+    @property
+    def balance(self) -> int:
+        return sum(
+            value for outpoint, value in self._owned.items()
+            if outpoint not in self._pending_spends
+        )
+
+    def spendable_coins(self) -> list[tuple[OutPoint, int]]:
+        """Mature, unreserved coins sorted largest-first."""
+        maturity = self.chain.params.coinbase_maturity
+        coins = []
+        for outpoint, value in self._owned.items():
+            if outpoint in self._pending_spends:
+                continue
+            entry = self.chain.utxos.get(outpoint)
+            if entry is None:
+                continue
+            if entry.is_coinbase and self.chain.height - entry.height < maturity:
+                continue
+            coins.append((outpoint, value))
+        coins.sort(key=lambda item: item[1], reverse=True)
+        return coins
+
+    def _select_coins(self, amount: int) -> tuple[list[tuple[OutPoint, int]], int]:
+        """Greedy largest-first coin selection covering ``amount``."""
+        selected = []
+        total = 0
+        for outpoint, value in self.spendable_coins():
+            selected.append((outpoint, value))
+            total += value
+            if total >= amount:
+                return selected, total
+        raise ValidationError(
+            f"insufficient funds: need {amount}, have {total} spendable"
+        )
+
+    # -- transaction construction ------------------------------------------------
+
+    def sign_input(self, tx: Transaction, input_index: int,
+                   locking_script: Script) -> bytes:
+        """Compact ECDSA signature for one input under SIGHASH_ALL."""
+        digest = tx.sighash(input_index, locking_script)
+        return self.keypair.sign(digest).to_bytes()
+
+    def _finalize_p2pkh_inputs(self, tx: Transaction) -> Transaction:
+        """Fill every input's scriptSig assuming they all spend our P2PKH."""
+        locking = builder.p2pkh_locking(self.pubkey_hash)
+        for index in range(len(tx.inputs)):
+            signature = self.sign_input(tx, index, locking)
+            tx = tx.with_input_script(
+                index, builder.p2pkh_unlocking(signature, self.pubkey_bytes)
+            )
+        return tx
+
+    def _build_spend(self, outputs: list[TxOutput], fee: int,
+                     locktime: int = 0,
+                     sequence: int = SEQUENCE_FINAL) -> Transaction:
+        amount = sum(output.value for output in outputs) + fee
+        coins, total = self._select_coins(amount)
+        change = total - amount
+        final_outputs = list(outputs)
+        if change > 0:
+            final_outputs.append(TxOutput(
+                value=change,
+                script_pubkey=builder.p2pkh_locking(self.pubkey_hash),
+            ))
+        tx = Transaction(
+            inputs=[TxInput(outpoint=outpoint, sequence=sequence)
+                    for outpoint, _ in coins],
+            outputs=final_outputs,
+            locktime=locktime,
+        )
+        tx = self._finalize_p2pkh_inputs(tx)
+        for outpoint, _ in coins:
+            self._pending_spends.add(outpoint)
+        return tx
+
+    def create_payment(self, to_pubkey_hash: bytes, amount: int,
+                       fee: int = 0) -> Transaction:
+        """A plain P2PKH payment."""
+        if amount <= 0:
+            raise ValidationError(f"payment amount must be positive: {amount}")
+        return self._build_spend(
+            [TxOutput(value=amount,
+                      script_pubkey=builder.p2pkh_locking(to_pubkey_hash))],
+            fee=fee,
+        )
+
+    def create_fanout(self, to_pubkey_hash: bytes, amount: int,
+                      count: int, fee: int = 0) -> Transaction:
+        """Pay ``count`` equal outputs of ``amount`` to one address.
+
+        Bootstrap helper: an actor funded with many small coins can issue
+        many concurrent key-release offers without waiting for change to
+        confirm.
+        """
+        if amount <= 0 or count <= 0:
+            raise ValidationError(
+                f"fanout needs positive amount and count, got "
+                f"{amount} x {count}"
+            )
+        outputs = [
+            TxOutput(value=amount,
+                     script_pubkey=builder.p2pkh_locking(to_pubkey_hash))
+            for _ in range(count)
+        ]
+        return self._build_spend(outputs, fee=fee)
+
+    def create_announcement(self, payload: bytes, fee: int = 0) -> Transaction:
+        """An OP_RETURN data-carrier transaction (gateway IP directory)."""
+        return self._build_spend(
+            [TxOutput(value=0, script_pubkey=builder.op_return(payload))],
+            fee=fee,
+        )
+
+    def create_key_release_offer(self, rsa_pubkey: bytes,
+                                 gateway_pubkey_hash: bytes,
+                                 amount: int, fee: int = 0,
+                                 refund_locktime: Optional[int] = None
+                                 ) -> KeyReleaseOffer:
+        """Step 9 of Fig. 3: lock ``amount`` to the ephemeral key revelation.
+
+        The refund path defaults to the paper's ``block_height + 100``.
+        """
+        if amount <= 0:
+            raise ValidationError(f"offer amount must be positive: {amount}")
+        if refund_locktime is None:
+            refund_locktime = self.chain.height + self.chain.params.locktime_grace
+        locking = builder.ephemeral_key_release(
+            rsa_pubkey=rsa_pubkey,
+            gateway_pubkey_hash=gateway_pubkey_hash,
+            buyer_pubkey_hash=self.pubkey_hash,
+            refund_locktime=refund_locktime,
+        )
+        tx = self._build_spend(
+            [TxOutput(value=amount, script_pubkey=locking)], fee=fee,
+        )
+        return KeyReleaseOffer(
+            transaction=tx,
+            output_index=0,
+            rsa_pubkey=rsa_pubkey,
+            gateway_pubkey_hash=gateway_pubkey_hash,
+            buyer_pubkey_hash=self.pubkey_hash,
+            refund_locktime=refund_locktime,
+        )
+
+    def claim_key_release(self, offer: KeyReleaseOffer,
+                          rsa_private_key: bytes, fee: int = 0) -> Transaction:
+        """Step 10 of Fig. 3: spend the offer by revealing ``eSk``.
+
+        The output pays this wallet ("the output ... should be intended to
+        the gateway itself", paper step 10).
+        """
+        value = offer.amount - fee
+        if value <= 0:
+            raise ValidationError(
+                f"fee {fee} consumes the whole offer of {offer.amount}"
+            )
+        tx = Transaction(
+            inputs=[TxInput(outpoint=offer.outpoint)],
+            outputs=[TxOutput(
+                value=value,
+                script_pubkey=builder.p2pkh_locking(self.pubkey_hash),
+            )],
+        )
+        locking = builder.ephemeral_key_release(
+            rsa_pubkey=offer.rsa_pubkey,
+            gateway_pubkey_hash=offer.gateway_pubkey_hash,
+            buyer_pubkey_hash=offer.buyer_pubkey_hash,
+            refund_locktime=offer.refund_locktime,
+        )
+        signature = self.sign_input(tx, 0, locking)
+        return tx.with_input_script(
+            0, builder.key_release_claim(signature, self.pubkey_bytes,
+                                         rsa_private_key),
+        )
+
+    def refund_key_release(self, offer: KeyReleaseOffer,
+                           fee: int = 0) -> Transaction:
+        """Reclaim an unclaimed offer after its locktime expires."""
+        value = offer.amount - fee
+        if value <= 0:
+            raise ValidationError(
+                f"fee {fee} consumes the whole offer of {offer.amount}"
+            )
+        tx = Transaction(
+            inputs=[TxInput(outpoint=offer.outpoint,
+                            sequence=SEQUENCE_FINAL - 1)],
+            outputs=[TxOutput(
+                value=value,
+                script_pubkey=builder.p2pkh_locking(self.pubkey_hash),
+            )],
+            locktime=offer.refund_locktime,
+        )
+        locking = builder.ephemeral_key_release(
+            rsa_pubkey=offer.rsa_pubkey,
+            gateway_pubkey_hash=offer.gateway_pubkey_hash,
+            buyer_pubkey_hash=offer.buyer_pubkey_hash,
+            refund_locktime=offer.refund_locktime,
+        )
+        signature = self.sign_input(tx, 0, locking)
+        return tx.with_input_script(
+            0, builder.key_release_refund(signature, self.pubkey_bytes),
+        )
+
+    def release_pending(self, tx: Transaction) -> None:
+        """Un-reserve a built transaction's inputs (e.g. broadcast failed)."""
+        for tx_input in tx.inputs:
+            self._pending_spends.discard(tx_input.outpoint)

@@ -1,0 +1,96 @@
+"""The BcWAN protocol core.
+
+* :mod:`repro.core.messages` — the Fig. 4 payload pipeline (AES-256-CBC +
+  RSA-512 wrap + RSA-512 signature);
+* :mod:`repro.core.provisioning` — the node/recipient key-sharing phase;
+* :mod:`repro.core.directory` — the OP_RETURN IP directory of section 4.3;
+* :mod:`repro.core.daemon` — the Multichain-daemon queue with the block
+  verification stall behind Figs. 5/6;
+* :mod:`repro.core.node_agent`, :mod:`repro.core.gateway_agent`,
+  :mod:`repro.core.recipient` — the three protocol roles of Fig. 3;
+* :mod:`repro.core.network` — the full-testbed assembly;
+* :mod:`repro.core.costmodel` — calibrated processing times;
+* :mod:`repro.core.metrics` — per-exchange instrumentation.
+"""
+
+from repro.core.analysis import LegBreakdown, decompose, format_breakdown
+from repro.core.config import NetworkConfig
+from repro.core.costmodel import CostModel
+from repro.core.election import MasterElection
+from repro.core.rewards import (
+    CongestionPricing,
+    FixedPricing,
+    PricingPolicy,
+    RecipientBudget,
+    RewardLedger,
+    VolumeDiscountPricing,
+)
+from repro.core.daemon import BlockchainDaemon, DaemonStats
+from repro.core.directory import (
+    Announcement,
+    DirectoryView,
+    build_announcement_payload,
+    parse_announcement_payload,
+)
+from repro.core.gateway_agent import GatewayAgent
+from repro.core.messages import (
+    BUNDLE_SIZE,
+    MAX_PLAINTEXT,
+    SealedBundle,
+    decode_bundle,
+    encode_bundle,
+    open_message,
+    seal_message,
+    sign_payload,
+    verify_payload,
+)
+from repro.core.metrics import ExchangeRecord, ExchangeTracker
+from repro.core.network import BcWANNetwork, RunReport, Site
+from repro.core.node_agent import NodeAgent
+from repro.core.provisioning import (
+    DeviceCredentials,
+    RecipientRegistry,
+    provision_device,
+)
+from repro.core.recipient import RecipientAgent
+
+__all__ = [
+    "Announcement",
+    "BUNDLE_SIZE",
+    "BcWANNetwork",
+    "BlockchainDaemon",
+    "CongestionPricing",
+    "CostModel",
+    "FixedPricing",
+    "LegBreakdown",
+    "MasterElection",
+    "PricingPolicy",
+    "RecipientBudget",
+    "RewardLedger",
+    "VolumeDiscountPricing",
+    "decompose",
+    "format_breakdown",
+    "DaemonStats",
+    "DeviceCredentials",
+    "DirectoryView",
+    "ExchangeRecord",
+    "ExchangeTracker",
+    "GatewayAgent",
+    "MAX_PLAINTEXT",
+    "NetworkConfig",
+    "NodeAgent",
+    "RecipientAgent",
+    "RecipientRegistry",
+    "RunReport",
+    "SealedBundle",
+    "Site",
+    "build_announcement_payload",
+    "decode_bundle",
+    "encode_bundle",
+    "open_message",
+    "parse_announcement_payload",
+    "provision_device",
+    "seal_message",
+    "sign_payload",
+    "verify_payload",
+]

@@ -1,0 +1,97 @@
+"""Post-run analysis: where did the milliseconds go?
+
+The paper reports only end-to-end means; this module decomposes a run's
+completed exchanges into the protocol legs of Fig. 3 so the latency
+budget is inspectable:
+
+* ``epk_downlink`` — ePk over LoRa (step 2);
+* ``node_processing`` — AES + RSA wrap + RSA sign + data uplink (3-5);
+* ``gateway_forward`` — directory lookup + TCP push (6-7);
+* ``settlement`` — verify, offer, claim, detection (8-10);
+* ``decrypt`` — final unwrap at the recipient.
+
+Used by the benchmark harness's narrative output and handy for ablation
+debugging ("which leg did my change actually move?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import ExchangeRecord, ExchangeTracker
+from repro.sim.trace import Summary
+
+__all__ = ["LegBreakdown", "decompose", "format_breakdown"]
+
+_LEGS = (
+    ("epk_downlink", "t_epk_sent", "t_epk_received"),
+    ("node_processing", "t_epk_received", "t_data_sent"),
+    ("gateway_forward", "t_data_received", "t_delivered"),
+    ("settlement", "t_delivered", "t_claim_seen"),
+    ("decrypt", "t_claim_seen", "t_decrypted"),
+)
+
+
+@dataclass(frozen=True)
+class LegBreakdown:
+    """Per-leg latency statistics over a set of completed exchanges."""
+
+    legs: dict[str, Summary]
+    total: Summary
+    exchanges: int
+
+    def dominant_leg(self) -> str:
+        """The leg with the largest mean contribution."""
+        return max(self.legs, key=lambda name: self.legs[name].mean)
+
+    def mean_fraction(self, leg: str) -> float:
+        """A leg's share of the mean end-to-end latency."""
+        return self.legs[leg].mean / self.total.mean
+
+
+def _leg_samples(records: list[ExchangeRecord],
+                 start_attr: str, end_attr: str) -> list[float]:
+    samples = []
+    for record in records:
+        start = getattr(record, start_attr)
+        end = getattr(record, end_attr)
+        if start is not None and end is not None:
+            samples.append(end - start)
+    return samples
+
+
+def decompose(tracker: ExchangeTracker) -> LegBreakdown:
+    """Break a run's completed exchanges into Fig. 3 legs.
+
+    Raises ``ValueError`` when no exchange completed.
+    """
+    records = [r for r in tracker.completed() if r.latency is not None]
+    if not records:
+        raise ValueError("no completed exchanges to decompose")
+    legs = {}
+    for name, start_attr, end_attr in _LEGS:
+        samples = _leg_samples(records, start_attr, end_attr)
+        if samples:
+            legs[name] = Summary.of(samples)
+    return LegBreakdown(
+        legs=legs,
+        total=Summary.of([r.latency for r in records]),
+        exchanges=len(records),
+    )
+
+
+def format_breakdown(breakdown: LegBreakdown) -> str:
+    """A text table of the latency budget."""
+    lines = [
+        f"latency budget over {breakdown.exchanges} exchanges "
+        f"(mean total {breakdown.total.mean:.3f} s):",
+        f"{'leg':<18}{'mean (s)':>10}{'p95 (s)':>10}{'share':>8}",
+    ]
+    for name, summary in breakdown.legs.items():
+        share = breakdown.mean_fraction(name)
+        lines.append(
+            f"{name:<18}{summary.mean:>10.3f}{summary.p95:>10.3f}"
+            f"{share:>7.0%}"
+        )
+    lines.append(f"dominant leg: {breakdown.dominant_leg()}")
+    return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""Configuration for a full BcWAN deployment simulation.
+
+The defaults reproduce the paper's testbed (section 5.2): 5 gateway sites
+(PlanetLab nodes), 30 sensors per site at SF7 and 1 % duty cycle, a master
+node that mines and does not serve exchanges, 128-byte payloads + 4-byte
+header, and block verification *disabled* (the Fig. 5 configuration —
+flip ``verify_blocks`` for Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.blockchain.params import COIN, ChainParams
+from repro.core.costmodel import CostModel
+from repro.errors import ConfigurationError
+
+__all__ = ["NetworkConfig"]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Everything a :class:`repro.core.network.BcWANNetwork` needs.
+
+    Topology:
+
+    :param num_gateways: gateway sites (the paper uses 5 PlanetLab nodes).
+    :param sensors_per_gateway: end devices deployed per site (paper: 30).
+    :param roaming_offset: sensors of actor ``i`` are deployed in the cell
+        of gateway ``(i + roaming_offset) % num_gateways`` — every
+        delivery crosses a *foreign* gateway, the scenario BcWAN exists
+        for.  Set 0 to study home-gateway delivery.
+    :param seed: master seed; every run is deterministic in it.
+
+    Blockchain:
+
+    :param block_interval: master mining period (Multichain default 15 s).
+    :param verify_blocks: the Fig. 5 (False) / Fig. 6 (True) toggle.
+    :param verification_stall_base / verification_stall_per_tx: the
+        modeled Multichain daemon stall per verified block.
+    :param price: satoshi-like units a gateway earns per delivery.
+    :param funding_coins / funding_coin_value: how many spendable coins
+        each actor is bootstrapped with, and their denomination.
+
+    Radio:
+
+    :param spreading_factor / duty_cycle: paper: SF7, 1 %.
+    :param gateway_duty_cycle: downlink budget (EU868 10 % sub-band).
+    :param cell_radius: sensors are placed uniformly within this radius.
+
+    WAN:
+
+    :param wan_median_range: per-site-pair median one-way delay range.
+    :param wan_sigma: lognormal jitter shape.
+
+    Workload:
+
+    :param exchange_interval: mean seconds between exchanges per sensor.
+    :param payload_bytes: plaintext reading size (≤ 15: one AES block).
+    """
+
+    num_gateways: int = 5
+    sensors_per_gateway: int = 30
+    roaming_offset: int = 1
+    seed: int = 0
+
+    block_interval: float = 15.0
+    # "master": the paper's PoC — a dedicated master node mines on a
+    # schedule, mining disabled on gateways.  "pos": the §6 future-work
+    # variant — gateway sites take turns producing blocks through a
+    # deterministic stake-weighted slot lottery (no master mining, no
+    # proof-of-work anywhere).
+    consensus: str = "master"
+    verify_blocks: bool = False
+    verification_stall_base: float = 8.0
+    verification_stall_per_tx: float = 0.055
+    coinbase_maturity: int = 1
+    pow_bits: int = 0
+    locktime_grace: int = 100
+    max_block_size: int = 1_000_000
+
+    price: int = 100
+    offer_fee: int = 0
+    funding_coins: int = 500
+    funding_coin_value: int = 250
+
+    spreading_factor: int = 7
+    # ADR: assign each sensor the fastest SF its link budget supports
+    # instead of the fixed `spreading_factor` (the paper fixes SF7).
+    adaptive_data_rate: bool = False
+    duty_cycle: float = 0.01
+    gateway_duty_cycle: float = 0.10
+    cell_radius: float = 1500.0
+
+    wan_median_range: tuple[float, float] = (0.040, 0.180)
+    wan_sigma: float = 0.35
+    # Fraction of WAN messages silently dropped (0 models the TCP flows
+    # of the paper's testbed).  With loss, enable `sync_interval` so the
+    # anti-entropy agents repair gossip gaps.
+    wan_loss_rate: float = 0.0
+    # Seconds between anti-entropy sync rounds per daemon; 0 disables.
+    sync_interval: float = 0.0
+
+    exchange_interval: float = 60.0
+    # Seconds between recipient sweeps of expired key-release offers
+    # (the Listing-1 refund branch).  0 disables the sweep; enable it in
+    # deployments where gateways may vanish mid-exchange.
+    reclaim_interval: float = 0.0
+    payload_bytes: int = 12
+    key_response_timeout: float = 12.0
+    # Enforce LoRaWAN Class-A receive windows: nodes sleep outside
+    # RX1/RX2 and gateways schedule the ePk downlink into a window.
+    class_a_windows: bool = False
+    rsa_bits: int = 512
+    wait_for_confirmation: bool = False
+
+    cost_model: CostModel = field(default_factory=CostModel)
+
+    def __post_init__(self) -> None:
+        if self.num_gateways < 1:
+            raise ConfigurationError(
+                f"need at least one gateway, got {self.num_gateways}"
+            )
+        if self.sensors_per_gateway < 0:
+            raise ConfigurationError(
+                f"negative sensor count: {self.sensors_per_gateway}"
+            )
+        if not 0 <= self.roaming_offset < max(self.num_gateways, 1):
+            raise ConfigurationError(
+                f"roaming offset {self.roaming_offset} out of range for "
+                f"{self.num_gateways} gateways"
+            )
+        if self.price <= 0:
+            raise ConfigurationError(f"price must be positive: {self.price}")
+        if self.funding_coin_value < self.price + self.offer_fee:
+            raise ConfigurationError(
+                "funding coin value must cover at least one offer "
+                f"({self.funding_coin_value} < {self.price + self.offer_fee})"
+            )
+        if not 0 < self.payload_bytes <= 15:
+            raise ConfigurationError(
+                f"payload must be 1-15 bytes (one AES block), "
+                f"got {self.payload_bytes}"
+            )
+        if self.exchange_interval <= 0:
+            raise ConfigurationError(
+                f"exchange interval must be positive: {self.exchange_interval}"
+            )
+        if self.consensus not in ("master", "pos"):
+            raise ConfigurationError(
+                f"unknown consensus mode: {self.consensus!r} "
+                f"(expected 'master' or 'pos')"
+            )
+        if not 0 <= self.wan_loss_rate < 1:
+            raise ConfigurationError(
+                f"WAN loss rate out of range: {self.wan_loss_rate}"
+            )
+        if self.sync_interval < 0:
+            raise ConfigurationError(
+                f"sync interval cannot be negative: {self.sync_interval}"
+            )
+        # Surface chain-parameter violations (block size floor, etc.) at
+        # configuration time rather than at network assembly.
+        self.chain_params()
+
+    def chain_params(self) -> ChainParams:
+        """The derived blockchain parameters."""
+        return ChainParams(
+            block_interval=self.block_interval,
+            verify_blocks=self.verify_blocks,
+            verification_stall_base=self.verification_stall_base,
+            verification_stall_per_tx=self.verification_stall_per_tx,
+            coinbase_maturity=self.coinbase_maturity,
+            pow_bits=self.pow_bits,
+            locktime_grace=self.locktime_grace,
+            max_block_size=self.max_block_size,
+        )
+
+    @property
+    def site_names(self) -> list[str]:
+        return [f"site-{i}" for i in range(self.num_gateways)]
+
+    @property
+    def total_sensors(self) -> int:
+        return self.num_gateways * self.sensors_per_gateway

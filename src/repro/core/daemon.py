@@ -1,0 +1,207 @@
+"""The BcWAN daemon: a single-server queue in front of the blockchain.
+
+The paper's gateway stack is a Golang daemon wrapping a Multichain node;
+all blockchain interaction — creating/signing/sending transactions,
+directory lookups, processing gossiped items — goes through it.  Its
+defining performance behaviour (section 5.2) is that with block
+verification enabled "the block verification made the Multichain daemon
+stall and become unresponsive for extended periods upon each block
+arrival".
+
+:class:`BlockchainDaemon` models exactly that: every operation is a job in
+a FIFO served by one server; an incoming block enqueues a verification job
+whose service time is the chain params' ``verification_stall`` — so while
+a block verifies, every RPC of every in-flight exchange waits.  Disabling
+verification (Fig. 5) makes block jobs cheap and the queue effectively
+empty.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.blockchain.node import FullNode
+from repro.core.costmodel import CostModel
+from repro.p2p.gossip import GossipNode
+from repro.p2p.message import BlockMessage, Envelope, TxMessage
+from repro.p2p.network import WANetwork
+from repro.sim.core import Event, Simulator
+
+__all__ = ["BlockchainDaemon", "DaemonStats"]
+
+
+@dataclass
+class DaemonStats:
+    """Aggregate daemon behaviour over a run."""
+
+    jobs_served: int = 0
+    busy_time: float = 0.0
+    blocks_verified: int = 0
+    stall_time: float = 0.0
+    max_queue_length: int = 0
+    queue_wait_total: float = 0.0
+
+    def mean_wait(self) -> float:
+        return self.queue_wait_total / self.jobs_served if self.jobs_served else 0.0
+
+
+@dataclass
+class _Job:
+    service_time: float
+    fn: Optional[Callable[[], Any]]
+    completion: Event
+    enqueued_at: float
+    label: str = ""
+
+
+class BlockchainDaemon:
+    """One host's blockchain access point, with Multichain-like stalls."""
+
+    def __init__(self, sim: Simulator, name: str, network: WANetwork,
+                 node: FullNode, cost_model: CostModel,
+                 rng: random.Random,
+                 verify_blocks: Optional[bool] = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.node = node
+        self.cost_model = cost_model
+        self.rng = rng
+        # The Fig. 5 / Fig. 6 toggle; defaults to the chain params' flag.
+        self.verify_blocks = (
+            node.params.verify_blocks if verify_blocks is None else verify_blocks
+        )
+        self.gossip = GossipNode(node, network, name=name, auto_register=False)
+        network.register(name, self.handle_envelope)
+        self.stats = DaemonStats()
+        # Handlers for non-gossip payloads (the BcWAN delivery protocol),
+        # registered by agents: payload type -> callable(envelope).
+        self.protocol_handlers: dict[type, Callable[[Envelope], None]] = {}
+        # Optional consensus-level block check (e.g. PoS leader rule)
+        # applied before a gossiped block enters the chain.
+        self.block_validator: Optional[Callable[[Any], bool]] = None
+        self.blocks_rejected_consensus = 0
+
+        self._queue: deque[_Job] = deque()
+        self._wakeup: Optional[Event] = None
+        # Items already queued or processed; the inv/getdata pattern means
+        # a real daemon never downloads (or verifies) the same item twice.
+        self._seen_txids: set[bytes] = set()
+        self._seen_blocks: set[bytes] = set()
+        sim.process(self._serve())
+
+    # -- inbound network traffic ------------------------------------------------
+
+    def handle_envelope(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if isinstance(payload, TxMessage):
+            tx = payload.transaction
+            if tx.txid in self._seen_txids:
+                return
+            self._seen_txids.add(tx.txid)
+            self._enqueue(
+                self.cost_model.daemon_tx_process,
+                lambda: self.gossip.receive_transaction(tx, origin=envelope.source),
+                label="tx",
+            )
+        elif isinstance(payload, BlockMessage):
+            block = payload.block
+            if block.hash in self._seen_blocks:
+                return
+            self._seen_blocks.add(block.hash)
+            if self.verify_blocks:
+                service = self.node.params.verification_stall(
+                    len(block.transactions)
+                )
+                self.stats.blocks_verified += 1
+                self.stats.stall_time += service
+            else:
+                service = self.cost_model.daemon_block_process
+            origin = envelope.source
+
+            def process_block(block=block, origin=origin):
+                if (self.block_validator is not None
+                        and not self.block_validator(block)):
+                    self.blocks_rejected_consensus += 1
+                    return
+                self.gossip.receive_block(block, origin=origin)
+
+            self._enqueue(service, process_block, label="block")
+        else:
+            handler = self.protocol_handlers.get(type(payload))
+            if handler is not None:
+                # Dispatch latency for the daemon to hand the request to
+                # the protocol layer; the handler schedules its own work.
+                self._enqueue(
+                    self.cost_model.gateway_frame_handling,
+                    lambda: handler(envelope),
+                    label="protocol",
+                )
+
+    def register_protocol(self, payload_type: type,
+                          handler: Callable[[Envelope], None]) -> None:
+        """Route network payloads of ``payload_type`` to ``handler``."""
+        self.protocol_handlers[payload_type] = handler
+
+    # -- local RPC ---------------------------------------------------------------
+
+    def call(self, service_mean: float,
+             fn: Optional[Callable[[], Any]] = None,
+             label: str = "rpc") -> Event:
+        """Submit a local operation; the returned event fires with its result.
+
+        Use for anything that touches the Multichain API: creating, signing
+        and sending transactions, directory scans.  The event's value is
+        ``fn()``'s return value.
+        """
+        return self._enqueue(service_mean, fn, label=label)
+
+    def rpc(self, fn: Optional[Callable[[], Any]] = None) -> Event:
+        """A standard-cost JSON-RPC round (create/sign/send)."""
+        return self.call(self.cost_model.daemon_rpc, fn)
+
+    def lookup(self, fn: Optional[Callable[[], Any]] = None) -> Event:
+        """A directory lookup against the local chain view."""
+        return self.call(self.cost_model.daemon_lookup, fn, label="lookup")
+
+    # -- queueing ----------------------------------------------------------------
+
+    def _enqueue(self, service_mean: float,
+                 fn: Optional[Callable[[], Any]], label: str = "") -> Event:
+        job = _Job(
+            service_time=self.cost_model.sample(service_mean, self.rng),
+            fn=fn,
+            completion=self.sim.event(),
+            enqueued_at=self.sim.now,
+            label=label,
+        )
+        self._queue.append(job)
+        self.stats.max_queue_length = max(self.stats.max_queue_length,
+                                          len(self._queue))
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+        return job.completion
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def _serve(self):
+        while True:
+            if not self._queue:
+                self._wakeup = self.sim.event()
+                yield self._wakeup
+                self._wakeup = None
+                continue
+            job = self._queue.popleft()
+            self.stats.queue_wait_total += self.sim.now - job.enqueued_at
+            if job.service_time > 0:
+                yield self.sim.timeout(job.service_time)
+            self.stats.jobs_served += 1
+            self.stats.busy_time += job.service_time
+            result = None
+            if job.fn is not None:
+                result = job.fn()
+            job.completion.succeed(result)

@@ -1,0 +1,113 @@
+"""Master-gateway election for multi-gateway actors (§4.2, footnote 3).
+
+"For the sake of simplicity, we assume that each actor of the network
+possesses only one gateway.  With several gateways per actor, each actor
+will have to elect one of his gateways as the master gateway" — the
+gateway all the actor's devices address their data to, and the endpoint
+the actor announces in the on-chain directory.
+
+The election here is deterministic and coordination-free: every gateway
+of the actor ranks the *healthy* members by ``H(actor_id ‖ epoch ‖ name)``
+and the lowest digest wins.  Determinism means all of the actor's
+gateways agree without messages; the ``epoch`` counter rotates leadership
+when the actor forces a re-election (e.g. for maintenance).
+
+On failure detection the caller marks the master down and the next
+healthy gateway takes over; the actor must then re-announce its endpoint
+(the directory's latest-wins rule, see
+:class:`repro.core.directory.DirectoryView`, makes the switch atomic for
+foreign gateways).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.crypto.hashing import sha256
+from repro.errors import ConfigurationError
+
+__all__ = ["MasterElection"]
+
+
+@dataclass
+class MasterElection:
+    """Deterministic leader choice among one actor's gateways."""
+
+    actor_id: str
+    gateways: list[str] = field(default_factory=list)
+    epoch: int = 0
+    # Invoked with the new master's name whenever leadership changes.
+    on_master_change: Optional[Callable[[str], None]] = None
+    _down: set[str] = field(default_factory=set)
+    _last_master: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.gateways:
+            raise ConfigurationError(
+                f"actor {self.actor_id} has no gateways to elect from"
+            )
+        if len(set(self.gateways)) != len(self.gateways):
+            raise ConfigurationError(
+                f"duplicate gateway names for actor {self.actor_id}"
+            )
+        self._last_master = self.current_master()
+
+    # -- membership & health --------------------------------------------------
+
+    def add_gateway(self, name: str) -> None:
+        if name in self.gateways:
+            raise ConfigurationError(f"gateway already registered: {name}")
+        self.gateways.append(name)
+        self._maybe_notify()
+
+    def healthy_gateways(self) -> list[str]:
+        return [name for name in self.gateways if name not in self._down]
+
+    def mark_down(self, name: str) -> None:
+        """Record a failure; leadership moves if the master died."""
+        if name not in self.gateways:
+            raise ConfigurationError(f"unknown gateway: {name}")
+        self._down.add(name)
+        self._maybe_notify()
+
+    def mark_up(self, name: str) -> None:
+        """A recovered gateway rejoins the candidate set (and may win)."""
+        self._down.discard(name)
+        self._maybe_notify()
+
+    def rotate(self) -> str:
+        """Force a new epoch (deterministically reshuffles the ranking)."""
+        self.epoch += 1
+        self._maybe_notify()
+        return self.current_master()
+
+    # -- the election ------------------------------------------------------------
+
+    def _rank(self, name: str) -> bytes:
+        return sha256(
+            f"{self.actor_id}|{self.epoch}|{name}".encode("utf-8")
+        )
+
+    def current_master(self) -> str:
+        """The elected master among currently-healthy gateways."""
+        candidates = self.healthy_gateways()
+        if not candidates:
+            raise ConfigurationError(
+                f"actor {self.actor_id} has no healthy gateway"
+            )
+        return min(candidates, key=self._rank)
+
+    def is_master(self, name: str) -> bool:
+        return self.current_master() == name
+
+    def _maybe_notify(self) -> None:
+        try:
+            master = self.current_master()
+        except ConfigurationError:
+            self._last_master = None
+            return
+        if master != self._last_master:
+            self._last_master = master
+            if self.on_master_change is not None:
+                self.on_master_change(master)

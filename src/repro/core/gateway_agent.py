@@ -1,0 +1,298 @@
+"""The gateway-side protocol agent.
+
+A BcWAN gateway runs two modules (paper section 5): the *LoRa module*
+(radio side, a Raspberry Pi in the PoC) and the *blockchain module* (the
+daemon, a separate VM).  This agent glues them:
+
+* radio: answers key requests with fresh ephemeral RSA-512 key pairs and
+  receives data frames;
+* chain: resolves ``@R`` via the on-chain directory, pushes the delivery
+  to the recipient over TCP/IP, and — once the recipient's key-release
+  offer lands in the mempool — claims it by *revealing* the ephemeral
+  private key (Fig. 3 step 10).
+
+The gateway does **not** wait for the offer to confirm before revealing
+the key; the paper makes that choice deliberately (section 6) and accepts
+the double-spend exposure — which :mod:`repro.attacks.double_spend`
+exploits.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.blockchain.transaction import OutPoint
+from repro.blockchain.wallet import KeyReleaseOffer, Wallet
+from repro.core.costmodel import CostModel
+from repro.core.daemon import BlockchainDaemon
+from repro.core.directory import DirectoryView
+from repro.core.metrics import ExchangeTracker
+from repro.core.rewards import FixedPricing, PricingPolicy
+from repro.crypto import rsa
+from repro.errors import ValidationError
+from repro.lora.class_a import RX1_DELAY, RX2_DELAY, ClassAWindows
+from repro.lora.device import LoRaRadio
+from repro.lora.frames import DataFrame, KeyRequestFrame, KeyResponseFrame
+from repro.p2p.message import DeliveryAck, DeliveryMessage, Envelope
+from repro.p2p.network import WANetwork
+from repro.script.builder import parse_ephemeral_key_release
+from repro.sim.core import Simulator
+
+__all__ = ["GatewayAgent"]
+
+
+@dataclass
+class _PendingDelivery:
+    """Gateway-side state for one in-flight exchange."""
+
+    exchange_id: int
+    ephemeral_key: rsa.RSAPrivateKey
+    node_id: str
+    recipient_endpoint: str = ""
+    offer_txid: bytes = b""
+    quoted_price: int = 0
+
+
+class GatewayAgent:
+    """One gateway's protocol engine."""
+
+    def __init__(self, sim: Simulator, name: str, radio: LoRaRadio,
+                 daemon: BlockchainDaemon, wallet: Wallet,
+                 directory: DirectoryView, wan: WANetwork,
+                 cost_model: CostModel, tracker: ExchangeTracker,
+                 rng: random.Random, price: int = 100,
+                 pricing: Optional[PricingPolicy] = None,
+                 claim_fee: int = 0,
+                 wait_for_confirmation: bool = False,
+                 rsa_bits: int = 512,
+                 class_a: bool = False) -> None:
+        self.sim = sim
+        self.name = name
+        self.radio = radio
+        self.daemon = daemon
+        self.wallet = wallet
+        self.directory = directory
+        self.wan = wan
+        self.cost_model = cost_model
+        self.tracker = tracker
+        self.rng = rng
+        self.price = price
+        # Step 9's "fixed or negotiated" output: the policy quotes the
+        # price carried in each DeliveryMessage.
+        self.pricing: PricingPolicy = pricing or FixedPricing(price=price)
+        self.claim_fee = claim_fee
+        # Section 6: waiting for the offer to confirm closes the
+        # double-spend window at the cost of block-interval latency.
+        self.wait_for_confirmation = wait_for_confirmation
+        self.rsa_bits = rsa_bits
+        # Class-A peers only listen in RX1/RX2; the ePk downlink must be
+        # scheduled into a window rather than fired immediately.
+        self.class_a = class_a
+        self.downlinks_unschedulable = 0
+
+        self.deliveries_forwarded = 0
+        self.claims_made = 0
+        self.rewards_claimed = 0
+
+        self._ephemeral: dict[int, _PendingDelivery] = {}
+        self._awaiting_offer: dict[bytes, int] = {}  # offer txid -> exchange
+
+        radio.on_receive(self._on_frame)
+        daemon.register_protocol(DeliveryAck, self._on_ack)
+        daemon.gossip.on_transaction.append(self._on_transaction)
+
+    # -- radio side -----------------------------------------------------------
+
+    def _on_frame(self, frame, rssi: float) -> None:
+        if isinstance(frame, KeyRequestFrame):
+            self.sim.process(self._serve_key_request(frame))
+        elif isinstance(frame, DataFrame):
+            self.sim.process(self._forward(frame))
+
+    def _serve_key_request(self, frame: KeyRequestFrame):
+        """Steps 1-2: generate an ephemeral pair, downlink ``ePk``."""
+        uplink_end = self.sim.now  # frames deliver at transmission end
+        if frame.nonce in self._ephemeral:
+            # Duplicate request (retry); resend the same key.
+            pending = self._ephemeral[frame.nonce]
+        else:
+            yield self.sim.timeout(self.cost_model.sample(
+                self.cost_model.gateway_rsa_keygen, self.rng,
+            ))
+            keypair = rsa.generate_keypair(self.rsa_bits, self.rng)
+            pending = _PendingDelivery(
+                exchange_id=frame.nonce,
+                ephemeral_key=keypair,
+                node_id=frame.sender,
+            )
+            self._ephemeral[frame.nonce] = pending
+            record = self.tracker.get(frame.nonce)
+            if record is not None:
+                record.t_keygen_done = self.sim.now
+                record.gateway = self.name
+        if self.class_a:
+            # Aim the downlink start at the node's RX1 (or RX2) window.
+            windows = ClassAWindows()
+            windows.note_uplink_end(uplink_end)
+            earliest = self.sim.now + self.radio.duty_cycle_wait()
+            target = windows.next_window_start(earliest)
+            if target is None:
+                # Both windows unreachable (duty cycle backlog); the
+                # node will time out and retry.
+                self.downlinks_unschedulable += 1
+                return
+            if target > self.sim.now:
+                yield self.sim.timeout(target - self.sim.now)
+        transmission = yield from self.radio.send(KeyResponseFrame(
+            sender=self.name,
+            target=frame.sender,
+            ephemeral_pubkey=pending.ephemeral_key.public_key.to_bytes(),
+            nonce=frame.nonce,
+        ))
+        record = self.tracker.get(frame.nonce)
+        if record is not None and record.t_epk_sent is None:
+            # The paper's clock starts at "the first message from the
+            # gateway": the start of the ePk downlink.
+            record.t_epk_sent = transmission.start
+
+    def _forward(self, frame: DataFrame):
+        """Steps 6-7: resolve ``@R`` on-chain, push the data over TCP/IP."""
+        record = self.tracker.get(frame.nonce)
+        if record is not None:
+            record.t_data_received = self.sim.now
+        pending = self._ephemeral.get(frame.nonce)
+        if pending is None:
+            if record is not None:
+                record.status = "failed"
+                record.failure_reason = "gateway lost ephemeral key state"
+            return
+        yield self.sim.timeout(self.cost_model.sample(
+            self.cost_model.gateway_frame_handling, self.rng,
+        ))
+        announcement = yield self.daemon.lookup(
+            lambda: self.directory.lookup(frame.recipient_address)
+        )
+        if announcement is None:
+            if record is not None:
+                record.status = "failed"
+                record.failure_reason = (
+                    f"no directory entry for {frame.recipient_address}"
+                )
+            self._ephemeral.pop(frame.nonce, None)
+            return
+        pending.recipient_endpoint = announcement.endpoint
+        pending.quoted_price = self.pricing.quote(
+            frame.recipient_address, self.daemon.queue_length,
+        )
+        self.deliveries_forwarded += 1
+        self.wan.send(self.name, announcement.endpoint, DeliveryMessage(
+            delivery_id=frame.nonce,
+            encrypted_message=frame.encrypted_message,
+            ephemeral_pubkey=pending.ephemeral_key.public_key.to_bytes(),
+            signature=frame.signature,
+            node_id=frame.sender,
+            gateway_pubkey_hash=self.wallet.pubkey_hash,
+            price=pending.quoted_price,
+        ))
+
+    # -- blockchain side ----------------------------------------------------------
+
+    def _on_ack(self, envelope: Envelope) -> None:
+        ack = envelope.payload
+        if not isinstance(ack, DeliveryAck):
+            return
+        record = self.tracker.get(ack.delivery_id)
+        if not ack.accepted:
+            self._ephemeral.pop(ack.delivery_id, None)
+            if record is not None:
+                record.status = "failed"
+                record.failure_reason = f"recipient refused: {ack.reason}"
+            return
+        pending = self._ephemeral.get(ack.delivery_id)
+        if pending is None:
+            return
+        pending.offer_txid = ack.offer_txid
+        self._awaiting_offer[ack.offer_txid] = ack.delivery_id
+        # The offer may have reached our mempool before the ack did.
+        if (ack.offer_txid in self.daemon.node.mempool
+                or self.daemon.node.chain.confirmations(ack.offer_txid)):
+            self._begin_claim(ack.offer_txid)
+
+    def _on_transaction(self, tx) -> None:
+        if tx.txid in self._awaiting_offer:
+            self._begin_claim(tx.txid)
+
+    def _begin_claim(self, offer_txid: bytes) -> None:
+        exchange_id = self._awaiting_offer.pop(offer_txid, None)
+        if exchange_id is None:
+            return
+        self.sim.process(self._claim(offer_txid, exchange_id))
+
+    def _claim(self, offer_txid: bytes, exchange_id: int):
+        """Step 10: audit the offer, then spend it, revealing ``eSk``."""
+        pending = self._ephemeral.pop(exchange_id, None)
+        record = self.tracker.get(exchange_id)
+        if pending is None:
+            return
+        offer_tx = self.daemon.node.mempool.get(offer_txid)
+        if offer_tx is None:
+            found = self.daemon.node.chain.find_transaction(offer_txid)
+            if found is None:
+                if record is not None:
+                    record.status = "failed"
+                    record.failure_reason = "offer transaction vanished"
+                return
+            offer_tx = found[0]
+
+        if self.wait_for_confirmation:
+            # Section 6's safe variant: poll until the offer is buried.
+            while not self.daemon.node.chain.confirmations(offer_txid):
+                yield self.sim.timeout(1.0)
+
+        # Audit the offer before revealing anything.
+        offer = self._audit_offer(offer_tx, pending)
+        if offer is None:
+            if record is not None:
+                record.status = "failed"
+                record.failure_reason = "offer failed gateway audit"
+            return
+
+        claim_tx = yield self.daemon.rpc(
+            lambda: self.wallet.claim_key_release(
+                offer, pending.ephemeral_key.to_bytes(), fee=self.claim_fee,
+            )
+        )
+        accepted = yield self.daemon.call(
+            self.cost_model.daemon_tx_process,
+            lambda: self.daemon.gossip.broadcast_transaction(claim_tx),
+        )
+        if accepted:
+            self.claims_made += 1
+            self.rewards_claimed += offer.amount - self.claim_fee
+
+    def _audit_offer(self, offer_tx, pending: _PendingDelivery
+                     ) -> Optional[KeyReleaseOffer]:
+        """Check the recipient's transaction actually pays us as agreed."""
+        expected_rsa = pending.ephemeral_key.public_key.to_bytes()
+        for index, output in enumerate(offer_tx.outputs):
+            parsed = parse_ephemeral_key_release(output.script_pubkey)
+            if parsed is None:
+                continue
+            rsa_pubkey, gateway_hash, buyer_hash, locktime = parsed
+            if rsa_pubkey != expected_rsa:
+                continue
+            if gateway_hash != self.wallet.pubkey_hash:
+                continue
+            if output.value < pending.quoted_price:
+                continue
+            return KeyReleaseOffer(
+                transaction=offer_tx,
+                output_index=index,
+                rsa_pubkey=rsa_pubkey,
+                gateway_pubkey_hash=gateway_hash,
+                buyer_pubkey_hash=buyer_hash,
+                refund_locktime=locktime,
+            )
+        return None

@@ -1,0 +1,138 @@
+"""BcWAN payload construction — the crypto pipeline of Fig. 3 / Fig. 4.
+
+The node-side pipeline (steps 3-4 of the paper's sequence):
+
+1. AES-256-CBC encrypt the plaintext with the provisioned symmetric key
+   ``K``; bundle as Fig. 4's 34-byte layout: ``len | IV | len | ciphertext``;
+2. wrap the bundle with the gateway's *ephemeral* RSA-512 public key
+   ``ePk`` → the 64-byte ``Em``;
+3. RSA-512-sign ``Em || ePk`` with the node's secret key ``Ska`` → the
+   64-byte ``Sig``.
+
+The recipient runs the pipeline backwards once the gateway's claim
+transaction reveals ``eSk`` on-chain.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto import modes, rsa
+from repro.errors import ProtocolError
+
+__all__ = [
+    "SealedBundle",
+    "encode_bundle",
+    "decode_bundle",
+    "seal_message",
+    "open_message",
+    "sign_payload",
+    "verify_payload",
+    "BUNDLE_SIZE",
+    "MAX_PLAINTEXT",
+]
+
+# Fig. 4: 1-byte length + 16-byte IV + 1-byte length + 16-byte ciphertext.
+BUNDLE_SIZE = 1 + 16 + 1 + 16
+# One AES block of PKCS#7-padded plaintext (the paper assumes sensor
+# readings under 16 bytes, so one ciphertext block).
+MAX_PLAINTEXT = 15
+
+
+@dataclass(frozen=True)
+class SealedBundle:
+    """The Fig. 4 AES bundle before RSA wrapping."""
+
+    iv: bytes
+    ciphertext: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.iv) != 16:
+            raise ProtocolError(f"IV must be 16 bytes, got {len(self.iv)}")
+        if len(self.ciphertext) != 16:
+            raise ProtocolError(
+                f"bundle ciphertext must be one AES block, "
+                f"got {len(self.ciphertext)} bytes"
+            )
+
+
+def encode_bundle(bundle: SealedBundle) -> bytes:
+    """Serialize to the 34-byte Fig. 4 layout."""
+    return (
+        bytes([len(bundle.iv)]) + bundle.iv
+        + bytes([len(bundle.ciphertext)]) + bundle.ciphertext
+    )
+
+
+def decode_bundle(data: bytes) -> SealedBundle:
+    """Parse the 34-byte Fig. 4 layout."""
+    if len(data) != BUNDLE_SIZE:
+        raise ProtocolError(
+            f"bundle must be {BUNDLE_SIZE} bytes, got {len(data)}"
+        )
+    iv_len = data[0]
+    if iv_len != 16:
+        raise ProtocolError(f"unexpected IV length: {iv_len}")
+    iv = data[1:17]
+    ct_len = data[17]
+    if ct_len != 16:
+        raise ProtocolError(f"unexpected ciphertext length: {ct_len}")
+    return SealedBundle(iv=iv, ciphertext=data[18:34])
+
+
+def seal_message(plaintext: bytes, symmetric_key: bytes,
+                 ephemeral_pubkey: rsa.RSAPublicKey,
+                 rng: Optional[random.Random] = None) -> bytes:
+    """Node steps 3 of Fig. 3: double-encrypt ``plaintext`` → ``Em``.
+
+    AES-256-CBC with ``symmetric_key`` first, then an RSA-512 wrap of the
+    34-byte bundle with the gateway's ephemeral key.  Returns the 64-byte
+    ``Em``.
+    """
+    if len(symmetric_key) != 32:
+        raise ProtocolError(
+            f"symmetric key must be 32 bytes (AES-256), got {len(symmetric_key)}"
+        )
+    if len(plaintext) > MAX_PLAINTEXT:
+        raise ProtocolError(
+            f"plaintext too long: {len(plaintext)} > {MAX_PLAINTEXT} bytes "
+            f"(the Fig. 4 format carries one AES block)"
+        )
+    iv, ciphertext = modes.encrypt_cbc(symmetric_key, plaintext, rng=rng)
+    bundle = SealedBundle(iv=iv, ciphertext=ciphertext)
+    return ephemeral_pubkey.encrypt(encode_bundle(bundle), rng=rng)
+
+
+def open_message(encrypted_message: bytes, symmetric_key: bytes,
+                 ephemeral_privkey: rsa.RSAPrivateKey) -> bytes:
+    """Recipient's final step: unwrap with ``eSk``, then AES-decrypt with ``K``."""
+    try:
+        bundle_bytes = ephemeral_privkey.decrypt(encrypted_message)
+    except rsa.RSAError as exc:
+        raise ProtocolError(f"RSA unwrap failed: {exc}") from exc
+    bundle = decode_bundle(bundle_bytes)
+    try:
+        return modes.decrypt_cbc(symmetric_key, bundle.iv, bundle.ciphertext)
+    except (modes.PaddingError, ValueError) as exc:
+        raise ProtocolError(f"AES decryption failed: {exc}") from exc
+
+
+def sign_payload(encrypted_message: bytes, ephemeral_pubkey_bytes: bytes,
+                 node_secret_key: rsa.RSAPrivateKey) -> bytes:
+    """Node step 4: sign ``Em || ePk`` with the provisioned secret key.
+
+    Binding ``ePk`` into the signature proves to the recipient that the
+    wrapped key is the genuine ephemeral key the gateway supplied — not
+    one substituted by an attacker (paper section 5.1).
+    """
+    return node_secret_key.sign(encrypted_message + ephemeral_pubkey_bytes)
+
+
+def verify_payload(encrypted_message: bytes, ephemeral_pubkey_bytes: bytes,
+                   signature: bytes, node_public_key: rsa.RSAPublicKey) -> bool:
+    """Recipient step 8: authenticate ``(Em, ePk)`` against the node's key."""
+    return node_public_key.verify(
+        encrypted_message + ephemeral_pubkey_bytes, signature
+    )

@@ -1,0 +1,106 @@
+"""Per-exchange instrumentation.
+
+An :class:`ExchangeRecord` tracks one Fig. 3 exchange through every leg;
+the :class:`ExchangeTracker` is the shared registry agents stamp as the
+protocol progresses.  The paper's headline metric is
+``t_decrypted - t_epk_sent`` — "from the first message from the gateway to
+the decryption of the message by the recipient" (section 5.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.trace import Summary
+
+__all__ = ["ExchangeRecord", "ExchangeTracker"]
+
+
+@dataclass
+class ExchangeRecord:
+    """Timestamps (simulation seconds) for one exchange; None = not reached."""
+
+    exchange_id: int
+    node_id: str
+    gateway: str = ""
+    recipient: str = ""
+    plaintext: bytes = b""
+
+    t_request: Optional[float] = None        # node uplinks the key request
+    t_keygen_done: Optional[float] = None    # gateway has the ephemeral pair
+    t_epk_sent: Optional[float] = None       # gateway starts the ePk downlink
+    t_epk_received: Optional[float] = None   # node has ePk
+    t_data_sent: Optional[float] = None      # node finishes the data uplink
+    t_data_received: Optional[float] = None  # gateway has (Em, Sig, @R)
+    t_delivered: Optional[float] = None      # recipient got the TCP delivery
+    t_offer_sent: Optional[float] = None     # offer tx broadcast (step 9)
+    t_claim_seen: Optional[float] = None     # recipient saw the claim tx
+    t_decrypted: Optional[float] = None      # plaintext recovered (end)
+
+    status: str = "pending"                  # pending/completed/failed
+    failure_reason: str = ""
+    price: int = 0
+    decrypted: bytes = b""
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "completed"
+
+    @property
+    def latency(self) -> Optional[float]:
+        """The paper's metric: first gateway message → recipient decryption."""
+        if self.t_epk_sent is None or self.t_decrypted is None:
+            return None
+        return self.t_decrypted - self.t_epk_sent
+
+    @property
+    def radio_time(self) -> Optional[float]:
+        if self.t_epk_sent is None or self.t_data_received is None:
+            return None
+        return self.t_data_received - self.t_epk_sent
+
+    @property
+    def settlement_time(self) -> Optional[float]:
+        """Delivery → decryption: the blockchain fair-exchange leg."""
+        if self.t_delivered is None or self.t_decrypted is None:
+            return None
+        return self.t_decrypted - self.t_delivered
+
+
+class ExchangeTracker:
+    """Registry of all exchanges in a run."""
+
+    def __init__(self) -> None:
+        self._records: dict[int, ExchangeRecord] = {}
+        self._ids = itertools.count(1)
+
+    def new_exchange(self, node_id: str, plaintext: bytes) -> ExchangeRecord:
+        record = ExchangeRecord(
+            exchange_id=next(self._ids), node_id=node_id, plaintext=plaintext,
+        )
+        self._records[record.exchange_id] = record
+        return record
+
+    def get(self, exchange_id: int) -> Optional[ExchangeRecord]:
+        return self._records.get(exchange_id)
+
+    def records(self) -> list[ExchangeRecord]:
+        return list(self._records.values())
+
+    def completed(self) -> list[ExchangeRecord]:
+        return [r for r in self._records.values() if r.completed]
+
+    def failed(self) -> list[ExchangeRecord]:
+        return [r for r in self._records.values() if r.status == "failed"]
+
+    def latencies(self) -> list[float]:
+        return [r.latency for r in self.completed() if r.latency is not None]
+
+    def latency_summary(self) -> Summary:
+        return Summary.of(self.latencies())
+
+    def completion_rate(self) -> float:
+        total = len(self._records)
+        return len(self.completed()) / total if total else 0.0

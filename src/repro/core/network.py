@@ -1,0 +1,520 @@
+"""Full BcWAN deployment assembly — the paper's testbed in one object.
+
+:class:`BcWANNetwork` builds the complete system from a
+:class:`~repro.core.config.NetworkConfig`:
+
+* a master node (the paper's AWS EC2 instance) that bootstraps the chain,
+  funds every actor, and mines on the configured interval — mining is
+  disabled everywhere else, exactly like the PoC;
+* one *site* per gateway (the PlanetLab nodes), each running a full node,
+  a BcWAN daemon, a wallet, a directory view, a LoRa gateway radio, a
+  :class:`GatewayAgent` and a :class:`RecipientAgent`;
+* sensors provisioned to their home actor but deployed in a *foreign*
+  gateway's radio cell (the roaming scenario BcWAN exists for);
+* a PlanetLab-like WAN between all sites.
+
+``run(num_exchanges=2000)`` drives the workload of section 5.2 and
+returns a :class:`RunReport` with the latency distribution of Fig. 5/6.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.blockchain.miner import Miner
+from repro.blockchain.node import FullNode
+from repro.blockchain.wallet import Wallet
+from repro.core.config import NetworkConfig
+from repro.core.daemon import BlockchainDaemon, DaemonStats
+from repro.core.directory import DirectoryView, build_announcement_payload
+from repro.core.gateway_agent import GatewayAgent
+from repro.core.metrics import ExchangeTracker
+from repro.core.node_agent import NodeAgent
+from repro.core.provisioning import RecipientRegistry, provision_device
+from repro.core.recipient import RecipientAgent
+from repro.crypto.keys import KeyPair
+from repro.errors import ConfigurationError
+from repro.lora.channel import Position, RadioChannel
+from repro.lora.device import EU868_DOWNLINK_CHANNEL, LoRaRadio
+from repro.lora.phy import LoRaModulation
+from repro.p2p.network import WANetwork
+from repro.sim.core import Simulator
+from repro.sim.latency import PlanetLabLatencyMatrix
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Summary, histogram
+
+__all__ = ["BcWANNetwork", "Site", "RunReport"]
+
+
+@dataclass
+class Site:
+    """Everything running at one gateway site (one actor)."""
+
+    index: int
+    name: str
+    node: FullNode
+    daemon: BlockchainDaemon
+    wallet: Wallet
+    directory: DirectoryView
+    channel: RadioChannel
+    gateway: GatewayAgent
+    recipient: RecipientAgent
+    registry: RecipientRegistry
+
+
+@dataclass
+class RunReport:
+    """Results of one workload run."""
+
+    exchanges_launched: int
+    completed: int
+    failed: int
+    pending: int
+    duration: float
+    chain_height: int
+    latencies: list[float]
+    gateway_rewards: dict[str, int]
+    recipient_spend: dict[str, int]
+    daemon_stats: dict[str, DaemonStats]
+    frames_lost_collision: int
+    frames_lost_sensitivity: int
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            raise ValueError("no completed exchanges")
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def summary(self) -> Summary:
+        return Summary.of(self.latencies)
+
+    def latency_histogram(self, bins: int = 20):
+        return histogram(self.latencies, bins=bins)
+
+    def format(self) -> str:
+        lines = [
+            f"exchanges: {self.exchanges_launched} launched, "
+            f"{self.completed} completed, {self.failed} failed, "
+            f"{self.pending} pending",
+            f"simulated duration: {self.duration:.1f} s, "
+            f"chain height: {self.chain_height}",
+        ]
+        if self.latencies:
+            lines.append(f"latency: {self.summary.format()}")
+        return "\n".join(lines)
+
+
+class BcWANNetwork:
+    """A fully-assembled BcWAN federation."""
+
+    def __init__(self, config: Optional[NetworkConfig] = None) -> None:
+        self.config = config or NetworkConfig()
+        self.rngs = RngRegistry(self.config.seed)
+        self.sim = Simulator()
+        self.tracker = ExchangeTracker()
+        self.sites: list[Site] = []
+        self.sensors: list[NodeAgent] = []
+        self._exchanges_launched = 0
+        self._build()
+
+    # -- construction -----------------------------------------------------------
+
+    def _build(self) -> None:
+        cfg = self.config
+        params = cfg.chain_params()
+
+        # Master (the AWS EC2 instance): bootstraps and mines.
+        # Script re-verification on block connect is disabled on every
+        # node for CPU economy — scripts are fully verified at mempool
+        # admission on all six nodes; the *timing* of Fig. 6's block
+        # verification is modeled by the daemon stall.
+        master_node = FullNode(params, "master", verify_scripts=False)
+        master_key = KeyPair.generate(self.rngs.stream("master-key"))
+        self.master_wallet = Wallet(master_node.chain, master_key)
+        self.master_wallet.watch_chain()
+        self.miner = Miner(chain=master_node.chain, mempool=master_node.mempool,
+                           reward_pubkey_hash=self.master_wallet.pubkey_hash)
+
+        actor_keys = [
+            KeyPair.generate(self.rngs.stream(f"actor-key-{i}"))
+            for i in range(cfg.num_gateways)
+        ]
+        self._bootstrap_chain(master_node, actor_keys)
+
+        # WAN: sites + master on a PlanetLab-like latency matrix.
+        hosts = cfg.site_names + ["master"]
+        latency = PlanetLabLatencyMatrix(
+            hosts, seed=cfg.seed ^ 0x5EED,
+            median_range=cfg.wan_median_range, sigma=cfg.wan_sigma,
+        )
+        self.wan = WANetwork(self.sim, self.rngs.stream("wan"), latency,
+                             loss_rate=cfg.wan_loss_rate)
+
+        self.master_daemon = BlockchainDaemon(
+            self.sim, "master", self.wan, master_node, cfg.cost_model,
+            self.rngs.stream("daemon-master"), verify_blocks=False,
+        )
+
+        modulation = LoRaModulation(spreading_factor=cfg.spreading_factor)
+        registries = [RecipientRegistry() for _ in range(cfg.num_gateways)]
+
+        for i, name in enumerate(cfg.site_names):
+            node = FullNode(params, name, verify_scripts=False)
+            self._replay_chain(master_node, node)
+            daemon = BlockchainDaemon(
+                self.sim, name, self.wan, node, cfg.cost_model,
+                self.rngs.stream(f"daemon-{name}"),
+                verify_blocks=cfg.verify_blocks,
+            )
+            wallet = Wallet(node.chain, actor_keys[i])
+            wallet.watch_chain()
+            directory = DirectoryView(node.chain)
+            directory.follow()
+            channel = RadioChannel(self.sim, self.rngs.stream(f"radio-{name}"))
+            gateway_radio = LoRaRadio(
+                f"gw-{i}", channel, position=Position(0.0, 0.0),
+                modulation=modulation, duty_cycle=cfg.gateway_duty_cycle,
+                frequencies=(EU868_DOWNLINK_CHANNEL,), power_dbm=27.0,
+            )
+            gateway = GatewayAgent(
+                self.sim, name, gateway_radio, daemon, wallet, directory,
+                self.wan, cfg.cost_model, self.tracker,
+                self.rngs.stream(f"gateway-{name}"), price=cfg.price,
+                wait_for_confirmation=cfg.wait_for_confirmation,
+                rsa_bits=cfg.rsa_bits,
+                class_a=cfg.class_a_windows,
+            )
+            recipient = RecipientAgent(
+                self.sim, name, daemon, wallet, registries[i], self.wan,
+                cfg.cost_model, self.tracker,
+                self.rngs.stream(f"recipient-{name}"),
+                offer_fee=cfg.offer_fee,
+            )
+            self.sites.append(Site(
+                index=i, name=name, node=node, daemon=daemon, wallet=wallet,
+                directory=directory, channel=channel, gateway=gateway,
+                recipient=recipient, registry=registries[i],
+            ))
+
+        # Full-mesh gossip.
+        daemons = [self.master_daemon] + [site.daemon for site in self.sites]
+        for daemon in daemons:
+            for other in daemons:
+                if other is not daemon:
+                    daemon.gossip.connect(other.name)
+
+        self._deploy_sensors(modulation)
+        self._funding_baseline = {
+            site.name: site.wallet.balance for site in self.sites
+        }
+        if cfg.consensus == "pos":
+            self._setup_pos()
+        else:
+            self.sim.process(self._mining_loop())
+        if cfg.reclaim_interval > 0:
+            for site in self.sites:
+                self.sim.process(self._reclaim_loop(site))
+        if cfg.sync_interval > 0:
+            from repro.p2p.sync import SyncAgent
+            self.sync_agents = [
+                SyncAgent(self.sim, daemon, interval=cfg.sync_interval)
+                for daemon in [self.master_daemon]
+                + [site.daemon for site in self.sites]
+            ]
+
+    def _bootstrap_chain(self, master_node: FullNode,
+                         actor_keys: list[KeyPair]) -> None:
+        """Mine the genesis era: maturity, funding, IP announcements."""
+        cfg = self.config
+        # One mature coinbase per funding transaction, plus headroom.
+        for _ in range(cfg.num_gateways + cfg.coinbase_maturity + 1):
+            self.miner.mine_and_connect(0.0)
+        for key in actor_keys:
+            funding = self.master_wallet.create_fanout(
+                key.pubkey_hash, cfg.funding_coin_value, cfg.funding_coins,
+            )
+            decision = master_node.submit_transaction(funding)
+            if not decision.accepted:
+                raise ConfigurationError(
+                    f"bootstrap funding rejected: {decision.reason}"
+                )
+        self._mine_until_mempool_empty(master_node)
+        # Every recipient announces its endpoint on-chain before t=0, the
+        # "each recipient ... must create a blockchain transaction
+        # containing the information relative to its IP address" step.
+        for i, key in enumerate(actor_keys):
+            scratch = Wallet(master_node.chain, key)
+            scratch.refresh_from_utxo_set()
+            payload = build_announcement_payload(key, cfg.site_names[i])
+            announcement = scratch.create_announcement(payload)
+            decision = master_node.submit_transaction(announcement)
+            if not decision.accepted:
+                raise ConfigurationError(
+                    f"bootstrap announcement rejected: {decision.reason}"
+                )
+        self._mine_until_mempool_empty(master_node)
+
+    def _mine_until_mempool_empty(self, master_node: FullNode) -> None:
+        """Mine bootstrap blocks until every pending tx confirms.
+
+        With small ``max_block_size`` values a single block cannot carry
+        all the funding fan-outs, so the bootstrap keeps mining.
+        """
+        self.miner.mine_and_connect(0.0)
+        guard = 0
+        while len(master_node.mempool):
+            self.miner.mine_and_connect(0.0)
+            guard += 1
+            if guard > 10_000:
+                raise ConfigurationError(
+                    "bootstrap transactions never fit a block; "
+                    "max_block_size is too small"
+                )
+
+    @staticmethod
+    def _replay_chain(source: FullNode, target: FullNode) -> None:
+        """Initial block download: copy the bootstrap chain to a new node."""
+        for _height, block in source.chain.iter_active_blocks(start_height=1):
+            target.chain.add_block(block)
+
+    def _deploy_sensors(self, modulation: LoRaModulation) -> None:
+        """Provision and place every end device in a foreign cell."""
+        cfg = self.config
+        placement_rng = self.rngs.stream("placement")
+        for i in range(cfg.num_gateways):
+            home = self.sites[i]
+            host_site = self.sites[(i + cfg.roaming_offset) % cfg.num_gateways]
+            for j in range(cfg.sensors_per_gateway):
+                device_id = f"dev-{i}-{j}"
+                credentials = provision_device(
+                    device_id, home.recipient.address, home.registry,
+                    rng=self.rngs.stream(f"provision-{device_id}"),
+                    rsa_bits=cfg.rsa_bits,
+                )
+                angle = placement_rng.uniform(0, 2 * math.pi)
+                radius = cfg.cell_radius * math.sqrt(placement_rng.random())
+                position = Position(radius * math.cos(angle),
+                                    radius * math.sin(angle))
+                if cfg.adaptive_data_rate:
+                    from repro.lora.adr import select_spreading_factor
+                    device_modulation = LoRaModulation(
+                        spreading_factor=select_spreading_factor(
+                            position.distance_to(Position(0.0, 0.0)),
+                            host_site.channel.path_loss,
+                        )
+                    )
+                else:
+                    device_modulation = modulation
+                radio = LoRaRadio(
+                    device_id, host_site.channel, position=position,
+                    modulation=device_modulation, duty_cycle=cfg.duty_cycle,
+                )
+                self.sensors.append(NodeAgent(
+                    self.sim, credentials, radio, cfg.cost_model,
+                    self.tracker, self.rngs.stream(f"node-{device_id}"),
+                    key_response_timeout=cfg.key_response_timeout,
+                    class_a=cfg.class_a_windows,
+                ))
+
+    def _mining_loop(self):
+        """The master mines every ``block_interval`` seconds, forever."""
+        while True:
+            yield self.sim.timeout(self.config.block_interval)
+            block = yield self.master_daemon.rpc(
+                lambda: self.miner.mine_and_connect(self.sim.now)
+            )
+            self.master_daemon.gossip.broadcast_block(block)
+
+    # -- proof-of-stake mode (§6 future work) -----------------------------------
+
+    def _setup_pos(self) -> None:
+        """Gateway sites produce blocks via a stake-weighted slot lottery.
+
+        Consensus rule enforced by every daemon: a block's coinbase must
+        pay its slot's elected leader.  Bootstrap-era blocks (timestamp 0,
+        mined by the master before the network went live) are exempt.
+        """
+        from repro.blockchain.pos import PoSProducer, StakeRegistry, slot_of
+
+        registry = StakeRegistry(
+            epoch_seed=f"bcwan-pos-{self.config.seed}".encode("utf-8"),
+            slot_duration=self.config.block_interval,
+        )
+        leader_reward_hash: dict[str, bytes] = {}
+        for site in self.sites:
+            registry.register(site.name, site.wallet.keypair.public_key,
+                              stake=100)
+            leader_reward_hash[site.name] = site.wallet.pubkey_hash
+        self.stake_registry = registry
+
+        def pos_block_valid(block) -> bool:
+            if block.header.timestamp <= 0.0:
+                return True  # bootstrap era
+            leader = registry.leader_for_slot(
+                slot_of(block.header.timestamp, registry.slot_duration)
+            )
+            expected = leader_reward_hash[leader]
+            coinbase_script = block.coinbase.outputs[0].script_pubkey
+            elements = coinbase_script.elements
+            return (len(elements) == 5 and isinstance(elements[2], bytes)
+                    and elements[2] == expected)
+
+        daemons = [self.master_daemon] + [site.daemon for site in self.sites]
+        for daemon in daemons:
+            daemon.block_validator = pos_block_valid
+
+        self.pos_producers = []
+        for site in self.sites:
+            producer = PoSProducer(
+                name=site.name,
+                registry=registry,
+                chain=site.node.chain,
+                mempool=site.node.mempool,
+                private_key=site.wallet.keypair.private_key,
+                reward_pubkey_hash=site.wallet.pubkey_hash,
+            )
+            self.pos_producers.append(producer)
+            self.sim.process(self._pos_production_loop(site, producer))
+
+    def _pos_production_loop(self, site: Site, producer):
+        """Wake at each slot boundary; produce when this site leads.
+
+        Production goes through the site's own daemon, so a stalled
+        gateway daemon delays its own blocks — the edge-node cost §6
+        wants PoS to reduce, observable in the consensus ablation.
+        """
+        duration = self.config.block_interval
+        while True:
+            slot_index = int(self.sim.now // duration) + 1
+            yield self.sim.timeout(slot_index * duration - self.sim.now + 0.05)
+            if not producer.is_leader(self.sim.now):
+                continue
+            produced = yield site.daemon.rpc(
+                lambda: producer.try_produce(self.sim.now)
+            )
+            if produced is not None:
+                block, _signature = produced
+                site.daemon.gossip.broadcast_block(block)
+
+    def _reclaim_loop(self, site: Site):
+        """Periodic sweep of expired, unclaimed key-release offers."""
+        while True:
+            yield self.sim.timeout(self.config.reclaim_interval)
+            yield site.recipient.reclaim_expired()
+
+    # -- failure injection --------------------------------------------------------
+
+    def fail_gateway_radio(self, site_index: int) -> None:
+        """The gateway's LoRa module dies: no more key responses.
+
+        Sensors in its cell retry and give up; their exchanges fail
+        without any money moving.
+        """
+        site = self.sites[site_index]
+        site.channel.remove_listener(site.gateway.radio.name)
+
+    def fail_gateway_claims(self, site_index: int) -> None:
+        """The gateway's blockchain module dies after delivery.
+
+        Deliveries keep flowing, recipients keep locking offers, but no
+        claim ever appears — the scenario the Listing-1 refund branch
+        (and ``reclaim_interval``) exists for.
+        """
+        site = self.sites[site_index]
+        site.gateway._begin_claim = lambda offer_txid: None
+
+    # -- workload ------------------------------------------------------------------
+
+    def _sensor_loop(self, agent: NodeAgent, budget_check):
+        cfg = self.config
+        rng = self.rngs.stream(f"workload-{agent.device_id}")
+        yield self.sim.timeout(rng.uniform(0, cfg.exchange_interval))
+        while budget_check():
+            self._exchanges_launched += 1
+            sequence = self._exchanges_launched
+            reading = f"{sequence:08d}{agent.device_id[-4:]}".encode()[:cfg.payload_bytes]
+            agent.start_exchange(reading)
+            yield self.sim.timeout(rng.expovariate(1.0 / cfg.exchange_interval))
+
+    def run(self, num_exchanges: int = 100,
+            max_duration: Optional[float] = None) -> RunReport:
+        """Drive the workload until ``num_exchanges`` exchanges settle.
+
+        ``max_duration`` (simulated seconds) caps runaway runs; it defaults
+        to a generous multiple of the expected workload duration.
+        """
+        cfg = self.config
+        if max_duration is None:
+            expected = (num_exchanges / max(cfg.total_sensors, 1)
+                        * cfg.exchange_interval)
+            max_duration = max(600.0, expected * 6 + 300.0)
+
+        def budget_check() -> bool:
+            return self._exchanges_launched < num_exchanges
+
+        for agent in self.sensors:
+            self.sim.process(self._sensor_loop(agent, budget_check))
+
+        check_interval = max(cfg.block_interval, 5.0)
+        settle_grace = max(120.0, 4 * cfg.block_interval)
+        last_progress_time = 0.0
+        last_terminal = -1
+        while self.sim.now < max_duration:
+            self.sim.run(until=self.sim.now + check_interval)
+            records = self.tracker.records()
+            terminal = sum(1 for r in records if r.status != "pending")
+            if terminal != last_terminal:
+                last_terminal = terminal
+                last_progress_time = self.sim.now
+            if self._exchanges_launched >= num_exchanges:
+                if records and terminal >= len(records):
+                    break
+                # Lost radio frames leave exchanges dangling (BcWAN has no
+                # link-layer ack for the data uplink); give up on them
+                # once nothing has settled for a grace period.
+                if self.sim.now - last_progress_time > settle_grace:
+                    for record in records:
+                        if record.status == "pending":
+                            record.status = "failed"
+                            record.failure_reason = (
+                                "unresolved at run end (frame lost?)"
+                            )
+                    break
+        return self.report()
+
+    def report(self) -> RunReport:
+        records = self.tracker.records()
+        completed = [r for r in records if r.completed]
+        failed = [r for r in records if r.status == "failed"]
+        rewards = {
+            site.name: site.gateway.rewards_claimed for site in self.sites
+        }
+        spend = {
+            site.name: site.recipient.payments_made * self.config.price
+            for site in self.sites
+        }
+        return RunReport(
+            exchanges_launched=self._exchanges_launched,
+            completed=len(completed),
+            failed=len(failed),
+            pending=len(records) - len(completed) - len(failed),
+            duration=self.sim.now,
+            chain_height=self.master_daemon.node.height,
+            latencies=self.tracker.latencies(),
+            gateway_rewards=rewards,
+            recipient_spend=spend,
+            daemon_stats={
+                name: daemon.stats for name, daemon in
+                [("master", self.master_daemon)]
+                + [(site.name, site.daemon) for site in self.sites]
+            },
+            frames_lost_collision=sum(
+                site.channel.frames_lost_collision for site in self.sites
+            ),
+            frames_lost_sensitivity=sum(
+                site.channel.frames_lost_sensitivity for site in self.sites
+            ),
+        )

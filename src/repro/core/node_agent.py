@@ -1,0 +1,154 @@
+"""The sensor-side protocol agent (the *node* of Fig. 3).
+
+One exchange, from the node's perspective:
+
+1. uplink a :class:`KeyRequestFrame`;
+2. wait for the gateway's :class:`KeyResponseFrame` carrying ``ePk``
+   (retrying after a timeout — LoRa frames do get lost);
+3. AES-encrypt the reading with ``K``, wrap with ``ePk`` → ``Em``, and
+   RSA-sign ``(Em, ePk)`` with ``Ska`` — charged at the cost model's
+   STM32-class timings;
+4. uplink the :class:`DataFrame` with ``Em``, ``Sig`` and ``@R``.
+
+Everything after that is between the gateway, the recipient, and the
+chain; the node goes back to sleep.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.costmodel import CostModel
+from repro.core.messages import seal_message, sign_payload
+from repro.core.metrics import ExchangeRecord, ExchangeTracker
+from repro.core.provisioning import DeviceCredentials
+from repro.crypto import rsa
+from repro.lora.class_a import ClassAWindows
+from repro.lora.device import LoRaRadio
+from repro.lora.frames import DataFrame, KeyRequestFrame, KeyResponseFrame
+from repro.sim.core import Simulator
+
+__all__ = ["NodeAgent"]
+
+
+class NodeAgent:
+    """Protocol logic for one end device."""
+
+    def __init__(self, sim: Simulator, credentials: DeviceCredentials,
+                 radio: LoRaRadio, cost_model: CostModel,
+                 tracker: ExchangeTracker, rng: random.Random,
+                 key_response_timeout: float = 12.0,
+                 max_attempts: int = 3,
+                 class_a: bool = False) -> None:
+        self.sim = sim
+        self.credentials = credentials
+        self.radio = radio
+        self.cost_model = cost_model
+        self.tracker = tracker
+        self.rng = rng
+        self.key_response_timeout = key_response_timeout
+        self.max_attempts = max_attempts
+        # Class-A discipline: the radio sleeps outside the RX1/RX2
+        # windows that follow each of our own uplinks.
+        self.windows = ClassAWindows() if class_a else None
+        self.downlinks_missed_window = 0
+        self.exchanges_started = 0
+        self._pending_keys: dict[int, object] = {}  # exchange id -> Event
+        radio.on_receive(self._on_frame)
+
+    @property
+    def device_id(self) -> str:
+        return self.credentials.device_id
+
+    def _on_frame(self, frame, rssi: float) -> None:
+        if not isinstance(frame, KeyResponseFrame):
+            return
+        if frame.target != self.device_id:
+            return
+        if self.windows is not None:
+            start = self.sim.now - self.radio.time_on_air(frame)
+            if not self.windows.accepts_downlink_start(start):
+                # Radio asleep: the downlink fell outside RX1/RX2.
+                self.downlinks_missed_window += 1
+                return
+        event = self._pending_keys.pop(frame.nonce, None)
+        if event is not None and not event.triggered:
+            event.succeed(frame)
+
+    def start_exchange(self, plaintext: bytes):
+        """Spawn the exchange as a process; returns the process event.
+
+        The process result is the :class:`ExchangeRecord` (whose ``status``
+        tells whether the node-side protocol completed).
+        """
+        return self.sim.process(self.exchange(plaintext))
+
+    def exchange(self, plaintext: bytes):
+        """Generator implementing one node-side exchange."""
+        record = self.tracker.new_exchange(self.device_id, plaintext)
+        self.exchanges_started += 1
+
+        response: Optional[KeyResponseFrame] = None
+        for _attempt in range(self.max_attempts):
+            waiter = self.sim.event()
+            self._pending_keys[record.exchange_id] = waiter
+            record.t_request = self.sim.now
+            request_tx = yield from self.radio.send(
+                KeyRequestFrame(sender=self.device_id,
+                                nonce=record.exchange_id)
+            )
+            if self.windows is not None:
+                self.windows.note_uplink_end(request_tx.end)
+            outcome = yield self.sim.any_of(
+                [waiter, self.sim.timeout(self.key_response_timeout)]
+            )
+            if isinstance(outcome, KeyResponseFrame):
+                response = outcome
+                break
+            self._pending_keys.pop(record.exchange_id, None)
+        if response is None:
+            record.status = "failed"
+            record.failure_reason = "no ePk response from gateway"
+            return record
+        record.t_epk_received = self.sim.now
+
+        try:
+            ephemeral_pubkey = rsa.RSAPublicKey.from_bytes(
+                response.ephemeral_pubkey
+            )
+        except rsa.RSAError as exc:
+            record.status = "failed"
+            record.failure_reason = f"malformed ePk: {exc}"
+            return record
+
+        # Step 3: K-encrypt then ePk-wrap (STM32-class cost).
+        yield self.sim.timeout(self.cost_model.sample(
+            self.cost_model.node_aes_encrypt
+            + self.cost_model.node_rsa_encrypt, self.rng,
+        ))
+        encrypted_message = seal_message(
+            plaintext, self.credentials.symmetric_key, ephemeral_pubkey,
+            rng=self.rng,
+        )
+        # Step 4: sign (Em, ePk) with the provisioned secret key.
+        yield self.sim.timeout(self.cost_model.sample(
+            self.cost_model.node_rsa_sign, self.rng,
+        ))
+        signature = sign_payload(
+            encrypted_message, response.ephemeral_pubkey,
+            self.credentials.signing_key,
+        )
+
+        # Step 5: uplink (Em, Sig, @R).
+        transmission = yield from self.radio.send(DataFrame(
+            sender=self.device_id,
+            encrypted_message=encrypted_message,
+            signature=signature,
+            recipient_address=self.credentials.recipient_address,
+            nonce=record.exchange_id,
+        ))
+        record.t_data_sent = transmission.end
+        if self.windows is not None:
+            self.windows.note_uplink_end(transmission.end)
+        return record

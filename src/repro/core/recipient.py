@@ -1,0 +1,264 @@
+"""The recipient-side protocol agent (home actor / application server).
+
+On a delivery push from a foreign gateway (Fig. 3 step 7) the recipient:
+
+1. authenticates ``(Em, ePk)`` against the node's provisioned RSA public
+   key (step 8);
+2. creates and broadcasts the key-release *offer* — payment locked to the
+   revelation of ``eSk`` (step 9, Listing 1);
+3. watches the mempool for the gateway's *claim*; the claim's unlocking
+   script contains ``eSk`` in the clear, with which the recipient unwraps
+   ``Em`` and finally AES-decrypts the reading.
+
+If the gateway never claims, :meth:`reclaim_expired` recovers the locked
+funds through the script's timelocked refund branch.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.blockchain.transaction import OutPoint
+from repro.blockchain.wallet import KeyReleaseOffer, Wallet
+from repro.core.costmodel import CostModel
+from repro.core.daemon import BlockchainDaemon
+from repro.core.messages import open_message, verify_payload
+from repro.core.metrics import ExchangeTracker
+from repro.core.provisioning import RecipientRegistry
+from repro.core.rewards import RecipientBudget
+from repro.core import directory as directory_mod
+from repro.crypto import rsa
+from repro.errors import ProtocolError, ValidationError
+from repro.p2p.message import DeliveryAck, DeliveryMessage, Envelope
+from repro.p2p.network import WANetwork
+from repro.sim.core import Simulator
+
+__all__ = ["RecipientAgent"]
+
+
+@dataclass
+class _PendingSettlement:
+    """Recipient-side state awaiting the gateway's claim."""
+
+    message: DeliveryMessage
+    offer: KeyReleaseOffer
+    source: str
+
+
+class RecipientAgent:
+    """One actor's application-server agent."""
+
+    def __init__(self, sim: Simulator, name: str,
+                 daemon: BlockchainDaemon, wallet: Wallet,
+                 registry: RecipientRegistry, wan: WANetwork,
+                 cost_model: CostModel, tracker: ExchangeTracker,
+                 rng: random.Random, offer_fee: int = 0,
+                 budget: Optional[RecipientBudget] = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.daemon = daemon
+        self.wallet = wallet
+        self.registry = registry
+        self.wan = wan
+        self.cost_model = cost_model
+        self.tracker = tracker
+        self.rng = rng
+        self.offer_fee = offer_fee
+        # Negotiation guard: quotes above the budget are refused before
+        # any money is locked (the gateway keeps an undecryptable blob).
+        self.budget = budget or RecipientBudget(max_price=10**9)
+
+        self.messages_received = 0
+        self.quotes_refused = 0
+        self.messages_decrypted = 0
+        self.payments_made = 0
+        self.refunds_taken = 0
+
+        self._pending: dict[OutPoint, _PendingSettlement] = {}
+        daemon.register_protocol(DeliveryMessage, self._on_delivery)
+        daemon.gossip.on_transaction.append(self._on_transaction)
+
+    @property
+    def address(self) -> str:
+        """The blockchain address (``@R``) nodes are provisioned with."""
+        return self.wallet.address
+
+    # -- directory ---------------------------------------------------------------
+
+    def announce(self, endpoint: str, port: int = 7264):
+        """Publish this recipient's IP endpoint on-chain (section 4.3)."""
+        payload = directory_mod.build_announcement_payload(
+            self.wallet.keypair, endpoint, port,
+        )
+
+        def build_and_broadcast():
+            tx = self.wallet.create_announcement(payload)
+            self.daemon.gossip.broadcast_transaction(tx)
+            return tx
+
+        return self.daemon.rpc(build_and_broadcast)
+
+    # -- the fair exchange ---------------------------------------------------------
+
+    def _on_delivery(self, envelope: Envelope) -> None:
+        self.sim.process(self._settle(envelope))
+
+    def _settle(self, envelope: Envelope):
+        message = envelope.payload
+        assert isinstance(message, DeliveryMessage)
+        self.messages_received += 1
+        record = self.tracker.get(message.delivery_id)
+        if record is not None:
+            record.t_delivered = self.sim.now
+            record.recipient = self.name
+            record.price = message.price
+
+        # Step 8: authenticate the payload.
+        yield self.sim.timeout(self.cost_model.sample(
+            self.cost_model.recipient_rsa_verify, self.rng,
+        ))
+        if not self.registry.knows(message.node_id):
+            self._refuse(envelope, record, "unknown device")
+            return
+        node_pubkey = self.registry.pubkey_for(message.node_id)
+        if not verify_payload(message.encrypted_message,
+                              message.ephemeral_pubkey,
+                              message.signature, node_pubkey):
+            self._refuse(envelope, record, "bad signature")
+            return
+        if not self.budget.accepts(message.price):
+            self.quotes_refused += 1
+            self._refuse(
+                envelope, record,
+                f"quote {message.price} above budget {self.budget.max_price}",
+            )
+            return
+
+        # Step 9: lock payment to the key revelation.
+        try:
+            offer = yield self.daemon.rpc(
+                lambda: self.wallet.create_key_release_offer(
+                    rsa_pubkey=message.ephemeral_pubkey,
+                    gateway_pubkey_hash=message.gateway_pubkey_hash,
+                    amount=message.price,
+                    fee=self.offer_fee,
+                )
+            )
+        except ValidationError as exc:
+            self._refuse(envelope, record, f"cannot fund offer: {exc}")
+            return
+        accepted = yield self.daemon.call(
+            self.cost_model.daemon_tx_process,
+            lambda: self.daemon.gossip.broadcast_transaction(offer.transaction),
+        )
+        if not accepted:
+            self.wallet.release_pending(offer.transaction)
+            self._refuse(envelope, record, "offer rejected by mempool")
+            return
+        self.payments_made += 1
+        if record is not None:
+            record.t_offer_sent = self.sim.now
+        self._pending[offer.outpoint] = _PendingSettlement(
+            message=message, offer=offer, source=envelope.source,
+        )
+        self.wan.send(self.name, envelope.source, DeliveryAck(
+            delivery_id=message.delivery_id,
+            accepted=True,
+            offer_txid=offer.transaction.txid,
+        ))
+
+    def _refuse(self, envelope: Envelope, record, reason: str) -> None:
+        if record is not None:
+            record.status = "failed"
+            record.failure_reason = reason
+        self.wan.send(self.name, envelope.source, DeliveryAck(
+            delivery_id=envelope.payload.delivery_id,
+            accepted=False,
+            reason=reason,
+        ))
+
+    # -- claim detection -------------------------------------------------------------
+
+    def _on_transaction(self, tx) -> None:
+        for tx_input in tx.inputs:
+            settlement = self._pending.get(tx_input.outpoint)
+            if settlement is not None:
+                self.sim.process(self._decrypt(tx, tx_input, settlement))
+                return
+
+    def _decrypt(self, claim_tx, claim_input, settlement: _PendingSettlement):
+        """The gateway's claim revealed ``eSk``: recover the plaintext."""
+        record = self.tracker.get(settlement.message.delivery_id)
+        elements = claim_input.script_sig.elements
+        if len(elements) != 3 or not isinstance(elements[2], bytes):
+            # The refund path or garbage — not a key revelation.
+            return
+        try:
+            ephemeral_key = rsa.RSAPrivateKey.from_bytes(elements[2])
+        except rsa.RSAError:
+            return
+        if record is not None:
+            record.t_claim_seen = self.sim.now
+        self._pending.pop(settlement.offer.outpoint, None)
+
+        yield self.sim.timeout(self.cost_model.sample(
+            self.cost_model.recipient_unwrap, self.rng,
+        ))
+        try:
+            plaintext = open_message(
+                settlement.message.encrypted_message,
+                self.registry.key_for(settlement.message.node_id),
+                ephemeral_key,
+            )
+        except ProtocolError as exc:
+            if record is not None:
+                record.status = "failed"
+                record.failure_reason = f"decryption failed: {exc}"
+            return
+        self.messages_decrypted += 1
+        if record is not None:
+            record.decrypted = plaintext
+            record.t_decrypted = self.sim.now
+            record.status = "completed"
+
+    # -- refunds ----------------------------------------------------------------------
+
+    def pending_settlements(self) -> int:
+        return len(self._pending)
+
+    def reclaim_expired(self):
+        """Spend the refund branch of every expired, unclaimed offer.
+
+        Returns the process; its value is the number of refunds broadcast.
+        """
+        return self.sim.process(self._reclaim())
+
+    def _reclaim(self):
+        refunded = 0
+        height = self.daemon.node.chain.height
+        for outpoint, settlement in list(self._pending.items()):
+            if settlement.offer.refund_locktime > height:
+                continue
+            if self.daemon.node.chain.utxos.get(outpoint) is None:
+                continue  # already spent (claimed late)
+            try:
+                refund_tx = yield self.daemon.rpc(
+                    lambda s=settlement: self.wallet.refund_key_release(s.offer)
+                )
+            except ValidationError:
+                continue
+            accepted = yield self.daemon.call(
+                self.cost_model.daemon_tx_process,
+                lambda tx=refund_tx: self.daemon.gossip.broadcast_transaction(tx),
+            )
+            if accepted:
+                refunded += 1
+                self.refunds_taken += 1
+                self._pending.pop(outpoint, None)
+                record = self.tracker.get(settlement.message.delivery_id)
+                if record is not None and record.status == "pending":
+                    record.status = "failed"
+                    record.failure_reason = "gateway never claimed; refunded"
+        return refunded

@@ -1,0 +1,53 @@
+"""Base58 and Base58Check encoding (the Bitcoin-family address alphabet)."""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import double_sha256
+
+__all__ = ["Base58Error", "encode", "decode", "encode_check", "decode_check"]
+
+_ALPHABET = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
+_INDEX = {char: i for i, char in enumerate(_ALPHABET)}
+
+
+class Base58Error(Exception):
+    """Raised on invalid characters or checksum failures."""
+
+
+def encode(data: bytes) -> str:
+    """Base58-encode ``data``, preserving leading zero bytes as '1's."""
+    leading_zeros = len(data) - len(data.lstrip(b"\x00"))
+    value = int.from_bytes(data, "big")
+    chars = []
+    while value:
+        value, remainder = divmod(value, 58)
+        chars.append(_ALPHABET[remainder])
+    return "1" * leading_zeros + "".join(reversed(chars))
+
+
+def decode(text: str) -> bytes:
+    """Decode a Base58 string back to bytes."""
+    value = 0
+    for char in text:
+        if char not in _INDEX:
+            raise Base58Error(f"invalid base58 character: {char!r}")
+        value = value * 58 + _INDEX[char]
+    leading_ones = len(text) - len(text.lstrip("1"))
+    body = value.to_bytes((value.bit_length() + 7) // 8, "big") if value else b""
+    return b"\x00" * leading_ones + body
+
+
+def encode_check(payload: bytes) -> str:
+    """Base58Check: append a 4-byte double-SHA256 checksum, then encode."""
+    return encode(payload + double_sha256(payload)[:4])
+
+
+def decode_check(text: str) -> bytes:
+    """Decode Base58Check, verifying the checksum."""
+    raw = decode(text)
+    if len(raw) < 4:
+        raise Base58Error("base58check payload too short")
+    payload, checksum = raw[:-4], raw[-4:]
+    if double_sha256(payload)[:4] != checksum:
+        raise Base58Error("base58check checksum mismatch")
+    return payload

@@ -1,0 +1,43 @@
+"""Hashing facade used by the rest of the repository.
+
+SHA-256 goes through :mod:`hashlib` (C speed) on hot paths; the pure-Python
+implementations in :mod:`repro.crypto.sha256` and
+:mod:`repro.crypto.ripemd160` are the reference implementations the test
+suite validates against.  RIPEMD-160 always uses the pure-Python code since
+OpenSSL 3 dropped it from the default provider.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+
+from repro.crypto.ripemd160 import ripemd160 as _ripemd160_pure
+
+__all__ = ["sha256", "double_sha256", "hash160", "hmac_sha256", "tagged_hash"]
+
+
+def sha256(data: bytes) -> bytes:
+    """SHA-256 of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def double_sha256(data: bytes) -> bytes:
+    """SHA-256 applied twice — the Bitcoin-family transaction/block hash."""
+    return hashlib.sha256(hashlib.sha256(data).digest()).digest()
+
+
+def hash160(data: bytes) -> bytes:
+    """RIPEMD160(SHA256(data)) — the Bitcoin-family address hash."""
+    return _ripemd160_pure(hashlib.sha256(data).digest())
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA256, used by deterministic ECDSA nonces (RFC 6979)."""
+    return _hmac.new(key, message, hashlib.sha256).digest()
+
+
+def tagged_hash(tag: str, data: bytes) -> bytes:
+    """BIP-340 style tagged hash; used to domain-separate protocol hashes."""
+    tag_digest = hashlib.sha256(tag.encode("utf-8")).digest()
+    return hashlib.sha256(tag_digest + tag_digest + data).digest()

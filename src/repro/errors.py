@@ -1,0 +1,32 @@
+"""Shared exception hierarchy for the BcWAN reproduction.
+
+Subsystem-specific errors (e.g. :class:`repro.crypto.rsa.RSAError`) derive
+from built-in ``Exception``; protocol-level failures that cross module
+boundaries derive from :class:`BcWANError` so applications can catch one
+family.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BcWANError",
+    "ProtocolError",
+    "ValidationError",
+    "ConfigurationError",
+]
+
+
+class BcWANError(Exception):
+    """Base class for protocol-level BcWAN failures."""
+
+
+class ProtocolError(BcWANError):
+    """A peer violated the BcWAN exchange protocol."""
+
+
+class ValidationError(BcWANError):
+    """A transaction, block, or message failed validation rules."""
+
+
+class ConfigurationError(BcWANError):
+    """Inconsistent or out-of-range configuration."""

@@ -1,0 +1,69 @@
+"""Adaptive data rate: pick each device's spreading factor by link budget.
+
+The paper's testbed fixes SF7 (all simulated sensors sit close to their
+gateway).  Real LoRaWAN networks run ADR: a device uses the *fastest*
+spreading factor whose sensitivity still closes the link with margin.
+Faster SF = shorter airtime = more duty-cycle headroom and fewer
+collisions, so ADR directly improves the fleet arithmetic of §5.2.
+
+The selection here is the static, link-budget form of ADR (the dynamic
+in-band negotiation of LoRaWAN 1.x converges to the same assignment for
+stationary sensors).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.lora.channel import PathLossModel, Position
+from repro.lora.phy import SENSITIVITY_DBM, LoRaModulation
+
+__all__ = ["select_spreading_factor", "assign_modulations", "link_margin_db"]
+
+
+def link_margin_db(distance: float, spreading_factor: int,
+                   path_loss: PathLossModel,
+                   tx_power_dbm: float = 14.0) -> float:
+    """Received power above sensitivity at ``distance`` for one SF."""
+    rssi = tx_power_dbm - path_loss.loss_db(distance)
+    return rssi - SENSITIVITY_DBM[spreading_factor]
+
+
+def select_spreading_factor(distance: float,
+                            path_loss: PathLossModel | None = None,
+                            tx_power_dbm: float = 14.0,
+                            margin_db: float = 6.0) -> int:
+    """The fastest SF that closes the link with ``margin_db`` to spare.
+
+    Raises :class:`ConfigurationError` when even SF12 cannot close the
+    link — the device is simply out of coverage.
+    """
+    if distance < 0:
+        raise ConfigurationError(f"negative distance: {distance}")
+    if margin_db < 0:
+        raise ConfigurationError(f"negative margin: {margin_db}")
+    path_loss = path_loss or PathLossModel()
+    for spreading_factor in range(7, 13):
+        if link_margin_db(distance, spreading_factor, path_loss,
+                          tx_power_dbm) >= margin_db:
+            return spreading_factor
+    raise ConfigurationError(
+        f"no spreading factor closes a {distance:.0f} m link with "
+        f"{margin_db} dB margin"
+    )
+
+
+def assign_modulations(positions: dict[str, Position],
+                       gateway_position: Position,
+                       path_loss: PathLossModel | None = None,
+                       tx_power_dbm: float = 14.0,
+                       margin_db: float = 6.0) -> dict[str, LoRaModulation]:
+    """ADR assignment for a whole cell: device name → modulation."""
+    path_loss = path_loss or PathLossModel()
+    assignments = {}
+    for name, position in positions.items():
+        distance = position.distance_to(gateway_position)
+        spreading_factor = select_spreading_factor(
+            distance, path_loss, tx_power_dbm, margin_db,
+        )
+        assignments[name] = LoRaModulation(spreading_factor=spreading_factor)
+    return assignments

@@ -1,0 +1,86 @@
+"""LoRaWAN Class-A receive windows.
+
+A Class-A device only listens during two short windows after each of its
+own uplinks: RX1 opens ``RX1_DELAY`` (1 s) after the uplink ends, RX2 one
+second later on the high-power downlink channel.  Outside the windows the
+radio sleeps — which is where the multi-year battery life the paper's
+introduction celebrates comes from.
+
+The paper's PoC node (a bench Nucleo) listens continuously; BcWAN's
+protocol is nevertheless Class-A-compatible because its only downlink —
+the ``ePk`` response — directly answers an uplink.  Setting
+``NetworkConfig(class_a_windows=True)`` enforces the discipline: nodes
+discard downlinks outside their windows, and gateways schedule the ePk
+transmission *into* RX1 (falling back to RX2 when the duty cycle blocks
+RX1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RX1_DELAY", "RX2_DELAY", "ClassAWindows"]
+
+RX1_DELAY = 1.0
+RX2_DELAY = 2.0
+# How long after the window opens a downlink may still *start* and be
+# demodulated (the receiver stays up once it detects a preamble).
+_WINDOW_TOLERANCE = 0.30
+
+
+@dataclass
+class ClassAWindows:
+    """Tracks one device's receive windows."""
+
+    rx1_delay: float = RX1_DELAY
+    rx2_delay: float = RX2_DELAY
+    tolerance: float = _WINDOW_TOLERANCE
+    _last_uplink_end: Optional[float] = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        if self.rx1_delay <= 0 or self.rx2_delay <= self.rx1_delay:
+            raise ConfigurationError(
+                f"need 0 < rx1 ({self.rx1_delay}) < rx2 ({self.rx2_delay})"
+            )
+        if self.tolerance <= 0:
+            raise ConfigurationError(
+                f"window tolerance must be positive: {self.tolerance}"
+            )
+
+    def note_uplink_end(self, time: float) -> None:
+        """Arm the windows: the device just finished transmitting."""
+        self._last_uplink_end = time
+
+    @property
+    def armed(self) -> bool:
+        return self._last_uplink_end is not None
+
+    def window_opens(self) -> tuple[float, float]:
+        """Absolute RX1/RX2 opening times for the last uplink."""
+        if self._last_uplink_end is None:
+            raise ConfigurationError("no uplink sent yet; windows unarmed")
+        return (self._last_uplink_end + self.rx1_delay,
+                self._last_uplink_end + self.rx2_delay)
+
+    def accepts_downlink_start(self, start_time: float) -> bool:
+        """Would the sleeping receiver catch a downlink starting then?"""
+        if self._last_uplink_end is None:
+            return False
+        rx1, rx2 = self.window_opens()
+        return (rx1 <= start_time <= rx1 + self.tolerance
+                or rx2 <= start_time <= rx2 + self.tolerance)
+
+    def next_window_start(self, now: float) -> Optional[float]:
+        """The earliest window a gateway can still hit, or None if both
+        have passed."""
+        if self._last_uplink_end is None:
+            return None
+        rx1, rx2 = self.window_opens()
+        if now <= rx1 + self.tolerance:
+            return max(now, rx1)
+        if now <= rx2 + self.tolerance:
+            return max(now, rx2)
+        return None

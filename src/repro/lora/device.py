@@ -1,0 +1,127 @@
+"""Radio endpoints: the device-side API over the shared channel.
+
+:class:`LoRaRadio` wraps the medium with per-device state — position,
+modulation, per-channel duty-cycle limiters, and a receive callback list —
+and exposes a blocking ``send`` process that picks the uplink channel with
+the shortest regulatory wait (EU868 devices hop across sub-band channels,
+each with its own duty budget) before keying the transmitter.  Both end
+devices (nodes) and gateways hold one; gateways typically configure a
+single high-duty downlink channel (869.525 MHz, 10 %).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.lora.channel import Listener, Position, RadioChannel, Transmission
+from repro.lora.dutycycle import DutyCycleLimiter
+from repro.lora.frames import LoRaFrame
+from repro.lora.phy import LoRaModulation
+
+__all__ = ["LoRaRadio", "EU868_UPLINK_CHANNELS", "EU868_DOWNLINK_CHANNEL"]
+
+# The three mandatory EU868 LoRaWAN join channels (1 % duty each).
+EU868_UPLINK_CHANNELS = (868_100_000, 868_300_000, 868_500_000)
+# The high-power RX2 downlink channel (10 % duty sub-band).
+EU868_DOWNLINK_CHANNEL = 869_525_000
+
+
+class LoRaRadio:
+    """One device's attachment to the radio medium."""
+
+    def __init__(self, name: str, channel: RadioChannel,
+                 position: Optional[Position] = None,
+                 modulation: Optional[LoRaModulation] = None,
+                 duty_cycle: float = 0.01,
+                 frequencies: Sequence[int] = EU868_UPLINK_CHANNELS,
+                 power_dbm: float = 14.0) -> None:
+        if not frequencies:
+            raise ConfigurationError("radio needs at least one frequency")
+        self.name = name
+        self.channel = channel
+        self.position = position or Position()
+        self.modulation = modulation or LoRaModulation()
+        self.frequencies = tuple(frequencies)
+        self.limiters = {
+            frequency: DutyCycleLimiter(duty_cycle=duty_cycle)
+            for frequency in self.frequencies
+        }
+        self.power_dbm = power_dbm
+        # One physical transmitter: concurrent protocol processes on the
+        # same device serialize their sends.
+        self._tx_lock = channel.sim.lock()
+        self._receive_handlers: list[Callable[[LoRaFrame, float], None]] = []
+        channel.add_listener(Listener(
+            name=name,
+            position=self.position,
+            deliver=self._on_frame,
+            half_duplex_owner=name,
+        ))
+
+    @property
+    def sim(self):
+        return self.channel.sim
+
+    @property
+    def total_airtime(self) -> float:
+        return sum(l.total_airtime for l in self.limiters.values())
+
+    @property
+    def transmissions(self) -> int:
+        return sum(l.transmissions for l in self.limiters.values())
+
+    def on_receive(self, handler: Callable[[LoRaFrame, float], None]) -> None:
+        """Register a callback for every frame this radio demodulates."""
+        self._receive_handlers.append(handler)
+
+    def _on_frame(self, frame: LoRaFrame, rssi: float) -> None:
+        for handler in self._receive_handlers:
+            handler(frame, rssi)
+
+    def time_on_air(self, frame: LoRaFrame) -> float:
+        return self.modulation.time_on_air(frame.wire_size())
+
+    def duty_cycle_wait(self) -> float:
+        """Seconds until some channel permits the next transmission."""
+        now = self.sim.now
+        return min(l.wait_time(now) for l in self.limiters.values())
+
+    def _pick_channel(self) -> tuple[int, float]:
+        """The frequency with the shortest regulatory wait (stable tie)."""
+        now = self.sim.now
+        best_frequency = self.frequencies[0]
+        best_wait = self.limiters[best_frequency].wait_time(now)
+        for frequency in self.frequencies[1:]:
+            wait = self.limiters[frequency].wait_time(now)
+            if wait < best_wait:
+                best_frequency, best_wait = frequency, wait
+        return best_frequency, best_wait
+
+    def send(self, frame: LoRaFrame):
+        """A simulation process: wait for duty cycle, transmit, wait airtime.
+
+        Yields until the frame's airtime completes; returns the
+        :class:`Transmission` record.
+        """
+        yield self._tx_lock.acquire()
+        try:
+            frequency, wait = self._pick_channel()
+            if wait > 0:
+                yield self.sim.timeout(wait)
+            start = self.sim.now
+            airtime = self.time_on_air(frame)
+            self.limiters[frequency].register(start, airtime)
+            transmission = self.channel.transmit(
+                sender=self.name, position=self.position, frame=frame,
+                modulation=self.modulation, frequency_hz=frequency,
+                power_dbm=self.power_dbm,
+            )
+            yield self.sim.timeout(airtime)
+        finally:
+            self._tx_lock.release()
+        return transmission
+
+    def send_process(self, frame: LoRaFrame):
+        """Spawn :meth:`send` as a process; returns the process event."""
+        return self.sim.process(self.send(frame))

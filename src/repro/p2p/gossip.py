@@ -1,0 +1,109 @@
+"""Flooding gossip of transactions and blocks between full nodes.
+
+Each :class:`GossipNode` wraps one :class:`repro.blockchain.FullNode` and
+relays newly-accepted items to its peers (dedup by hash, no echo to the
+origin) — the inv/getdata pattern collapsed to direct push, appropriate
+for the handful of gateways in a BcWAN federation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.blockchain.block import Block
+from repro.blockchain.node import FullNode
+from repro.blockchain.transaction import Transaction
+from repro.p2p.message import BlockMessage, Envelope, TxMessage
+from repro.p2p.network import WANetwork
+
+__all__ = ["GossipNode"]
+
+
+class GossipNode:
+    """P2P relay behaviour for one full node.
+
+    The optional ``inbound_gate`` lets the daemon layer serialize message
+    processing behind a busy server (the Multichain stall model); when
+    absent, messages are processed at delivery time.
+    """
+
+    def __init__(self, node: FullNode, network: WANetwork,
+                 name: Optional[str] = None, auto_register: bool = True) -> None:
+        self.node = node
+        self.network = network
+        self.name = name or node.name
+        self.peers: list[str] = []
+        self._known_txids: set[bytes] = set()
+        self._known_blocks: set[bytes] = set()
+        # Listeners called when a tx/block is newly accepted locally.
+        self.on_transaction: list[Callable[[Transaction], None]] = []
+        self.on_block: list[Callable[[Block], None]] = []
+        # A daemon wrapper may own the network registration instead, so it
+        # can serialize inbound processing behind its service queue.
+        if auto_register:
+            network.register(self.name, self.handle_envelope)
+
+    def connect(self, peer_name: str) -> None:
+        if peer_name != self.name and peer_name not in self.peers:
+            self.peers.append(peer_name)
+
+    # -- local origination -------------------------------------------------
+
+    def broadcast_transaction(self, tx: Transaction) -> bool:
+        """Submit a locally-created transaction and gossip it.
+
+        Local listeners fire exactly as they would for a gossiped
+        transaction — an agent watching for a spend must see it whether
+        the spender is remote or shares this node.
+        """
+        decision = self.node.submit_transaction(tx)
+        if decision.accepted:
+            self._known_txids.add(tx.txid)
+            for listener in self.on_transaction:
+                listener(tx)
+            self._relay(TxMessage(transaction=tx))
+        return decision.accepted
+
+    def broadcast_block(self, block: Block) -> bool:
+        """Announce a locally-mined (already connected) block."""
+        self._known_blocks.add(block.hash)
+        self._relay(BlockMessage(block=block))
+        return True
+
+    # -- inbound ---------------------------------------------------------------
+
+    def handle_envelope(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if isinstance(payload, TxMessage):
+            self.receive_transaction(payload.transaction, origin=envelope.source)
+        elif isinstance(payload, BlockMessage):
+            self.receive_block(payload.block, origin=envelope.source)
+
+    def receive_transaction(self, tx: Transaction, origin: str = "") -> None:
+        if tx.txid in self._known_txids:
+            return
+        self._known_txids.add(tx.txid)
+        decision = self.node.submit_transaction(tx)
+        if decision.accepted:
+            for listener in self.on_transaction:
+                listener(tx)
+            if decision.relay:
+                self._relay(TxMessage(transaction=tx), exclude=(origin,))
+
+    def receive_block(self, block: Block, origin: str = "") -> None:
+        if block.hash in self._known_blocks:
+            return
+        self._known_blocks.add(block.hash)
+        decision, result = self.node.submit_block(block)
+        if decision.accepted:
+            if result.status in ("active", "side", "orphan"):
+                for listener in self.on_block:
+                    listener(block)
+            if decision.relay:
+                self._relay(BlockMessage(block=block), exclude=(origin,))
+
+    def _relay(self, message, exclude: tuple[str, ...] = ()) -> None:
+        for peer in self.peers:
+            if peer in exclude:
+                continue
+            self.network.send(self.name, peer, message)

@@ -1,0 +1,94 @@
+"""Wire messages exchanged between BcWAN gateways over TCP/IP.
+
+The overlay carries two protocols: blockchain gossip (inventories,
+transactions, blocks — the Multichain peer protocol) and the BcWAN
+delivery handshake of Fig. 3 step 7 (the gateway pushes ``Em``, ``ePk``
+and ``Sig`` to the recipient it resolved from the chain).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "Envelope",
+    "InvMessage",
+    "GetDataMessage",
+    "TxMessage",
+    "BlockMessage",
+    "DeliveryMessage",
+    "DeliveryAck",
+]
+
+_sequence = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Routing wrapper: who sent what to whom, when."""
+
+    source: str
+    destination: str
+    payload: Any
+    sent_at: float
+    message_id: int = field(default_factory=lambda: next(_sequence))
+
+
+@dataclass(frozen=True)
+class InvMessage:
+    """Inventory announcement: 'I have these items'."""
+
+    kind: str  # "tx" or "block"
+    hashes: tuple[bytes, ...]
+
+
+@dataclass(frozen=True)
+class GetDataMessage:
+    """Request for announced items."""
+
+    kind: str
+    hashes: tuple[bytes, ...]
+
+
+@dataclass(frozen=True)
+class TxMessage:
+    """A full transaction."""
+
+    transaction: Any  # repro.blockchain.Transaction
+
+
+@dataclass(frozen=True)
+class BlockMessage:
+    """A full block."""
+
+    block: Any  # repro.blockchain.Block
+
+
+@dataclass(frozen=True)
+class DeliveryMessage:
+    """Fig. 3 step 7: gateway → recipient data push.
+
+    Carries the double-encrypted message ``Em``, the ephemeral public key
+    ``ePk``, the node's signature ``Sig``, and the delivery id used to
+    correlate the payment leg.
+    """
+
+    delivery_id: int
+    encrypted_message: bytes
+    ephemeral_pubkey: bytes
+    signature: bytes
+    node_id: str
+    gateway_pubkey_hash: bytes
+    price: int
+
+
+@dataclass(frozen=True)
+class DeliveryAck:
+    """Recipient → gateway: signature verified; payment tx announced."""
+
+    delivery_id: int
+    accepted: bool
+    offer_txid: bytes = b""
+    reason: str = ""

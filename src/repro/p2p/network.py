@@ -1,0 +1,100 @@
+"""The simulated wide-area network between gateways and servers.
+
+Hosts register by name; :meth:`WANetwork.send` delivers a payload to the
+destination's handler after a sampled one-way latency.  The latency model
+defaults to PlanetLab-like per-pair lognormal distributions — the
+substrate standing in for the paper's 5-node PlanetLab deployment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.p2p.message import Envelope
+from repro.sim.core import Simulator
+from repro.sim.latency import LatencyModel, LogNormalLatency
+
+__all__ = ["WANetwork", "Host"]
+
+
+@dataclass
+class Host:
+    """A network endpoint: a name plus a message handler."""
+
+    name: str
+    handler: Callable[[Envelope], None]
+
+
+class WANetwork:
+    """Latency-modeled message passing between named hosts."""
+
+    def __init__(self, sim: Simulator, rng: random.Random,
+                 latency: Optional[LatencyModel] = None,
+                 loss_rate: float = 0.0) -> None:
+        if not 0 <= loss_rate < 1:
+            raise ConfigurationError(f"loss rate out of range: {loss_rate}")
+        self.sim = sim
+        self.rng = rng
+        self.latency = latency or LogNormalLatency()
+        self.loss_rate = loss_rate
+        self._hosts: dict[str, Host] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_lost = 0
+        self.bytes_modeled = 0
+
+    def register(self, name: str, handler: Callable[[Envelope], None]) -> Host:
+        if name in self._hosts:
+            raise ConfigurationError(f"duplicate host name: {name}")
+        host = Host(name=name, handler=handler)
+        self._hosts[name] = host
+        return host
+
+    def unregister(self, name: str) -> None:
+        self._hosts.pop(name, None)
+
+    def hosts(self) -> list[str]:
+        return list(self._hosts)
+
+    def is_registered(self, name: str) -> bool:
+        return name in self._hosts
+
+    def send(self, source: str, destination: str, payload: Any) -> Envelope:
+        """Queue ``payload`` for delivery; returns the envelope.
+
+        Unknown destinations and sampled losses are silently dropped, as a
+        real datagram would be; reliability is the sender's problem (the
+        BcWAN exchange runs over TCP, which the protocol layer models by
+        not injecting loss on those flows).
+        """
+        envelope = Envelope(source=source, destination=destination,
+                            payload=payload, sent_at=self.sim.now)
+        self.messages_sent += 1
+        if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
+            self.messages_lost += 1
+            return envelope
+        delay = self.latency.sample(source, destination, self.rng)
+        self.sim.call_in(delay, lambda: self._deliver(envelope))
+        return envelope
+
+    def _deliver(self, envelope: Envelope) -> None:
+        host = self._hosts.get(envelope.destination)
+        if host is None:
+            self.messages_lost += 1
+            return
+        self.messages_delivered += 1
+        host.handler(envelope)
+
+    def broadcast(self, source: str, payload: Any,
+                  exclude: tuple[str, ...] = ()) -> int:
+        """Send ``payload`` to every other host; returns the send count."""
+        count = 0
+        for name in self._hosts:
+            if name == source or name in exclude:
+                continue
+            self.send(source, name, payload)
+            count += 1
+        return count

@@ -1,0 +1,195 @@
+"""Anti-entropy synchronization between full nodes.
+
+Flooding gossip is push-only: on a lossy WAN a dropped ``BlockMessage``
+or ``TxMessage`` would leave a node permanently behind.  Real Bitcoin-family
+daemons recover through headers/inv exchanges on a timer; this module
+implements the equivalent:
+
+* every ``interval`` seconds a :class:`SyncAgent` asks one peer
+  (round-robin) for its tip;
+* a peer that is ahead answers with the blocks above the requester's
+  height (bounded per round), which the requester feeds through its
+  normal validation path;
+* mempool contents piggyback as a txid inventory; missing transactions
+  are fetched explicitly.
+
+Everything rides the same :class:`~repro.p2p.network.WANetwork` envelopes
+as gossip and is processed through the owning daemon, so synchronization
+competes for daemon time like any other traffic (and stalls behind block
+verification, faithfully).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.p2p.message import Envelope
+from repro.sim.core import Simulator
+
+if TYPE_CHECKING:  # imported lazily to avoid a p2p <-> core import cycle
+    from repro.core.daemon import BlockchainDaemon
+
+__all__ = [
+    "SyncAgent",
+    "GetTipMessage",
+    "TipMessage",
+    "GetBlocksMessage",
+    "BlocksMessage",
+    "GetTxsMessage",
+    "TxsMessage",
+]
+
+
+@dataclass(frozen=True)
+class GetTipMessage:
+    """Requester's view: height plus mempool inventory."""
+
+    height: int
+    mempool_txids: tuple[bytes, ...]
+
+
+@dataclass(frozen=True)
+class TipMessage:
+    """Responder's tip height (the requester decides whether to catch up)."""
+
+    height: int
+
+
+@dataclass(frozen=True)
+class GetBlocksMessage:
+    """Fetch active blocks with height > ``above_height``."""
+
+    above_height: int
+
+
+@dataclass(frozen=True)
+class BlocksMessage:
+    blocks: tuple  # of repro.blockchain.Block
+
+
+@dataclass(frozen=True)
+class GetTxsMessage:
+    txids: tuple[bytes, ...]
+
+
+@dataclass(frozen=True)
+class TxsMessage:
+    transactions: tuple  # of repro.blockchain.Transaction
+
+
+class SyncAgent:
+    """Periodic state reconciliation for one daemon."""
+
+    def __init__(self, sim: Simulator, daemon: "BlockchainDaemon",
+                 interval: float = 30.0, max_blocks_per_round: int = 50) -> None:
+        self.sim = sim
+        self.daemon = daemon
+        self.interval = interval
+        self.max_blocks_per_round = max_blocks_per_round
+        self.rounds = 0
+        self.blocks_recovered = 0
+        self.txs_recovered = 0
+        self._peer_cursor = 0
+        daemon.register_protocol(GetTipMessage, self._on_get_tip)
+        daemon.register_protocol(TipMessage, self._on_tip)
+        daemon.register_protocol(GetBlocksMessage, self._on_get_blocks)
+        daemon.register_protocol(BlocksMessage, self._on_blocks)
+        daemon.register_protocol(GetTxsMessage, self._on_get_txs)
+        daemon.register_protocol(TxsMessage, self._on_txs)
+        self._process = sim.process(self._loop())
+
+    # -- the periodic probe -----------------------------------------------------
+
+    def _loop(self):
+        while True:
+            yield self.sim.timeout(self.interval)
+            peers = self.daemon.gossip.peers
+            if not peers:
+                continue
+            peer = peers[self._peer_cursor % len(peers)]
+            self._peer_cursor += 1
+            self.rounds += 1
+            node = self.daemon.node
+            self.daemon.gossip.network.send(
+                self.daemon.name, peer,
+                GetTipMessage(
+                    height=node.height,
+                    mempool_txids=tuple(
+                        tx.txid for tx in node.mempool.transactions()
+                    ),
+                ),
+            )
+
+    # -- responder side ------------------------------------------------------------
+
+    def _on_get_tip(self, envelope: Envelope) -> None:
+        request = envelope.payload
+        node = self.daemon.node
+        network = self.daemon.gossip.network
+        network.send(self.daemon.name, envelope.source,
+                     TipMessage(height=node.height))
+        # Push any mempool transactions the requester is missing.
+        theirs = set(request.mempool_txids)
+        missing = [tx for tx in node.mempool.transactions()
+                   if tx.txid not in theirs]
+        if missing:
+            network.send(self.daemon.name, envelope.source,
+                         TxsMessage(transactions=tuple(missing)))
+        # And fetch what they have that we lack.
+        ours = {tx.txid for tx in node.mempool.transactions()}
+        wanted = tuple(txid for txid in request.mempool_txids
+                       if txid not in ours
+                       and not node.chain.confirmations(txid))
+        if wanted:
+            network.send(self.daemon.name, envelope.source,
+                         GetTxsMessage(txids=wanted))
+
+    def _on_tip(self, envelope: Envelope) -> None:
+        their_height = envelope.payload.height
+        if their_height > self.daemon.node.height:
+            self.daemon.gossip.network.send(
+                self.daemon.name, envelope.source,
+                GetBlocksMessage(above_height=self.daemon.node.height),
+            )
+
+    def _on_get_blocks(self, envelope: Envelope) -> None:
+        above = envelope.payload.above_height
+        chain = self.daemon.node.chain
+        blocks = []
+        for height in range(above + 1,
+                            min(chain.height,
+                                above + self.max_blocks_per_round) + 1):
+            block = chain.block_at(height)
+            if block is not None:
+                blocks.append(block)
+        if blocks:
+            self.daemon.gossip.network.send(
+                self.daemon.name, envelope.source,
+                BlocksMessage(blocks=tuple(blocks)),
+            )
+
+    def _on_blocks(self, envelope: Envelope) -> None:
+        before = self.daemon.node.height
+        for block in envelope.payload.blocks:
+            self.daemon.gossip.receive_block(block, origin=envelope.source)
+        self.blocks_recovered += max(0, self.daemon.node.height - before)
+
+    def _on_get_txs(self, envelope: Envelope) -> None:
+        node = self.daemon.node
+        found = []
+        for txid in envelope.payload.txids:
+            tx = node.mempool.get(txid)
+            if tx is not None:
+                found.append(tx)
+        if found:
+            self.daemon.gossip.network.send(
+                self.daemon.name, envelope.source,
+                TxsMessage(transactions=tuple(found)),
+            )
+
+    def _on_txs(self, envelope: Envelope) -> None:
+        before = len(self.daemon.node.mempool)
+        for tx in envelope.payload.transactions:
+            self.daemon.gossip.receive_transaction(tx, origin=envelope.source)
+        self.txs_recovered += max(0, len(self.daemon.node.mempool) - before)

@@ -1,0 +1,51 @@
+"""Bitcoin-style scripting for BcWAN.
+
+* :mod:`repro.script.script` — the :class:`Script` container and
+  CScriptNum number encoding;
+* :mod:`repro.script.opcodes` — opcode table, including the BcWAN
+  extension ``OP_CHECKRSA512PAIR``;
+* :mod:`repro.script.interpreter` — the stack machine;
+* :mod:`repro.script.builder` — standard templates (P2PKH, OP_RETURN) and
+  the paper's Listing 1 ephemeral-key-release script.
+"""
+
+from repro.script.builder import (
+    RSA_PAIR_PLACEHOLDER,
+    ephemeral_key_release,
+    key_release_claim,
+    key_release_refund,
+    op_return,
+    p2pkh_locking,
+    p2pkh_unlocking,
+)
+from repro.script.errors import EvaluationError, ScriptError, SerializationError
+from repro.script.interpreter import (
+    ExecutionContext,
+    NullContext,
+    ScriptInterpreter,
+    verify_spend,
+)
+from repro.script.opcodes import OP, opcode_name
+from repro.script.script import Script, decode_number, encode_number
+
+__all__ = [
+    "EvaluationError",
+    "ExecutionContext",
+    "NullContext",
+    "OP",
+    "RSA_PAIR_PLACEHOLDER",
+    "Script",
+    "ScriptError",
+    "ScriptInterpreter",
+    "SerializationError",
+    "decode_number",
+    "encode_number",
+    "ephemeral_key_release",
+    "key_release_claim",
+    "key_release_refund",
+    "op_return",
+    "opcode_name",
+    "p2pkh_locking",
+    "p2pkh_unlocking",
+    "verify_spend",
+]

@@ -1,0 +1,17 @@
+"""Script-layer exceptions."""
+
+from __future__ import annotations
+
+__all__ = ["ScriptError", "SerializationError", "EvaluationError"]
+
+
+class ScriptError(Exception):
+    """Base class for script failures."""
+
+
+class SerializationError(ScriptError):
+    """A script could not be encoded or decoded."""
+
+
+class EvaluationError(ScriptError):
+    """Script execution aborted (bad opcode, stack underflow, VERIFY fail...)."""

@@ -1,0 +1,122 @@
+"""Opcode constants for the BcWAN script language.
+
+The language is the non-Turing-complete stack machine of the Bitcoin family
+(paper section 2), with numbering compatible with Bitcoin where the opcodes
+overlap.  BcWAN adds one operator, ``OP_CHECKRSA512PAIR`` (paper section
+4.4 / Listing 1), assigned ``0xC0`` in the unassigned range — the same kind
+of extension Multichain applies when soft-forking new operators in.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["OP", "OPCODE_NAMES", "opcode_name"]
+
+
+class OP(IntEnum):
+    """Script opcodes (values match Bitcoin where applicable)."""
+
+    # Pushing data.
+    OP_0 = 0x00
+    OP_PUSHDATA1 = 0x4C
+    OP_PUSHDATA2 = 0x4D
+    OP_PUSHDATA4 = 0x4E
+    OP_1NEGATE = 0x4F
+    OP_1 = 0x51
+    OP_2 = 0x52
+    OP_3 = 0x53
+    OP_4 = 0x54
+    OP_5 = 0x55
+    OP_6 = 0x56
+    OP_7 = 0x57
+    OP_8 = 0x58
+    OP_9 = 0x59
+    OP_10 = 0x5A
+    OP_11 = 0x5B
+    OP_12 = 0x5C
+    OP_13 = 0x5D
+    OP_14 = 0x5E
+    OP_15 = 0x5F
+    OP_16 = 0x60
+
+    # Flow control.
+    OP_NOP = 0x61
+    OP_IF = 0x63
+    OP_NOTIF = 0x64
+    OP_ELSE = 0x67
+    OP_ENDIF = 0x68
+    OP_VERIFY = 0x69
+    OP_RETURN = 0x6A
+
+    # Stack manipulation.
+    OP_TOALTSTACK = 0x6B
+    OP_FROMALTSTACK = 0x6C
+    OP_2DROP = 0x6D
+    OP_2DUP = 0x6E
+    OP_3DUP = 0x6F
+    OP_2OVER = 0x70
+    OP_2ROT = 0x71
+    OP_2SWAP = 0x72
+    OP_IFDUP = 0x73
+    OP_DEPTH = 0x74
+    OP_DROP = 0x75
+    OP_DUP = 0x76
+    OP_NIP = 0x77
+    OP_OVER = 0x78
+    OP_PICK = 0x79
+    OP_ROLL = 0x7A
+    OP_ROT = 0x7B
+    OP_SWAP = 0x7C
+    OP_TUCK = 0x7D
+    OP_SIZE = 0x82
+
+    # Comparison.
+    OP_EQUAL = 0x87
+    OP_EQUALVERIFY = 0x88
+
+    # Arithmetic.
+    OP_1ADD = 0x8B
+    OP_1SUB = 0x8C
+    OP_NEGATE = 0x8F
+    OP_ABS = 0x90
+    OP_NOT = 0x91
+    OP_0NOTEQUAL = 0x92
+    OP_ADD = 0x93
+    OP_SUB = 0x94
+    OP_BOOLAND = 0x9A
+    OP_BOOLOR = 0x9B
+    OP_NUMEQUAL = 0x9C
+    OP_NUMEQUALVERIFY = 0x9D
+    OP_NUMNOTEQUAL = 0x9E
+    OP_LESSTHAN = 0x9F
+    OP_GREATERTHAN = 0xA0
+    OP_LESSTHANOREQUAL = 0xA1
+    OP_GREATERTHANOREQUAL = 0xA2
+    OP_MIN = 0xA3
+    OP_MAX = 0xA4
+    OP_WITHIN = 0xA5
+
+    # Crypto.
+    OP_RIPEMD160 = 0xA6
+    OP_SHA256 = 0xA8
+    OP_HASH160 = 0xA9
+    OP_HASH256 = 0xAA
+    OP_CHECKSIG = 0xAC
+    OP_CHECKSIGVERIFY = 0xAD
+    OP_CHECKMULTISIG = 0xAE
+
+    # Locktime (BIP 65).
+    OP_CHECKLOCKTIMEVERIFY = 0xB1
+
+    # BcWAN extension (paper section 4.4): pops an RSA public key and an
+    # RSA private key and pushes whether they form a matching pair.
+    OP_CHECKRSA512PAIR = 0xC0
+
+
+OPCODE_NAMES: dict[int, str] = {op.value: op.name for op in OP}
+
+
+def opcode_name(value: int) -> str:
+    """Human-readable name of an opcode value (for disassembly/errors)."""
+    return OPCODE_NAMES.get(value, f"OP_UNKNOWN_{value:#04x}")

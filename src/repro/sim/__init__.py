@@ -1,0 +1,45 @@
+"""Deterministic discrete-event simulation substrate.
+
+* :mod:`repro.sim.core` — the event loop, processes (generators), timeouts;
+* :mod:`repro.sim.rng` — named seeded random streams;
+* :mod:`repro.sim.latency` — wide-area latency models (PlanetLab-like);
+* :mod:`repro.sim.trace` — metric recording and summaries.
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.sim.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    PlanetLabLatencyMatrix,
+)
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import MetricsRecorder, Summary, histogram
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "ConstantLatency",
+    "Event",
+    "Interrupt",
+    "LatencyModel",
+    "LogNormalLatency",
+    "MetricsRecorder",
+    "PlanetLabLatencyMatrix",
+    "Process",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+    "Summary",
+    "Timeout",
+    "histogram",
+]

@@ -1,0 +1,369 @@
+"""A deterministic discrete-event simulation kernel.
+
+This is the testbed substrate: the paper measured on PlanetLab + AWS; we
+reproduce the same message sequences over simulated time.  The kernel is a
+small simpy-style engine — processes are Python generators that ``yield``
+events; :class:`Simulator` owns the clock and the event queue.
+
+Determinism rules: ties in the event queue break by insertion order, and
+all randomness must flow through :mod:`repro.sim.rng` streams, so a run is
+a pure function of its seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Simulator",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Kernel-level misuse (double-trigger, yielding a foreign event...)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    Events move through three states: pending → triggered (scheduled to
+    fire) → processed (callbacks run).  ``succeed``/``fail`` trigger the
+    event; the simulator runs callbacks when the clock reaches it.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state")
+
+    _PENDING, _TRIGGERED, _PROCESSED = range(3)
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._state = Event._PENDING
+
+    @property
+    def triggered(self) -> bool:
+        return self._state >= Event._TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        return self._state == Event._PROCESSED
+
+    @property
+    def ok(self) -> Optional[bool]:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger successfully; callbacks fire after ``delay``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self._state = Event._TRIGGERED
+        self.sim._schedule_event(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger with an exception that propagates into waiting processes."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self._state = Event._TRIGGERED
+        self.sim._schedule_event(self, delay)
+        return self
+
+    def _process(self) -> None:
+        self._state = Event._PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        super().__init__(sim)
+        self._ok = True
+        self._value = value
+        self._state = Event._TRIGGERED
+        sim._schedule_event(self, delay)
+
+
+class Process(Event):
+    """Drives a generator; the process *is* an event that fires on return.
+
+    The generator yields :class:`Event` instances; the process resumes with
+    the event's value (or the event's exception is thrown in).
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator",
+                 generator: Generator[Event, Any, Any]) -> None:
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        bootstrap = Timeout(sim, 0.0)
+        bootstrap.callbacks.append(self._resume)
+        self._waiting_on = bootstrap
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return
+        waiting = self._waiting_on
+        if waiting is not None and not waiting.processed:
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        wakeup = Timeout(self.sim, 0.0, value=Interrupt(cause))
+        wakeup.callbacks.append(self._resume_with_interrupt)
+
+    def _resume_with_interrupt(self, event: Event) -> None:
+        self._step(lambda: self._generator.throw(event.value))
+
+    def _resume(self, event: Event) -> None:
+        if event.ok:
+            self._step(lambda: self._generator.send(event.value))
+        else:
+            self._step(lambda: self._generator.throw(event.value))
+
+    def _step(self, advance: Callable[[], Event]) -> None:
+        self._waiting_on = None
+        try:
+            target = advance()
+        except StopIteration as stop:
+            if not self.triggered:
+                self.succeed(stop.value)
+            return
+        except Interrupt:
+            # Interrupt escaped the generator: treat as silent termination.
+            if not self.triggered:
+                self.succeed(None)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {type(target).__name__}, expected Event"
+            )
+        if target.sim is not self.sim:
+            raise SimulationError("process yielded an event from another simulator")
+        self._waiting_on = target
+        if target.processed:
+            # Already fired: resume on the next tick with its value.
+            immediate = Timeout(self.sim, 0.0, value=target.value)
+            if target.ok:
+                immediate.callbacks.append(self._resume)
+            else:
+                immediate._ok = False
+                immediate.callbacks.append(self._resume)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class AllOf(Event):
+    """Fires when every child event has fired (fails fast on any failure)."""
+
+    __slots__ = ("_remaining",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        children = list(events)
+        self._remaining = len(children)
+        if not children:
+            self.succeed([])
+            return
+        for child in children:
+            child.callbacks.append(lambda event, c=children: self._on_child(event, c))
+            if child.processed:
+                self._on_child(child, children)
+
+    def _on_child(self, event: Event, children: list[Event]) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([child.value for child in children])
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        children = list(events)
+        if not children:
+            raise SimulationError("AnyOf needs at least one event")
+        for child in children:
+            child.callbacks.append(self._on_child)
+            if child.processed:
+                self._on_child(child)
+                break
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok:
+            self.succeed(event.value)
+        else:
+            self.fail(event.value)
+
+
+class Lock:
+    """A FIFO mutex for processes sharing a physical resource.
+
+    Usage inside a process::
+
+        yield lock.acquire()
+        try:
+            ...
+        finally:
+            lock.release()
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self._locked = False
+        self._waiters: list[Event] = []
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self) -> Event:
+        event = self._sim.event()
+        if not self._locked:
+            self._locked = True
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if not self._locked:
+            raise SimulationError("release() of an unlocked Lock")
+        if self._waiters:
+            self._waiters.pop(0).succeed()
+        else:
+            self._locked = False
+
+
+class Simulator:
+    """The event loop: a clock plus a priority queue of triggered events."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self.events_processed = 0
+
+    # -- event factories -----------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def lock(self) -> Lock:
+        return Lock(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def call_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` at absolute simulation ``time``."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule in the past: {time} < {self.now}")
+        event = self.timeout(time - self.now)
+        event.callbacks.append(lambda _event: callback())
+        return event
+
+    def call_in(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` after ``delay`` seconds."""
+        event = self.timeout(delay)
+        event.callbacks.append(lambda _event: callback())
+        return event
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _schedule_event(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        heapq.heappush(self._queue, (self.now + delay, next(self._counter), event))
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        time, _tie, event = heapq.heappop(self._queue)
+        self.now = time
+        self.events_processed += 1
+        event._process()
+
+    def run(self, until: Optional[float] = None,
+            max_events: int = 50_000_000) -> None:
+        """Run until the queue drains or the clock passes ``until``."""
+        remaining = max_events
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                return
+            self.step()
+            remaining -= 1
+            if remaining <= 0:
+                raise SimulationError(
+                    f"exceeded {max_events} events; runaway simulation?"
+                )
+        if until is not None:
+            self.now = max(self.now, until)

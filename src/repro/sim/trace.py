@@ -1,0 +1,114 @@
+"""Metric collection for simulation runs.
+
+:class:`MetricsRecorder` accumulates named samples and timestamped events;
+:class:`Summary` computes the statistics the benchmark harness prints
+(mean, percentiles, histogram) — the numbers behind the paper's Figs. 5/6.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["MetricsRecorder", "Summary", "histogram"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Descriptive statistics over one metric's samples."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def of(cls, samples: list[float]) -> "Summary":
+        if not samples:
+            raise ValueError("cannot summarize zero samples")
+        ordered = sorted(samples)
+        n = len(ordered)
+        mean = sum(ordered) / n
+        variance = sum((x - mean) ** 2 for x in ordered) / n if n > 1 else 0.0
+        return cls(
+            count=n,
+            mean=mean,
+            stdev=math.sqrt(variance),
+            minimum=ordered[0],
+            p25=_quantile(ordered, 0.25),
+            median=_quantile(ordered, 0.50),
+            p75=_quantile(ordered, 0.75),
+            p95=_quantile(ordered, 0.95),
+            p99=_quantile(ordered, 0.99),
+            maximum=ordered[-1],
+        )
+
+    def format(self, unit: str = "s") -> str:
+        return (
+            f"n={self.count} mean={self.mean:.3f}{unit} "
+            f"median={self.median:.3f}{unit} p95={self.p95:.3f}{unit} "
+            f"p99={self.p99:.3f}{unit} max={self.maximum:.3f}{unit}"
+        )
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """Linear-interpolation quantile of pre-sorted data."""
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = position - lower
+    return ordered[lower] * (1 - weight) + ordered[upper] * weight
+
+
+def histogram(samples: list[float], bins: int = 20,
+              lo: Optional[float] = None,
+              hi: Optional[float] = None) -> list[tuple[float, float, int]]:
+    """Fixed-width histogram as ``(bin_lo, bin_hi, count)`` triples."""
+    if not samples:
+        return []
+    lo = min(samples) if lo is None else lo
+    hi = max(samples) if hi is None else hi
+    if hi <= lo:
+        return [(lo, hi, len(samples))]
+    width = (hi - lo) / bins
+    counts = [0] * bins
+    for sample in samples:
+        index = int((sample - lo) / width)
+        counts[min(max(index, 0), bins - 1)] += 1
+    return [(lo + i * width, lo + (i + 1) * width, counts[i]) for i in range(bins)]
+
+
+@dataclass
+class MetricsRecorder:
+    """Named sample series plus a timestamped event log."""
+
+    samples: dict[str, list[float]] = field(default_factory=dict)
+    events: list[tuple[float, str, dict]] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def record(self, metric: str, value: float) -> None:
+        self.samples.setdefault(metric, []).append(value)
+
+    def mark(self, time: float, label: str, **details) -> None:
+        self.events.append((time, label, details))
+
+    def count(self, counter: str, delta: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + delta
+
+    def summary(self, metric: str) -> Summary:
+        series = self.samples.get(metric)
+        if not series:
+            raise KeyError(f"no samples recorded for metric {metric!r}")
+        return Summary.of(series)
+
+    def has(self, metric: str) -> bool:
+        return bool(self.samples.get(metric))

@@ -1,0 +1,121 @@
+"""Threat models: double spend, withholding, RSA economics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import (
+    KeySizeEconomics,
+    factoring_cost_usd,
+    factoring_time_hours,
+    gnfs_work,
+    run_double_spend,
+    run_gateway_withholds_claim,
+    run_recipient_withholds_payment,
+    security_margin,
+)
+from repro.errors import ConfigurationError
+
+
+# -- double spend (§6) ---------------------------------------------------------
+
+def test_zero_conf_attack_succeeds():
+    """The paper's admitted exposure: at 0 confirmations the attacker
+    gets the key without paying."""
+    result = run_double_spend(confirmations_required=0)
+    assert result.key_revealed
+    assert not result.gateway_paid
+    assert not result.offer_confirmed
+    assert result.attack_succeeded
+
+
+def test_one_confirmation_defeats_attack():
+    result = run_double_spend(confirmations_required=1)
+    assert not result.key_revealed
+    assert not result.attack_succeeded
+
+
+@pytest.mark.parametrize("confirmations", [2, 3])
+def test_deeper_confirmation_also_safe(confirmations):
+    result = run_double_spend(confirmations_required=confirmations)
+    assert not result.attack_succeeded
+
+
+def test_double_spend_deterministic():
+    a = run_double_spend(confirmations_required=0, seed=5)
+    b = run_double_spend(confirmations_required=0, seed=5)
+    assert a == b
+
+
+# -- withholding (§4.4) -----------------------------------------------------------
+
+def test_gateway_withholding_is_loss_free():
+    outcome = run_gateway_withholds_claim()
+    assert not outcome.recipient_lost_funds   # refund recovered the lock
+    assert not outcome.gateway_got_payment    # no claim, no reward
+
+
+def test_recipient_withholding_gains_nothing():
+    outcome = run_recipient_withholds_payment()
+    assert not outcome.recipient_got_plaintext
+    assert not outcome.gateway_got_payment
+
+
+def test_gateway_withholding_various_locktimes():
+    for delta in (3, 8):
+        outcome = run_gateway_withholds_claim(refund_delta=delta)
+        assert not outcome.recipient_lost_funds
+
+
+# -- RSA-512 economics (§6) ---------------------------------------------------------
+
+def test_anchor_calibration():
+    """Valenta et al.: RSA-512 for ~$75 in ~4 h."""
+    assert factoring_cost_usd(512) == pytest.approx(75.0)
+    assert factoring_time_hours(512) == pytest.approx(4.0)
+
+
+def test_cost_grows_superexponentially():
+    c512 = factoring_cost_usd(512)
+    c768 = factoring_cost_usd(768)
+    c1024 = factoring_cost_usd(1024)
+    assert c768 > 100 * c512          # hundreds of thousands of dollars
+    assert c1024 > 100 * c768         # hundreds of millions
+
+
+def test_gnfs_work_monotone():
+    values = [gnfs_work(bits) for bits in (512, 640, 768, 1024, 2048)]
+    assert all(a < b for a, b in zip(values, values[1:]))
+
+
+def test_micropayment_is_uneconomical_to_attack():
+    """The paper's argument: attack cost >> micro-payment value."""
+    assert security_margin(512, 0.01) > 1000
+
+
+def test_high_value_payload_needs_bigger_keys():
+    # A $10k payload behind RSA-512 would be economical to crack...
+    assert security_margin(512, 10_000) < 1
+    # ...but not behind RSA-1024.
+    assert security_margin(1024, 10_000) > 1
+
+
+def test_parallelism_shortens_wall_time():
+    assert factoring_time_hours(512, parallelism=4) == pytest.approx(1.0)
+    with pytest.raises(ConfigurationError):
+        factoring_time_hours(512, parallelism=0)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        gnfs_work(64)
+    with pytest.raises(ConfigurationError):
+        security_margin(512, 0)
+
+
+def test_key_size_economics_rows():
+    row = KeySizeEconomics.for_bits(512)
+    assert row.lora_payload_bytes == 132  # the paper's 128 + 4 header
+    row1024 = KeySizeEconomics.for_bits(1024)
+    assert row1024.lora_payload_bytes == 260
+    assert row1024.factoring_cost_usd > row.factoring_cost_usd

@@ -1,0 +1,68 @@
+"""Ephemeral-key substitution by a malicious gateway."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.mitm import MaliciousGatewayAgent
+from repro.core import BcWANNetwork, NetworkConfig
+
+
+@pytest.fixture(scope="module")
+def mitm_network():
+    network = BcWANNetwork(NetworkConfig(
+        num_gateways=2, sensors_per_gateway=2, exchange_interval=20.0,
+        seed=81,
+    ))
+    # Replace site-0's gateway logic with the substituting variant,
+    # re-wiring the radio and protocol hooks to the new agent.
+    site = network.sites[0]
+    honest = site.gateway
+    evil = MaliciousGatewayAgent(
+        network.sim, site.name, honest.radio, site.daemon, site.wallet,
+        site.directory, network.wan, network.config.cost_model,
+        network.tracker, network.rngs.stream("evil-gateway"),
+        price=network.config.price,
+    )
+    # Detach the honest agent's radio handlers (evil registered its own).
+    honest.radio._receive_handlers.remove(honest._on_frame)
+    site.gateway = evil
+    report = network.run(num_exchanges=12)
+    return network, evil, report
+
+
+def test_substituted_keys_are_rejected(mitm_network):
+    network, evil, _report = mitm_network
+    assert evil.substitutions_attempted > 0
+    through_evil = [r for r in network.tracker.records()
+                    if r.node_id.startswith("dev-1-")]
+    assert through_evil
+    # Every exchange through the malicious gateway dies at step 8.
+    assert all(not r.completed for r in through_evil)
+    assert all("bad signature" in r.failure_reason for r in through_evil
+               if r.status == "failed")
+    assert len([r for r in through_evil if r.status == "failed"]) \
+        == evil.substitutions_attempted
+
+
+def test_attacker_earns_nothing(mitm_network):
+    _network, evil, _report = mitm_network
+    assert evil.claims_made == 0
+    assert evil.rewards_claimed == 0
+
+
+def test_no_payment_was_locked_for_substitutions(mitm_network):
+    network, _evil, _report = mitm_network
+    # Site-1 is the recipient paying site-0's (evil) gateway: it must
+    # have refused before creating any offer.
+    victim = network.sites[1].recipient
+    assert victim.payments_made == 0
+    assert victim.pending_settlements() == 0
+
+
+def test_honest_direction_unaffected(mitm_network):
+    network, _evil, report = mitm_network
+    honest_exchanges = [r for r in network.tracker.records()
+                        if r.node_id.startswith("dev-0-")]
+    assert any(r.completed for r in honest_exchanges)
+    assert report.completed > 0

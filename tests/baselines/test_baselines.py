@@ -1,0 +1,120 @@
+"""The three comparison systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    AltruisticBaseline,
+    LoRaWANBaseline,
+    ReputationExchange,
+)
+from repro.core.config import NetworkConfig
+from repro.errors import ConfigurationError
+
+SMALL = dict(num_gateways=3, sensors_per_gateway=4, exchange_interval=25.0,
+             seed=21)
+
+
+# -- legacy LoRaWAN ------------------------------------------------------------
+
+def test_legacy_roaming_delivers_nothing():
+    """Fig. 1's architecture cannot serve foreign devices — the gap BcWAN
+    fills."""
+    report = LoRaWANBaseline(NetworkConfig(**SMALL)).run(num_exchanges=20)
+    assert report.completed == 0
+    assert report.failed >= 15
+    assert report.delivery_rate == 0.0
+
+
+def test_legacy_home_network_works_and_is_fast():
+    config = NetworkConfig(roaming_offset=0, **{k: v for k, v in SMALL.items()
+                                                if k != "seed"}, seed=21)
+    report = LoRaWANBaseline(config).run(num_exchanges=20)
+    assert report.delivery_rate > 0.8
+    # One uplink + two WAN hops: well under a second.
+    assert report.mean_latency < 1.0
+
+
+# -- altruistic -----------------------------------------------------------------
+
+def test_altruistic_full_participation_delivers():
+    report = AltruisticBaseline(NetworkConfig(**SMALL),
+                                participation=1.0).run(num_exchanges=20)
+    assert report.delivery_rate > 0.8
+    assert report.mean_latency < 1.5
+
+
+def test_altruistic_zero_participation_delivers_nothing():
+    baseline = AltruisticBaseline(NetworkConfig(**SMALL), participation=0.0)
+    report = baseline.run(num_exchanges=20)
+    assert report.completed == 0
+    assert baseline.drops_unwilling > 0
+
+
+def test_altruistic_delivery_tracks_participation():
+    """More willing gateways, more delivered messages — monotone trend."""
+    rates = []
+    for participation in (0.0, 0.5, 1.0):
+        report = AltruisticBaseline(
+            NetworkConfig(**SMALL), participation=participation,
+        ).run(num_exchanges=20)
+        rates.append(report.delivery_rate)
+    assert rates[0] <= rates[1] <= rates[2]
+    assert rates[2] > rates[0]
+
+
+def test_altruistic_participation_validation():
+    with pytest.raises(ConfigurationError):
+        AltruisticBaseline(NetworkConfig(**SMALL), participation=1.5)
+
+
+# -- reputation -----------------------------------------------------------------
+
+def test_honest_gateways_keep_reputation():
+    exchange = ReputationExchange({"gw-0": 1.0, "gw-1": 1.0})
+    report = exchange.simulate(50)
+    assert report.stolen_payments == 0
+    assert report.delivery_rate == 1.0
+    assert all(score == 1.0 for score in exchange.reputation.values())
+
+
+def test_thief_steals_before_detection():
+    """Reputation 'reduces the probability of misbehavior but does not
+    eliminate the problem' (section 4.4): the thief keeps early payments."""
+    exchange = ReputationExchange({"gw-thief": 0.0}, threshold=0.5,
+                                  smoothing=0.25)
+    report = exchange.simulate(40)
+    assert report.stolen_payments > 0          # money lost — unlike BcWAN
+    assert report.refused_low_reputation > 0   # eventually blacklisted
+    assert exchange.reputation["gw-thief"] < 0.5
+
+
+def test_intermittent_cheater_evades_blacklist_longer():
+    steady = ReputationExchange({"gw": 0.0}, threshold=0.5)
+    sneaky = ReputationExchange({"gw": 0.7}, threshold=0.5)
+    steady_report = steady.simulate(100)
+    sneaky_report = sneaky.simulate(100)
+    assert sneaky_report.paid > steady_report.paid
+    assert sneaky_report.stolen_payments > 0
+
+
+def test_reputation_validation():
+    with pytest.raises(ConfigurationError):
+        ReputationExchange({"gw": 1.5})
+    with pytest.raises(ConfigurationError):
+        ReputationExchange({"gw": 1.0}, threshold=2.0)
+    with pytest.raises(ConfigurationError):
+        ReputationExchange({"gw": 1.0}, smoothing=0.0)
+    exchange = ReputationExchange({"gw": 1.0})
+    from repro.baselines.reputation import ReputationReport
+    with pytest.raises(ConfigurationError):
+        exchange.attempt("unknown", ReputationReport())
+
+
+def test_reputation_deterministic_with_rng():
+    import random
+    a = ReputationExchange({"gw": 0.5}, rng=random.Random(3)).simulate(30)
+    b = ReputationExchange({"gw": 0.5}, rng=random.Random(3)).simulate(30)
+    assert a.stolen_payments == b.stolen_payments
+    assert a.delivered == b.delivered

@@ -1,0 +1,228 @@
+"""Chain state: fork choice, reorgs, orphans."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.blockchain.block import Block
+from repro.blockchain.chain import Chain, create_genesis_block
+from repro.blockchain.miner import Miner
+from repro.blockchain.mempool import Mempool
+from repro.blockchain.node import FullNode
+from repro.blockchain.params import ChainParams
+from repro.blockchain.transaction import (
+    COINBASE_OUTPOINT,
+    OutPoint,
+    Transaction,
+    TxInput,
+    TxOutput,
+)
+from repro.blockchain.wallet import Wallet
+from repro.crypto.keys import KeyPair
+from repro.errors import ValidationError
+from repro.script.builder import p2pkh_locking
+from repro.script.script import Script, encode_number
+
+
+def make_coinbase(height, tag=0):
+    return Transaction(
+        inputs=[TxInput(outpoint=COINBASE_OUTPOINT,
+                        script_sig=Script([encode_number(height),
+                                           encode_number(tag)]))],
+        outputs=[TxOutput(value=50, script_pubkey=p2pkh_locking(b"\x01" * 20))],
+    )
+
+
+def extend(chain, parent_hash, height, timestamp, tag=0, extra=()):
+    block = Block.assemble(
+        prev_hash=parent_hash, timestamp=timestamp,
+        transactions=[make_coinbase(height, tag), *extra],
+    )
+    return block, chain.add_block(block)
+
+
+def test_genesis_deterministic():
+    params = ChainParams()
+    assert create_genesis_block(params).hash == create_genesis_block(params).hash
+
+
+def test_fresh_chain_at_genesis():
+    chain = Chain()
+    assert chain.height == 0
+    assert chain.tip.block == chain.genesis
+    assert len(chain.utxos) == 0  # genesis coinbase is OP_RETURN
+
+
+def test_extend_tip():
+    chain = Chain()
+    block, result = extend(chain, chain.tip.hash, 1, 1.0)
+    assert result.status == "active"
+    assert chain.height == 1
+    assert chain.tip.hash == block.hash
+
+
+def test_duplicate_block():
+    chain = Chain()
+    block, _result = extend(chain, chain.tip.hash, 1, 1.0)
+    assert chain.add_block(block).status == "duplicate"
+
+
+def test_orphan_block_connected_when_parent_arrives():
+    chain = Chain()
+    parent = Block.assemble(prev_hash=chain.tip.hash, timestamp=1.0,
+                            transactions=[make_coinbase(1)])
+    child = Block.assemble(prev_hash=parent.hash, timestamp=2.0,
+                           transactions=[make_coinbase(2)])
+    assert chain.add_block(child).status == "orphan"
+    assert chain.height == 0
+    result = chain.add_block(parent)
+    assert result.status == "active"
+    assert chain.height == 2
+    assert chain.tip.hash == child.hash
+
+
+def test_side_chain_then_reorg():
+    chain = Chain()
+    genesis_hash = chain.tip.hash
+    a1, _unused = extend(chain, genesis_hash, 1, 1.0, tag=1)
+    a2, _unused = extend(chain, a1.hash, 2, 2.0, tag=1)
+    assert chain.height == 2
+
+    # A competing branch from genesis: shorter first (side), then longer.
+    b1, result = extend(chain, genesis_hash, 1, 1.5, tag=2)
+    assert result.status == "side"
+    b2, result = extend(chain, b1.hash, 2, 2.5, tag=2)
+    assert result.status == "side"  # equal work: first-seen wins
+    assert chain.tip.hash == a2.hash
+
+    b3, result = extend(chain, b2.hash, 3, 3.0, tag=2)
+    assert result.status == "active"
+    assert result.reorged
+    assert set(result.disconnected) == {a1.hash, a2.hash}
+    assert chain.tip.hash == b3.hash
+    assert chain.height == 3
+
+
+def test_reorg_rolls_utxos():
+    chain = Chain()
+    genesis_hash = chain.tip.hash
+    a1, _unused = extend(chain, genesis_hash, 1, 1.0, tag=1)
+    a_coin = OutPoint(txid=a1.coinbase.txid, index=0)
+    assert chain.utxos.get(a_coin) is not None
+
+    b1, _unused = extend(chain, genesis_hash, 1, 1.5, tag=2)
+    b2, result = extend(chain, b1.hash, 2, 2.0, tag=2)
+    assert result.reorged
+    assert chain.utxos.get(a_coin) is None
+    assert chain.utxos.get(OutPoint(txid=b1.coinbase.txid, index=0)) is not None
+    assert chain.utxos.get(OutPoint(txid=b2.coinbase.txid, index=0)) is not None
+
+
+def test_is_active_and_block_at():
+    chain = Chain()
+    block, _unused = extend(chain, chain.tip.hash, 1, 1.0)
+    assert chain.is_active(block.hash)
+    assert chain.block_at(1) == block
+    assert chain.block_at(5) is None
+
+
+def test_confirmations():
+    chain = Chain()
+    b1, _unused = extend(chain, chain.tip.hash, 1, 1.0)
+    txid = b1.coinbase.txid
+    assert chain.confirmations(txid) == 1
+    b2, _unused = extend(chain, b1.hash, 2, 2.0)
+    assert chain.confirmations(txid) == 2
+    assert chain.confirmations(b"\x00" * 32) == 0
+
+
+def test_find_transaction():
+    chain = Chain()
+    b1, _unused = extend(chain, chain.tip.hash, 1, 1.0)
+    found = chain.find_transaction(b1.coinbase.txid)
+    assert found == (b1.coinbase, 1)
+    assert chain.find_transaction(b"\x00" * 32) is None
+
+
+def test_connect_listener_fires_in_order():
+    chain = Chain()
+    seen = []
+    chain.add_connect_listener(lambda block, height: seen.append(height))
+    b1, _unused = extend(chain, chain.tip.hash, 1, 1.0)
+    extend(chain, b1.hash, 2, 2.0)
+    assert seen == [1, 2]
+
+
+def test_invalid_block_rejected():
+    chain = Chain()
+    # Coinbase claiming too much.
+    greedy = Transaction(
+        inputs=[TxInput(outpoint=COINBASE_OUTPOINT,
+                        script_sig=Script([encode_number(1)]))],
+        outputs=[TxOutput(value=10**12,
+                          script_pubkey=p2pkh_locking(b"\x01" * 20))],
+    )
+    block = Block.assemble(prev_hash=chain.tip.hash, timestamp=1.0,
+                           transactions=[greedy])
+    with pytest.raises(ValidationError):
+        chain.add_block(block)
+    assert chain.height == 0
+
+
+def test_block_spending_unknown_output_rejected():
+    chain = Chain()
+    bogus = Transaction(
+        inputs=[TxInput(outpoint=OutPoint(txid=b"\x09" * 32, index=0))],
+        outputs=[TxOutput(value=1, script_pubkey=Script())],
+    )
+    block = Block.assemble(prev_hash=chain.tip.hash, timestamp=1.0,
+                           transactions=[make_coinbase(1), bogus])
+    with pytest.raises(ValidationError):
+        chain.add_block(block)
+
+
+def test_double_spend_across_reorg_resolves_to_one_branch(rng):
+    """The §6 scenario at the chain level: only one spend survives."""
+    params = ChainParams(coinbase_maturity=1)
+    node = FullNode(params, "n")
+    wallet = Wallet(node.chain, KeyPair.generate(rng))
+    wallet.watch_chain()
+    miner = Miner(chain=node.chain, mempool=node.mempool,
+                  reward_pubkey_hash=wallet.pubkey_hash)
+    for i in range(3):
+        miner.mine_and_connect(float(i))
+
+    alice = KeyPair.generate(rng)
+    bob = KeyPair.generate(rng)
+    pay_alice = wallet.create_payment(alice.pubkey_hash, 100)
+    wallet.release_pending(pay_alice)
+    pay_bob = wallet.create_payment(bob.pubkey_hash, 100)
+    shared = ({i.outpoint for i in pay_alice.inputs}
+              & {i.outpoint for i in pay_bob.inputs})
+    assert shared
+
+    tip = node.chain.tip
+    block_alice = Block.assemble(
+        prev_hash=tip.hash, timestamp=10.0,
+        transactions=[make_coinbase(tip.height + 1, tag=1), pay_alice],
+    )
+    assert node.chain.add_block(block_alice).status == "active"
+    alice_coin = OutPoint(txid=pay_alice.txid, index=0)
+    assert node.chain.utxos.get(alice_coin) is not None
+
+    # A competing branch confirms the conflicting payment to bob.
+    block_bob = Block.assemble(
+        prev_hash=tip.hash, timestamp=10.5,
+        transactions=[make_coinbase(tip.height + 1, tag=2), pay_bob],
+    )
+    node.chain.add_block(block_bob)
+    block_bob2 = Block.assemble(
+        prev_hash=block_bob.hash, timestamp=11.0,
+        transactions=[make_coinbase(tip.height + 2, tag=2)],
+    )
+    result = node.chain.add_block(block_bob2)
+    assert result.reorged
+    assert node.chain.utxos.get(alice_coin) is None
+    assert node.chain.utxos.get(OutPoint(txid=pay_bob.txid, index=0)) is not None

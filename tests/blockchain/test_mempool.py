@@ -1,0 +1,171 @@
+"""Mempool admission: validation, conflicts, eviction, block templates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blockchain.transaction import (
+    OutPoint,
+    SEQUENCE_FINAL,
+    Transaction,
+    TxInput,
+    TxOutput,
+)
+from repro.crypto.keys import KeyPair
+from repro.errors import ValidationError
+from repro.script.builder import p2pkh_locking
+from repro.script.script import Script
+
+
+def test_accept_valid_payment(funded_chain, rng):
+    node, wallet, _miner = funded_chain
+    to = KeyPair.generate(rng)
+    tx = wallet.create_payment(to.pubkey_hash, 100)
+    node.mempool.accept(tx)
+    assert tx.txid in node.mempool
+    assert node.mempool.get(tx.txid) == tx
+
+
+def test_reject_duplicate(funded_chain, rng):
+    node, wallet, _miner = funded_chain
+    tx = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 100)
+    node.mempool.accept(tx)
+    with pytest.raises(ValidationError):
+        node.mempool.accept(tx)
+
+
+def test_reject_coinbase(funded_chain):
+    node, _wallet, miner = funded_chain
+    coinbase = miner.build_coinbase(99, 0)
+    with pytest.raises(ValidationError):
+        node.mempool.accept(coinbase)
+
+
+def test_reject_double_spend(funded_chain, rng):
+    node, wallet, _miner = funded_chain
+    first = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 100)
+    node.mempool.accept(first)
+    wallet.release_pending(first)
+    second = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 200)
+    shared = ({i.outpoint for i in first.inputs}
+              & {i.outpoint for i in second.inputs})
+    assert shared
+    with pytest.raises(ValidationError):
+        node.mempool.accept(second)
+    assert node.mempool.conflicts_with(second) == [first.txid]
+
+
+def test_reject_missing_input(funded_chain):
+    node, _wallet, _miner = funded_chain
+    tx = Transaction(
+        inputs=[TxInput(outpoint=OutPoint(txid=b"\x07" * 32, index=0))],
+        outputs=[TxOutput(value=1, script_pubkey=Script())],
+    )
+    with pytest.raises(ValidationError):
+        node.mempool.accept(tx)
+
+
+def test_reject_value_inflation(funded_chain, rng):
+    node, wallet, _miner = funded_chain
+    tx = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 100)
+    inflated = Transaction(
+        inputs=tx.inputs,
+        outputs=[TxOutput(value=10**15, script_pubkey=Script())],
+        locktime=tx.locktime,
+    )
+    with pytest.raises(ValidationError):
+        node.mempool.accept(inflated)
+
+
+def test_reject_bad_signature(funded_chain, rng):
+    node, wallet, _miner = funded_chain
+    tx = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 100)
+    tampered = tx.with_input_script(
+        0, Script([b"\x00" * 64, wallet.pubkey_bytes])
+    )
+    with pytest.raises(ValidationError):
+        node.mempool.accept(tampered)
+
+
+def test_reject_non_final(funded_chain, rng):
+    node, wallet, _miner = funded_chain
+    to = KeyPair.generate(rng)
+    coins = wallet.spendable_coins()
+    tx = Transaction(
+        inputs=[TxInput(outpoint=coins[0][0], sequence=0)],
+        outputs=[TxOutput(value=coins[0][1],
+                          script_pubkey=p2pkh_locking(to.pubkey_hash))],
+        locktime=node.chain.height + 50,
+    )
+    tx = tx.with_input_script(
+        0, Script([wallet.sign_input(tx, 0,
+                                     p2pkh_locking(wallet.pubkey_hash)),
+                   wallet.pubkey_bytes]),
+    )
+    with pytest.raises(ValidationError):
+        node.mempool.accept(tx)
+
+
+def test_unconfirmed_chaining(funded_chain, rng):
+    node, wallet, _miner = funded_chain
+    middle = KeyPair.generate(rng)
+    parent = wallet.create_payment(middle.pubkey_hash, 1000)
+    node.mempool.accept(parent)
+
+    # Build a child spending the unconfirmed output.
+    parent_index = next(
+        i for i, out in enumerate(parent.outputs)
+        if out.script_pubkey.to_bytes()
+        == p2pkh_locking(middle.pubkey_hash).to_bytes()
+    )
+    final = KeyPair.generate(rng)
+    child = Transaction(
+        inputs=[TxInput(outpoint=OutPoint(txid=parent.txid,
+                                          index=parent_index))],
+        outputs=[TxOutput(value=900,
+                          script_pubkey=p2pkh_locking(final.pubkey_hash))],
+    )
+    digest = child.sighash(0, p2pkh_locking(middle.pubkey_hash))
+    child = child.with_input_script(
+        0, Script([middle.sign(digest).to_bytes(),
+                   middle.public_key.to_bytes()]),
+    )
+    node.mempool.accept(child)
+    assert child.txid in node.mempool
+
+
+def test_remove_confirmed_evicts_conflicts(funded_chain, rng):
+    node, wallet, _miner = funded_chain
+    first = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 100)
+    node.mempool.accept(first)
+    wallet.release_pending(first)
+    # A conflicting tx confirmed in a block evicts the pool's version.
+    conflicting = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 150)
+    removed = node.mempool.remove_confirmed([conflicting])
+    assert removed == 1
+    assert first.txid not in node.mempool
+
+
+def test_select_for_block_respects_dependencies(funded_chain, rng):
+    node, wallet, _miner = funded_chain
+    middle = KeyPair.generate(rng)
+    parent = wallet.create_payment(middle.pubkey_hash, 1000)
+    node.mempool.accept(parent)
+    selected = node.mempool.select_for_block(1_000_000)
+    assert parent in selected
+
+
+def test_select_for_block_respects_size(funded_chain, rng):
+    node, wallet, _miner = funded_chain
+    tx = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 100)
+    node.mempool.accept(tx)
+    assert node.mempool.select_for_block(10) == []
+
+
+def test_remove_returns_transaction(funded_chain, rng):
+    node, wallet, _miner = funded_chain
+    tx = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 100)
+    node.mempool.accept(tx)
+    assert node.mempool.remove(tx.txid) == tx
+    assert node.mempool.remove(tx.txid) is None
+    assert len(node.mempool) == 0

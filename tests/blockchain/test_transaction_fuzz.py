@@ -1,0 +1,81 @@
+"""Fuzzing wire-format parsers: consensus decoders fail closed."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blockchain.block import BlockHeader
+from repro.blockchain.store import deserialize_block, serialize_block
+from repro.blockchain.transaction import Transaction
+from repro.errors import ValidationError
+
+
+@given(st.binary(max_size=400))
+@settings(max_examples=400, deadline=None)
+def test_random_bytes_never_crash_tx_parser(data):
+    try:
+        tx = Transaction.deserialize(data)
+    except ValidationError:
+        return
+    except Exception as exc:  # pragma: no cover - the failure we hunt
+        pytest.fail(f"non-ValidationError escaped: {type(exc).__name__}: {exc}")
+    # Anything that parses must round-trip.
+    assert Transaction.deserialize(tx.serialize()) == tx
+
+
+@given(st.binary(max_size=120))
+@settings(max_examples=200, deadline=None)
+def test_random_bytes_never_crash_header_parser(data):
+    try:
+        header = BlockHeader.deserialize(data)
+    except ValidationError:
+        return
+    assert BlockHeader.deserialize(header.serialize()).hash == header.hash
+
+
+@given(st.binary(max_size=600))
+@settings(max_examples=200, deadline=None)
+def test_random_bytes_never_crash_block_parser(data):
+    try:
+        block = deserialize_block(data)
+    except ValidationError:
+        return
+    assert deserialize_block(serialize_block(block)).hash == block.hash
+
+
+@given(st.data())
+@settings(max_examples=100, deadline=None)
+def test_bitflips_in_valid_tx_are_caught_or_benign(funded_chain_tx, data):
+    """Flipping any byte of a valid transaction either fails parsing or
+    changes the txid (no silent aliasing)."""
+    wire = bytearray(funded_chain_tx.serialize())
+    index = data.draw(st.integers(min_value=0, max_value=len(wire) - 1))
+    bit = data.draw(st.integers(min_value=0, max_value=7))
+    wire[index] ^= 1 << bit
+    try:
+        mutated = Transaction.deserialize(bytes(wire))
+    except ValidationError:
+        return
+    assert mutated.txid != funded_chain_tx.txid
+
+
+@pytest.fixture(scope="module")
+def funded_chain_tx():
+    """One signed, valid transaction to mutate."""
+    import random
+    from repro.blockchain.miner import Miner
+    from repro.blockchain.node import FullNode
+    from repro.blockchain.params import ChainParams
+    from repro.blockchain.wallet import Wallet
+    from repro.crypto.keys import KeyPair
+
+    rng = random.Random(5)
+    node = FullNode(ChainParams(coinbase_maturity=1), "fuzz")
+    wallet = Wallet(node.chain, KeyPair.generate(rng))
+    wallet.watch_chain()
+    miner = Miner(chain=node.chain, mempool=node.mempool,
+                  reward_pubkey_hash=wallet.pubkey_hash)
+    for i in range(3):
+        miner.mine_and_connect(float(i))
+    return wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 100)

@@ -1,0 +1,126 @@
+"""UTXO set semantics: apply, undo, error atomicity."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blockchain.transaction import (
+    COINBASE_OUTPOINT,
+    OutPoint,
+    Transaction,
+    TxInput,
+    TxOutput,
+)
+from repro.blockchain.utxo import UTXOEntry, UTXOSet
+from repro.errors import ValidationError
+from repro.script.script import Script, encode_number
+
+
+def coinbase(height):
+    return Transaction(
+        inputs=[TxInput(outpoint=COINBASE_OUTPOINT,
+                        script_sig=Script([encode_number(height)]))],
+        outputs=[TxOutput(value=50, script_pubkey=Script())],
+    )
+
+
+def spend(prev: Transaction, index=0, outputs=None):
+    return Transaction(
+        inputs=[TxInput(outpoint=OutPoint(txid=prev.txid, index=index))],
+        outputs=outputs or [TxOutput(value=49, script_pubkey=Script())],
+    )
+
+
+def test_apply_coinbase_creates_outputs():
+    utxos = UTXOSet()
+    cb = coinbase(1)
+    spent = utxos.apply_transaction(cb, height=1)
+    assert spent == {}
+    entry = utxos.get(OutPoint(txid=cb.txid, index=0))
+    assert entry is not None
+    assert entry.is_coinbase and entry.height == 1 and entry.value == 50
+
+
+def test_apply_spend_moves_value():
+    utxos = UTXOSet()
+    cb = coinbase(1)
+    utxos.apply_transaction(cb, height=1)
+    tx = spend(cb)
+    spent = utxos.apply_transaction(tx, height=2)
+    assert OutPoint(txid=cb.txid, index=0) in spent
+    assert utxos.get(OutPoint(txid=cb.txid, index=0)) is None
+    assert utxos.get(OutPoint(txid=tx.txid, index=0)) is not None
+
+
+def test_apply_missing_input_rejected_atomically():
+    utxos = UTXOSet()
+    cb = coinbase(1)
+    tx = spend(cb)  # cb never applied
+    with pytest.raises(ValidationError):
+        utxos.apply_transaction(tx, height=1)
+    assert len(utxos) == 0
+
+
+def test_undo_restores_exact_state():
+    utxos = UTXOSet()
+    cb = coinbase(1)
+    utxos.apply_transaction(cb, height=1)
+    before = utxos.snapshot()
+    tx = spend(cb)
+    spent = utxos.apply_transaction(tx, height=2)
+    utxos.undo_transaction(tx, spent)
+    assert utxos.snapshot() == before
+
+
+def test_remove_missing_raises():
+    with pytest.raises(ValidationError):
+        UTXOSet().remove(OutPoint(txid=b"\x01" * 32, index=0))
+
+
+def test_duplicate_add_raises():
+    utxos = UTXOSet()
+    outpoint = OutPoint(txid=b"\x01" * 32, index=0)
+    entry = UTXOEntry(output=TxOutput(value=1, script_pubkey=Script()),
+                      height=0, is_coinbase=False)
+    utxos.add(outpoint, entry)
+    with pytest.raises(ValidationError):
+        utxos.add(outpoint, entry)
+
+
+def test_total_value():
+    utxos = UTXOSet()
+    utxos.apply_transaction(coinbase(1), height=1)
+    utxos.apply_transaction(coinbase(2), height=2)
+    assert utxos.total_value() == 100
+
+
+def test_contains_and_len():
+    utxos = UTXOSet()
+    cb = coinbase(1)
+    utxos.apply_transaction(cb, height=1)
+    assert OutPoint(txid=cb.txid, index=0) in utxos
+    assert len(utxos) == 1
+
+
+@given(st.integers(min_value=1, max_value=6))
+@settings(max_examples=20)
+def test_apply_undo_chain_property(depth):
+    """Applying then undoing any chain of spends restores the start state."""
+    utxos = UTXOSet()
+    cb = coinbase(1)
+    utxos.apply_transaction(cb, height=1)
+    baseline = utxos.snapshot()
+
+    history = []
+    prev = cb
+    for level in range(depth):
+        tx = spend(prev, outputs=[TxOutput(value=50 - level - 1,
+                                           script_pubkey=Script())])
+        spent = utxos.apply_transaction(tx, height=2 + level)
+        history.append((tx, spent))
+        prev = tx
+
+    for tx, spent in reversed(history):
+        utxos.undo_transaction(tx, spent)
+    assert utxos.snapshot() == baseline

@@ -1,0 +1,212 @@
+"""Validation rules and the assembled full node."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blockchain import validation
+from repro.blockchain.block import Block
+from repro.blockchain.node import FullNode
+from repro.blockchain.params import ChainParams
+from repro.blockchain.transaction import (
+    COINBASE_OUTPOINT,
+    OutPoint,
+    Transaction,
+    TxInput,
+    TxOutput,
+)
+from repro.crypto.keys import KeyPair
+from repro.errors import ValidationError
+from repro.script.builder import op_return, p2pkh_locking
+from repro.script.script import Script, encode_number
+
+
+def make_coinbase(height, value=50):
+    return Transaction(
+        inputs=[TxInput(outpoint=COINBASE_OUTPOINT,
+                        script_sig=Script([encode_number(height)]))],
+        outputs=[TxOutput(value=value,
+                          script_pubkey=p2pkh_locking(b"\x01" * 20))],
+    )
+
+
+# -- transaction syntax --------------------------------------------------------
+
+def test_duplicate_inputs_rejected():
+    outpoint = OutPoint(txid=b"\x01" * 32, index=0)
+    tx = Transaction(
+        inputs=[TxInput(outpoint=outpoint), TxInput(outpoint=outpoint)],
+        outputs=[TxOutput(value=1, script_pubkey=Script())],
+    )
+    with pytest.raises(ValidationError):
+        validation.check_transaction_syntax(tx)
+
+
+def test_null_input_in_regular_tx_rejected():
+    tx = Transaction(
+        inputs=[TxInput(outpoint=COINBASE_OUTPOINT),
+                TxInput(outpoint=OutPoint(txid=b"\x01" * 32, index=0))],
+        outputs=[TxOutput(value=1, script_pubkey=Script())],
+    )
+    with pytest.raises(ValidationError):
+        validation.check_transaction_syntax(tx)
+
+
+def test_oversized_value_rejected():
+    tx = Transaction(
+        inputs=[TxInput(outpoint=OutPoint(txid=b"\x01" * 32, index=0))],
+        outputs=[TxOutput(value=22_000_000 * 100_000_000,
+                          script_pubkey=Script())],
+    )
+    with pytest.raises(ValidationError):
+        validation.check_transaction_syntax(tx)
+
+
+def test_fee_computation(funded_chain, rng):
+    node, wallet, _miner = funded_chain
+    tx = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 100,
+                               fee=777)
+    fee = validation.check_transaction_inputs(
+        tx, node.chain.utxos, node.chain.height + 1, node.params,
+    )
+    assert fee == 777
+
+
+def test_script_verification_catches_forgery(funded_chain, rng):
+    node, wallet, _miner = funded_chain
+    thief = KeyPair.generate(rng)
+    tx = wallet.create_payment(thief.pubkey_hash, 100)
+    forged = tx.with_input_script(
+        0, Script([b"\x01" * 64, thief.public_key.to_bytes()]),
+    )
+    with pytest.raises(ValidationError):
+        validation.verify_transaction_scripts(forged, node.chain.utxos)
+
+
+def test_is_op_return_output():
+    assert validation.is_op_return_output(op_return(b"data"))
+    assert not validation.is_op_return_output(p2pkh_locking(b"\x01" * 20))
+
+
+# -- block checks -----------------------------------------------------------------
+
+def test_block_must_start_with_coinbase():
+    params = ChainParams()
+    tx = Transaction(
+        inputs=[TxInput(outpoint=OutPoint(txid=b"\x01" * 32, index=0))],
+        outputs=[TxOutput(value=1, script_pubkey=Script())],
+    )
+    block = Block.assemble(prev_hash=b"\x00" * 32, timestamp=0.0,
+                           transactions=[tx])
+    with pytest.raises(ValidationError):
+        validation.check_block(block, 0, params)
+
+
+def test_block_rejects_second_coinbase():
+    params = ChainParams()
+    block = Block.assemble(
+        prev_hash=b"\x00" * 32, timestamp=0.0,
+        transactions=[make_coinbase(1), make_coinbase(1, value=49)],
+    )
+    with pytest.raises(ValidationError):
+        validation.check_block(block, 0, params)
+
+
+def test_block_rejects_merkle_mismatch():
+    params = ChainParams()
+    good = Block.assemble(prev_hash=b"\x00" * 32, timestamp=0.0,
+                          transactions=[make_coinbase(1)])
+    tampered = Block(header=good.header,
+                     transactions=[make_coinbase(1, value=49)])
+    with pytest.raises(ValidationError):
+        validation.check_block(tampered, 0, params)
+
+
+def test_block_rejects_oversize():
+    params = ChainParams(max_block_size=1000)
+    big_push = Script([b"\x00" * 500, b"\x00" * 500])
+    coinbase = Transaction(
+        inputs=[TxInput(outpoint=COINBASE_OUTPOINT, script_sig=big_push)],
+        outputs=[TxOutput(value=50, script_pubkey=Script())],
+    )
+    block = Block.assemble(prev_hash=b"\x00" * 32, timestamp=0.0,
+                           transactions=[coinbase])
+    with pytest.raises(ValidationError):
+        validation.check_block(block, 0, params)
+
+
+def test_block_rejects_insufficient_pow():
+    params = ChainParams(pow_bits=30)
+    block = Block.assemble(prev_hash=b"\x00" * 32, timestamp=0.0,
+                           transactions=[make_coinbase(1)])
+    # Overwhelmingly unlikely to meet 30 bits at nonce 0.
+    if block.header.meets_target(30):  # pragma: no cover
+        pytest.skip("freak hash")
+    with pytest.raises(ValidationError):
+        validation.check_block(block, 0, params)
+
+
+def test_connect_block_rolls_back_on_failure(funded_chain, rng):
+    node, wallet, _miner = funded_chain
+    good = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 100)
+    bogus = Transaction(
+        inputs=[TxInput(outpoint=OutPoint(txid=b"\x0c" * 32, index=0))],
+        outputs=[TxOutput(value=1, script_pubkey=Script())],
+    )
+    height = node.chain.height + 1
+    block = Block.assemble(
+        prev_hash=node.chain.tip.hash, timestamp=99.0,
+        transactions=[make_coinbase(height), good, bogus],
+    )
+    before = node.chain.utxos.snapshot()
+    with pytest.raises(ValidationError):
+        validation.connect_block_transactions(
+            block, node.chain.utxos, height, node.params,
+        )
+    assert node.chain.utxos.snapshot() == before
+
+
+# -- full node --------------------------------------------------------------------
+
+def test_node_accepts_and_relays_new_tx(funded_chain, rng):
+    node, wallet, _miner = funded_chain
+    tx = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 100)
+    decision = node.submit_transaction(tx)
+    assert decision.accepted and decision.relay
+
+
+def test_node_rejects_known_tx(funded_chain, rng):
+    node, wallet, _miner = funded_chain
+    tx = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 100)
+    node.submit_transaction(tx)
+    decision = node.submit_transaction(tx)
+    assert not decision.accepted
+    assert "already" in decision.reason
+
+
+def test_node_rejects_confirmed_tx(funded_chain, rng):
+    node, wallet, miner = funded_chain
+    tx = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 100)
+    node.submit_transaction(tx)
+    miner.mine_and_connect(100.0)
+    decision = node.submit_transaction(tx)
+    assert not decision.accepted
+
+
+def test_node_block_flow(funded_chain):
+    node, _wallet, miner = funded_chain
+    block = miner.mine(200.0)
+    decision, result = node.submit_block(block)
+    assert decision.accepted and result.status == "active"
+    decision, result = node.submit_block(block)
+    assert not decision.accepted and result.status == "duplicate"
+
+
+def test_node_rejects_invalid_block(funded_chain):
+    node, _wallet, _miner = funded_chain
+    height = node.chain.height + 1
+    greedy = make_coinbase(height, value=10**12)
+    block = Block.assemble(prev_hash=node.chain.tip.hash, timestamp=5.0,
+                           transactions=[greedy])
+    decision, result = node.submit_block(block)
+    assert not decision.accepted and result.status == "rejected"

@@ -1,0 +1,108 @@
+"""Property-based tests on wallet accounting and value conservation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blockchain.miner import Miner
+from repro.blockchain.node import FullNode
+from repro.blockchain.params import ChainParams
+from repro.blockchain.wallet import Wallet
+from repro.crypto.keys import KeyPair
+from repro.errors import ValidationError
+
+
+def fresh_stack(seed: int):
+    rng = random.Random(seed)
+    node = FullNode(ChainParams(coinbase_maturity=1), "prop")
+    alice = Wallet(node.chain, KeyPair.generate(rng))
+    alice.watch_chain()
+    bob = Wallet(node.chain, KeyPair.generate(rng))
+    bob.watch_chain()
+    miner = Miner(chain=node.chain, mempool=node.mempool,
+                  reward_pubkey_hash=alice.pubkey_hash)
+    for i in range(4):
+        miner.mine_and_connect(float(i))
+    return node, alice, bob, miner
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10**9), min_size=1,
+                max_size=8),
+       st.integers(min_value=0, max_value=10**4))
+@settings(max_examples=25, deadline=None)
+def test_value_conservation_across_payments(amounts, fee):
+    """Whatever sequence of payments is mined, total on-chain value is
+    exactly coinbase issuance (fees recirculate to the miner)."""
+    node, alice, bob, miner = fresh_stack(1)
+    sent = 0
+    for amount in amounts:
+        try:
+            tx = alice.create_payment(bob.pubkey_hash, amount, fee=fee)
+        except ValidationError:
+            break  # out of spendable coins: acceptable
+        if not node.submit_transaction(tx).accepted:
+            alice.release_pending(tx)
+            break
+        sent += amount
+    miner.mine_and_connect(100.0)
+    total_issued = node.chain.height * node.params.coinbase_reward
+    assert node.chain.utxos.total_value() == total_issued
+    assert bob.balance == sent
+
+
+@given(st.integers(min_value=1, max_value=20))
+@settings(max_examples=15, deadline=None)
+def test_fanout_value_exact(count):
+    node, alice, bob, miner = fresh_stack(2)
+    tx = alice.create_fanout(bob.pubkey_hash, 100, count)
+    assert node.submit_transaction(tx).accepted
+    miner.mine_and_connect(50.0)
+    assert bob.balance == 100 * count
+    assert len(bob.spendable_coins()) == count
+
+
+@given(st.integers(min_value=0, max_value=6))
+@settings(max_examples=10, deadline=None)
+def test_balance_never_negative_and_never_inflates(spend_rounds):
+    node, alice, bob, miner = fresh_stack(3)
+    issued_before = node.chain.height * node.params.coinbase_reward
+    for i in range(spend_rounds):
+        try:
+            tx = alice.create_payment(bob.pubkey_hash, 10**9)
+        except ValidationError:
+            break
+        node.submit_transaction(tx)
+        miner.mine_and_connect(10.0 + i)
+    assert alice.balance >= 0
+    assert bob.balance >= 0
+    issued_now = node.chain.height * node.params.coinbase_reward
+    # alice mined every block, so alice + bob <= everything ever issued.
+    assert alice.balance + bob.balance <= issued_now
+    assert issued_now >= issued_before
+
+
+def test_wallet_sees_spend_of_its_coin_by_other_software():
+    """A spend built outside this wallet instance still updates it."""
+    node, alice, bob, miner = fresh_stack(4)
+    # A second wallet instance over the same key ("other software").
+    clone = Wallet(node.chain, alice.keypair)
+    clone.refresh_from_utxo_set()
+    tx = clone.create_payment(bob.pubkey_hash, 123)
+    assert node.submit_transaction(tx).accepted
+    miner.mine_and_connect(60.0)
+    # The original wallet observed the block and dropped the spent coin.
+    spent_outpoints = {i.outpoint for i in tx.inputs}
+    assert not (spent_outpoints & set(alice._owned))
+
+
+def test_refresh_after_external_history():
+    node, alice, bob, miner = fresh_stack(5)
+    tx = alice.create_payment(bob.pubkey_hash, 777)
+    assert node.submit_transaction(tx).accepted
+    miner.mine_and_connect(70.0)
+    late = Wallet(node.chain, bob.keypair)
+    late.refresh_from_utxo_set()
+    assert late.balance == 777

@@ -1,0 +1,37 @@
+"""Shared fixtures for the BcWAN reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.blockchain.miner import Miner
+from repro.blockchain.node import FullNode
+from repro.blockchain.params import ChainParams
+from repro.blockchain.wallet import Wallet
+from repro.crypto.keys import KeyPair
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for reproducible tests."""
+    return random.Random(0xBC_4A)
+
+
+@pytest.fixture
+def funded_chain(rng):
+    """A node with a wallet holding several mature coinbases.
+
+    Returns ``(node, wallet, miner)`` — the standard starting point for
+    blockchain-level tests.
+    """
+    params = ChainParams(coinbase_maturity=1)
+    node = FullNode(params, "test-node")
+    wallet = Wallet(node.chain, KeyPair.generate(rng))
+    wallet.watch_chain()
+    miner = Miner(chain=node.chain, mempool=node.mempool,
+                  reward_pubkey_hash=wallet.pubkey_hash)
+    for i in range(5):
+        miner.mine_and_connect(float(i))
+    return node, wallet, miner

@@ -1,0 +1,131 @@
+"""Master-gateway election (§4.2 footnote 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.directory import DirectoryView, build_announcement_payload
+from repro.core.election import MasterElection
+from repro.errors import ConfigurationError
+
+
+def make_election(**kwargs):
+    return MasterElection(actor_id="acme",
+                          gateways=["gw-a", "gw-b", "gw-c"], **kwargs)
+
+
+def test_single_gateway_is_master():
+    election = MasterElection(actor_id="solo", gateways=["only"])
+    assert election.current_master() == "only"
+    assert election.is_master("only")
+
+
+def test_election_is_deterministic():
+    assert make_election().current_master() == make_election().current_master()
+
+
+def test_all_members_agree_without_communication():
+    """Each gateway computes the election independently; same result."""
+    views = [make_election() for _ in range(3)]
+    masters = {view.current_master() for view in views}
+    assert len(masters) == 1
+
+
+def test_failover_moves_master():
+    election = make_election()
+    first = election.current_master()
+    election.mark_down(first)
+    second = election.current_master()
+    assert second != first
+    assert second in election.healthy_gateways()
+
+
+def test_recovery_restores_original_master():
+    election = make_election()
+    first = election.current_master()
+    election.mark_down(first)
+    election.mark_up(first)
+    assert election.current_master() == first
+
+
+def test_change_callback_fires_once_per_change():
+    changes = []
+    election = make_election(on_master_change=changes.append)
+    first = election.current_master()
+    election.mark_down(first)
+    election.mark_down(election.current_master())
+    election.mark_up(first)
+    assert len(changes) == 3
+    assert changes[-1] == first
+    # Marking a non-master down does not change leadership.
+    non_master = next(g for g in election.healthy_gateways()
+                      if g != election.current_master())
+    before = list(changes)
+    election.mark_down(non_master)
+    assert changes == before
+
+
+def test_rotate_changes_epoch_ranking_eventually():
+    election = make_election()
+    masters = {election.current_master()}
+    for _ in range(8):
+        masters.add(election.rotate())
+    assert len(masters) > 1  # rotation spreads leadership
+
+
+def test_all_down_is_an_error():
+    election = MasterElection(actor_id="a", gateways=["x"])
+    election.mark_down("x")
+    with pytest.raises(ConfigurationError):
+        election.current_master()
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        MasterElection(actor_id="a", gateways=[])
+    with pytest.raises(ConfigurationError):
+        MasterElection(actor_id="a", gateways=["x", "x"])
+    election = make_election()
+    with pytest.raises(ConfigurationError):
+        election.mark_down("ghost")
+    with pytest.raises(ConfigurationError):
+        election.add_gateway("gw-a")
+
+
+def test_add_gateway_may_take_over():
+    election = MasterElection(actor_id="acme", gateways=["gw-a"])
+    changes = []
+    election.on_master_change = changes.append
+    election.add_gateway("gw-b")
+    election.add_gateway("gw-c")
+    # Whoever ranks lowest now leads; determinism checked by replay.
+    replay = MasterElection(actor_id="acme",
+                            gateways=["gw-a", "gw-b", "gw-c"])
+    assert election.current_master() == replay.current_master()
+
+
+def test_failover_with_directory_reannounce(funded_chain):
+    """The full §4.2 story: master dies -> new master -> re-announce ->
+    foreign gateways resolve the new endpoint."""
+    node, wallet, miner = funded_chain
+    view = DirectoryView(node.chain)
+    view.follow()
+
+    def announce(endpoint: str) -> None:
+        tx = wallet.create_announcement(
+            build_announcement_payload(wallet.keypair, endpoint))
+        assert node.submit_transaction(tx).accepted
+        miner.mine_and_connect(float(node.chain.height))
+
+    election = MasterElection(
+        actor_id="acme", gateways=["gw-a", "gw-b"],
+        on_master_change=announce,
+    )
+    announce(election.current_master())
+    assert view.lookup(wallet.address).endpoint == election.current_master()
+
+    dead = election.current_master()
+    election.mark_down(dead)
+    new_master = election.current_master()
+    assert view.lookup(wallet.address).endpoint == new_master
+    assert new_master != dead

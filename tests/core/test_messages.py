@@ -1,0 +1,169 @@
+"""The Fig. 4 payload pipeline: seal, sign, verify, open."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.messages import (
+    BUNDLE_SIZE,
+    MAX_PLAINTEXT,
+    SealedBundle,
+    decode_bundle,
+    encode_bundle,
+    open_message,
+    seal_message,
+    sign_payload,
+    verify_payload,
+)
+from repro.crypto import rsa
+from repro.errors import ProtocolError
+
+KEY = bytes(range(32))
+
+
+@pytest.fixture(scope="module")
+def ephemeral():
+    return rsa.generate_keypair(512, random.Random(0x11))
+
+
+@pytest.fixture(scope="module")
+def node_key():
+    return rsa.generate_keypair(512, random.Random(0x22))
+
+
+# -- Fig. 4 bundle -----------------------------------------------------------------
+
+def test_bundle_is_34_bytes():
+    bundle = SealedBundle(iv=bytes(16), ciphertext=bytes(16))
+    encoded = encode_bundle(bundle)
+    assert len(encoded) == BUNDLE_SIZE == 34
+    # Layout: len | IV | len | ciphertext.
+    assert encoded[0] == 16 and encoded[17] == 16
+
+
+def test_bundle_roundtrip():
+    bundle = SealedBundle(iv=bytes(range(16)),
+                          ciphertext=bytes(range(16, 32)))
+    assert decode_bundle(encode_bundle(bundle)) == bundle
+
+
+def test_bundle_validation():
+    with pytest.raises(ProtocolError):
+        SealedBundle(iv=bytes(15), ciphertext=bytes(16))
+    with pytest.raises(ProtocolError):
+        SealedBundle(iv=bytes(16), ciphertext=bytes(32))
+
+
+def test_decode_rejects_wrong_size():
+    with pytest.raises(ProtocolError):
+        decode_bundle(bytes(33))
+
+
+def test_decode_rejects_wrong_length_fields():
+    data = bytearray(34)
+    data[0] = 15
+    with pytest.raises(ProtocolError):
+        decode_bundle(bytes(data))
+    data[0] = 16
+    data[17] = 15
+    with pytest.raises(ProtocolError):
+        decode_bundle(bytes(data))
+
+
+# -- seal / open -------------------------------------------------------------------
+
+@given(st.binary(min_size=0, max_size=MAX_PLAINTEXT))
+@settings(max_examples=25, deadline=None)
+def test_seal_open_roundtrip(ephemeral, plaintext):
+    sealed = seal_message(plaintext, KEY, ephemeral.public_key,
+                          rng=random.Random(1))
+    assert len(sealed) == 64  # one RSA-512 block, the paper's Em
+    assert open_message(sealed, KEY, ephemeral) == plaintext
+
+
+def test_seal_rejects_long_plaintext(ephemeral):
+    with pytest.raises(ProtocolError):
+        seal_message(b"x" * (MAX_PLAINTEXT + 1), KEY, ephemeral.public_key)
+
+
+def test_seal_rejects_bad_key(ephemeral):
+    with pytest.raises(ProtocolError):
+        seal_message(b"x", bytes(16), ephemeral.public_key)
+
+
+def test_open_with_wrong_ephemeral_key_fails(ephemeral):
+    sealed = seal_message(b"reading", KEY, ephemeral.public_key,
+                          rng=random.Random(2))
+    wrong = rsa.generate_keypair(512, random.Random(0x33))
+    with pytest.raises(ProtocolError):
+        open_message(sealed, KEY, wrong)
+
+
+def test_open_with_wrong_symmetric_key_fails_or_garbles(ephemeral):
+    sealed = seal_message(b"reading", KEY, ephemeral.public_key,
+                          rng=random.Random(3))
+    try:
+        plaintext = open_message(sealed, b"\xff" * 32, ephemeral)
+    except ProtocolError:
+        return
+    assert plaintext != b"reading"
+
+
+def test_seal_is_randomized(ephemeral):
+    a = seal_message(b"same", KEY, ephemeral.public_key, rng=random.Random(1))
+    b = seal_message(b"same", KEY, ephemeral.public_key, rng=random.Random(2))
+    assert a != b
+
+
+# -- sign / verify ------------------------------------------------------------------
+
+def test_sign_verify_roundtrip(ephemeral, node_key):
+    sealed = seal_message(b"data", KEY, ephemeral.public_key,
+                          rng=random.Random(4))
+    epk = ephemeral.public_key.to_bytes()
+    signature = sign_payload(sealed, epk, node_key)
+    assert len(signature) == 64  # the paper's 64-byte Sig
+    assert verify_payload(sealed, epk, signature, node_key.public_key)
+
+
+def test_signature_binds_ephemeral_key(ephemeral, node_key):
+    """Substituting ePk after signing must break verification — this is
+    what stops a MITM gateway swapping in its own key (section 5.1)."""
+    sealed = seal_message(b"data", KEY, ephemeral.public_key,
+                          rng=random.Random(5))
+    epk = ephemeral.public_key.to_bytes()
+    signature = sign_payload(sealed, epk, node_key)
+    attacker = rsa.generate_keypair(512, random.Random(0x44))
+    assert not verify_payload(sealed, attacker.public_key.to_bytes(),
+                              signature, node_key.public_key)
+
+
+def test_signature_binds_ciphertext(ephemeral, node_key):
+    sealed = seal_message(b"data", KEY, ephemeral.public_key,
+                          rng=random.Random(6))
+    epk = ephemeral.public_key.to_bytes()
+    signature = sign_payload(sealed, epk, node_key)
+    tampered = bytes(64)
+    assert not verify_payload(tampered, epk, signature, node_key.public_key)
+
+
+def test_verify_rejects_other_node(ephemeral, node_key):
+    sealed = seal_message(b"data", KEY, ephemeral.public_key,
+                          rng=random.Random(7))
+    epk = ephemeral.public_key.to_bytes()
+    signature = sign_payload(sealed, epk, node_key)
+    other = rsa.generate_keypair(512, random.Random(0x55))
+    assert not verify_payload(sealed, epk, signature, other.public_key)
+
+
+def test_paper_payload_accounting(ephemeral, node_key):
+    """Section 5.1: 'a predefined minimum payload of 128 bytes, 64 bytes
+    for the double data encryption and 64 bytes for the signature'."""
+    sealed = seal_message(b"t:21.5,h:40", KEY, ephemeral.public_key,
+                          rng=random.Random(8))
+    signature = sign_payload(sealed, ephemeral.public_key.to_bytes(),
+                             node_key)
+    assert len(sealed) + len(signature) == 128

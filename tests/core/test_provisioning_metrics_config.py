@@ -1,0 +1,137 @@
+"""Provisioning, exchange metrics, and network configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import NetworkConfig
+from repro.core.metrics import ExchangeTracker
+from repro.core.provisioning import (
+    RecipientRegistry,
+    provision_device,
+)
+from repro.errors import ConfigurationError
+
+
+# -- provisioning ----------------------------------------------------------------
+
+def test_provision_device_shares_keys(rng):
+    registry = RecipientRegistry()
+    credentials = provision_device("dev-1", "Baddr", registry, rng=rng)
+    assert credentials.device_id == "dev-1"
+    assert credentials.recipient_address == "Baddr"
+    assert len(credentials.symmetric_key) == 32
+    assert registry.knows("dev-1")
+    assert registry.key_for("dev-1") == credentials.symmetric_key
+    assert registry.pubkey_for("dev-1") == credentials.signing_key.public_key
+
+
+def test_provision_is_deterministic_in_rng():
+    import random
+    a = provision_device("d", "B1", RecipientRegistry(),
+                         rng=random.Random(5))
+    b = provision_device("d", "B1", RecipientRegistry(),
+                         rng=random.Random(5))
+    assert a.symmetric_key == b.symmetric_key
+    assert a.signing_key == b.signing_key
+
+
+def test_duplicate_provision_rejected(rng):
+    registry = RecipientRegistry()
+    provision_device("dev-1", "B", registry, rng=rng)
+    with pytest.raises(ConfigurationError):
+        provision_device("dev-1", "B", registry, rng=rng)
+
+
+def test_unknown_device_rejected():
+    registry = RecipientRegistry()
+    with pytest.raises(ConfigurationError):
+        registry.key_for("ghost")
+    with pytest.raises(ConfigurationError):
+        registry.pubkey_for("ghost")
+
+
+# -- metrics ----------------------------------------------------------------------
+
+def test_tracker_assigns_sequential_ids():
+    tracker = ExchangeTracker()
+    a = tracker.new_exchange("dev-1", b"x")
+    b = tracker.new_exchange("dev-2", b"y")
+    assert (a.exchange_id, b.exchange_id) == (1, 2)
+    assert tracker.get(1) is a
+    assert tracker.get(99) is None
+
+
+def test_latency_is_paper_metric():
+    tracker = ExchangeTracker()
+    record = tracker.new_exchange("d", b"x")
+    assert record.latency is None
+    record.t_epk_sent = 10.0
+    record.t_decrypted = 11.6
+    record.status = "completed"
+    assert record.latency == pytest.approx(1.6)
+    assert tracker.latencies() == [pytest.approx(1.6)]
+
+
+def test_leg_metrics():
+    tracker = ExchangeTracker()
+    record = tracker.new_exchange("d", b"x")
+    record.t_epk_sent = 1.0
+    record.t_data_received = 1.5
+    record.t_delivered = 1.6
+    record.t_decrypted = 2.0
+    assert record.radio_time == pytest.approx(0.5)
+    assert record.settlement_time == pytest.approx(0.4)
+
+
+def test_completion_rate():
+    tracker = ExchangeTracker()
+    good = tracker.new_exchange("d", b"x")
+    good.status = "completed"
+    bad = tracker.new_exchange("d", b"y")
+    bad.status = "failed"
+    tracker.new_exchange("d", b"z")  # pending
+    assert tracker.completion_rate() == pytest.approx(1 / 3)
+    assert len(tracker.completed()) == 1
+    assert len(tracker.failed()) == 1
+
+
+def test_empty_tracker():
+    tracker = ExchangeTracker()
+    assert tracker.completion_rate() == 0.0
+    assert tracker.latencies() == []
+
+
+# -- config ------------------------------------------------------------------------
+
+def test_default_config_is_the_paper_testbed():
+    config = NetworkConfig()
+    assert config.num_gateways == 5
+    assert config.sensors_per_gateway == 30
+    assert config.total_sensors == 150
+    assert config.spreading_factor == 7
+    assert config.duty_cycle == 0.01
+    assert not config.verify_blocks
+    assert config.site_names == [f"site-{i}" for i in range(5)]
+
+
+def test_chain_params_derivation():
+    config = NetworkConfig(block_interval=30.0, verify_blocks=True)
+    params = config.chain_params()
+    assert params.block_interval == 30.0
+    assert params.verify_blocks
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"num_gateways": 0},
+    {"sensors_per_gateway": -1},
+    {"roaming_offset": 5},
+    {"price": 0},
+    {"funding_coin_value": 10, "price": 100},
+    {"payload_bytes": 16},
+    {"payload_bytes": 0},
+    {"exchange_interval": 0.0},
+])
+def test_config_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        NetworkConfig(**kwargs)

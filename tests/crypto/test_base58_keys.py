@@ -1,0 +1,123 @@
+"""Base58Check and address derivation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import base58
+from repro.crypto.hashing import (
+    double_sha256,
+    hash160,
+    hmac_sha256,
+    sha256,
+    tagged_hash,
+)
+from repro.crypto.keys import (
+    ADDRESS_VERSION,
+    KeyPair,
+    address_from_pubkey,
+    pubkey_hash_from_address,
+)
+
+
+@given(st.binary(max_size=80))
+def test_base58_roundtrip(data):
+    assert base58.decode(base58.encode(data)) == data
+
+
+def test_base58_known_values():
+    assert base58.encode(b"hello world") == "StV1DL6CwTryKyV"
+    assert base58.encode(b"") == ""
+    assert base58.decode("") == b""
+
+
+def test_base58_preserves_leading_zeros():
+    assert base58.encode(b"\x00\x00\x01") == "112"
+    assert base58.decode("112") == b"\x00\x00\x01"
+
+
+def test_base58_rejects_invalid_characters():
+    for char in "0OIl+/":
+        with pytest.raises(base58.Base58Error):
+            base58.decode(f"abc{char}")
+
+
+@given(st.binary(min_size=1, max_size=60))
+def test_base58check_roundtrip(payload):
+    assert base58.decode_check(base58.encode_check(payload)) == payload
+
+
+def test_base58check_detects_corruption():
+    encoded = base58.encode_check(b"\x19" + b"\xab" * 20)
+    corrupted = ("2" if encoded[0] != "2" else "3") + encoded[1:]
+    with pytest.raises(base58.Base58Error):
+        base58.decode_check(corrupted)
+
+
+def test_base58check_rejects_too_short():
+    with pytest.raises(base58.Base58Error):
+        base58.decode_check(base58.encode(b"ab"))
+
+
+def test_address_roundtrip():
+    keypair = KeyPair.generate(random.Random(5))
+    address = keypair.address
+    assert address == address_from_pubkey(keypair.public_key)
+    assert pubkey_hash_from_address(address) == keypair.pubkey_hash
+
+
+def test_addresses_start_with_B():
+    """ADDRESS_VERSION 0x19 makes addresses visually BcWAN-branded."""
+    for seed in range(5):
+        assert KeyPair.generate(random.Random(seed)).address.startswith("B")
+
+
+def test_pubkey_hash_from_address_rejects_wrong_version():
+    payload = bytes([ADDRESS_VERSION + 1]) + b"\x01" * 20
+    wrong = base58.encode_check(payload)
+    with pytest.raises(base58.Base58Error):
+        pubkey_hash_from_address(wrong)
+
+
+def test_pubkey_hash_from_address_rejects_wrong_length():
+    payload = bytes([ADDRESS_VERSION]) + b"\x01" * 19
+    wrong = base58.encode_check(payload)
+    with pytest.raises(base58.Base58Error):
+        pubkey_hash_from_address(wrong)
+
+
+def test_distinct_keys_distinct_addresses():
+    a = KeyPair.generate(random.Random(1)).address
+    b = KeyPair.generate(random.Random(2)).address
+    assert a != b
+
+
+# -- hashing facade -------------------------------------------------------------
+
+def test_hash160_composition():
+    data = b"pubkey bytes"
+    from repro.crypto.ripemd160 import ripemd160
+    assert hash160(data) == ripemd160(sha256(data))
+    assert len(hash160(data)) == 20
+
+
+def test_double_sha256():
+    assert double_sha256(b"x") == sha256(sha256(b"x"))
+
+
+def test_hmac_sha256_rfc4231_vector():
+    # RFC 4231 test case 2.
+    key = b"Jefe"
+    message = b"what do ya want for nothing?"
+    expected = (
+        "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    )
+    assert hmac_sha256(key, message).hex() == expected
+
+
+def test_tagged_hash_domain_separation():
+    assert tagged_hash("a", b"data") != tagged_hash("b", b"data")
+    assert tagged_hash("a", b"data") == tagged_hash("a", b"data")

@@ -1,0 +1,145 @@
+"""CBC mode and PKCS#7 padding."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.modes import (
+    PaddingError,
+    decrypt_cbc,
+    encrypt_cbc,
+    pad_pkcs7,
+    random_iv,
+    unpad_pkcs7,
+)
+
+KEY = bytes(range(32))
+
+# NIST SP 800-38A F.2.5 CBC-AES256 vector (first block).
+NIST_CBC_KEY = bytes.fromhex(
+    "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4"
+)
+NIST_CBC_IV = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+NIST_CBC_PLAINTEXT = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+NIST_CBC_CIPHERTEXT = bytes.fromhex("f58c4c04d6e5f1ba779eabfb5f7bfbd6")
+
+
+def test_nist_cbc_first_block():
+    _iv, ciphertext = encrypt_cbc(NIST_CBC_KEY, NIST_CBC_PLAINTEXT,
+                                  iv=NIST_CBC_IV)
+    assert ciphertext[:16] == NIST_CBC_CIPHERTEXT
+
+
+@given(st.binary(max_size=100))
+def test_pad_unpad_roundtrip(data):
+    padded = pad_pkcs7(data)
+    assert len(padded) % 16 == 0
+    assert unpad_pkcs7(padded) == data
+
+
+def test_pad_always_adds_padding():
+    assert len(pad_pkcs7(bytes(16))) == 32
+
+
+@pytest.mark.parametrize("length,expected_pad", [(0, 16), (1, 15), (15, 1),
+                                                 (16, 16), (17, 15)])
+def test_pad_lengths(length, expected_pad):
+    padded = pad_pkcs7(bytes(length))
+    assert padded[-1] == expected_pad
+
+
+def test_unpad_rejects_empty():
+    with pytest.raises(PaddingError):
+        unpad_pkcs7(b"")
+
+
+def test_unpad_rejects_unaligned():
+    with pytest.raises(PaddingError):
+        unpad_pkcs7(b"\x01" * 15)
+
+
+def test_unpad_rejects_zero_byte():
+    with pytest.raises(PaddingError):
+        unpad_pkcs7(bytes(15) + b"\x00")
+
+
+def test_unpad_rejects_oversized_pad():
+    with pytest.raises(PaddingError):
+        unpad_pkcs7(bytes(15) + b"\x11")  # 17 > block size
+
+
+def test_unpad_rejects_inconsistent_pad():
+    block = bytes(13) + b"\x01\x02\x03"
+    with pytest.raises(PaddingError):
+        unpad_pkcs7(block)
+
+
+def test_pad_rejects_bad_block_size():
+    with pytest.raises(ValueError):
+        pad_pkcs7(b"x", block_size=0)
+    with pytest.raises(ValueError):
+        pad_pkcs7(b"x", block_size=256)
+
+
+@given(st.binary(max_size=200))
+def test_cbc_roundtrip(plaintext):
+    iv, ciphertext = encrypt_cbc(KEY, plaintext, rng=random.Random(1))
+    assert decrypt_cbc(KEY, iv, ciphertext) == plaintext
+
+
+def test_cbc_same_plaintext_distinct_ivs_distinct_ciphertexts():
+    iv1, c1 = encrypt_cbc(KEY, b"reading", rng=random.Random(1))
+    iv2, c2 = encrypt_cbc(KEY, b"reading", rng=random.Random(2))
+    assert iv1 != iv2
+    assert c1 != c2
+
+
+def test_cbc_wrong_key_fails_or_garbles():
+    iv, ciphertext = encrypt_cbc(KEY, b"hello world", rng=random.Random(3))
+    wrong = b"\xff" * 32
+    try:
+        plaintext = decrypt_cbc(wrong, iv, ciphertext)
+    except PaddingError:
+        return
+    assert plaintext != b"hello world"
+
+
+def test_cbc_wrong_iv_garbles_first_block_only():
+    plaintext = b"A" * 16 + b"B" * 16
+    iv, ciphertext = encrypt_cbc(KEY, plaintext, rng=random.Random(4))
+    bad_iv = bytes(16)
+    try:
+        result = decrypt_cbc(KEY, bad_iv, ciphertext)
+    except PaddingError:
+        return
+    # Second block must survive an IV swap (CBC locality).
+    assert result[16:32] == b"B" * 16
+
+
+def test_cbc_rejects_bad_iv_length():
+    with pytest.raises(ValueError):
+        encrypt_cbc(KEY, b"x", iv=b"\x00" * 8)
+    with pytest.raises(ValueError):
+        decrypt_cbc(KEY, b"\x00" * 8, bytes(16))
+
+
+def test_cbc_rejects_empty_or_unaligned_ciphertext():
+    with pytest.raises(ValueError):
+        decrypt_cbc(KEY, bytes(16), b"")
+    with pytest.raises(ValueError):
+        decrypt_cbc(KEY, bytes(16), bytes(17))
+
+
+def test_random_iv_uses_rng():
+    assert random_iv(random.Random(7)) == random_iv(random.Random(7))
+    assert random_iv(random.Random(7)) != random_iv(random.Random(8))
+
+
+def test_ciphertext_block_count_matches_paper():
+    """Section 5.1: one plaintext block -> one ciphertext block (16 B)."""
+    iv, ciphertext = encrypt_cbc(KEY, b"temp:21.5C", rng=random.Random(5))
+    assert len(ciphertext) == 16
+    assert len(iv) == 16

@@ -1,0 +1,80 @@
+"""Miller-Rabin and prime generation."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.primes import generate_prime, is_probable_prime, lcm, modinv
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 7919, 104729, (1 << 89) - 1, (1 << 127) - 1]
+KNOWN_COMPOSITES = [1, 0, -7, 4, 100, 7917, 104730, (1 << 89) + 1]
+# Carmichael numbers fool Fermat tests; Miller-Rabin must reject them.
+CARMICHAEL = [561, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265]
+
+
+@pytest.mark.parametrize("n", KNOWN_PRIMES)
+def test_known_primes(n):
+    assert is_probable_prime(n)
+
+
+@pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+def test_known_composites(n):
+    assert not is_probable_prime(n)
+
+
+@pytest.mark.parametrize("n", CARMICHAEL)
+def test_carmichael_numbers_rejected(n):
+    assert not is_probable_prime(n)
+
+
+def test_deterministic_below_bound_matches_sympy_free_check():
+    """Cross-check small range against trial division."""
+    def trial(n):
+        if n < 2:
+            return False
+        return all(n % d for d in range(2, int(math.isqrt(n)) + 1))
+    for n in range(2, 2000):
+        assert is_probable_prime(n) == trial(n), n
+
+
+@pytest.mark.parametrize("bits", [64, 128, 256])
+def test_generate_prime_bit_length(bits):
+    p = generate_prime(bits, random.Random(1))
+    assert p.bit_length() == bits
+    assert is_probable_prime(p)
+    # Top two bits forced: guarantees full-size RSA moduli.
+    assert (p >> (bits - 2)) == 0b11
+
+
+def test_generate_prime_deterministic_with_seed():
+    assert generate_prime(128, random.Random(9)) == generate_prime(128, random.Random(9))
+
+
+def test_generate_prime_rejects_tiny():
+    with pytest.raises(ValueError):
+        generate_prime(4)
+
+
+@given(st.integers(min_value=2, max_value=10**6))
+@settings(max_examples=50)
+def test_modinv_property(m):
+    a = 12345 % m
+    if a == 0 or math.gcd(a, m) != 1:
+        return
+    inv = modinv(a, m)
+    assert (a * inv) % m == 1
+
+
+def test_modinv_no_inverse():
+    with pytest.raises(ValueError):
+        modinv(6, 9)
+
+
+@pytest.mark.parametrize("a,b,expected", [(4, 6, 12), (7, 13, 91),
+                                          (10, 10, 10), (1, 99, 99)])
+def test_lcm(a, b, expected):
+    assert lcm(a, b) == expected

@@ -1,0 +1,88 @@
+"""Adaptive data rate: SF selection by link budget."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lora.adr import (
+    assign_modulations,
+    link_margin_db,
+    select_spreading_factor,
+)
+from repro.lora.channel import PathLossModel, Position
+from repro.lora.phy import SENSITIVITY_DBM
+
+
+def test_close_devices_get_sf7():
+    assert select_spreading_factor(100.0) == 7
+    assert select_spreading_factor(500.0) == 7
+
+
+def test_distance_monotonically_raises_sf():
+    sfs = [select_spreading_factor(d)
+           for d in (100, 1000, 2000, 3000, 4000, 4800)]
+    assert sfs == sorted(sfs)
+    assert sfs[0] == 7
+    assert sfs[-1] > 7
+
+
+def test_out_of_coverage_rejected():
+    with pytest.raises(ConfigurationError):
+        select_spreading_factor(100_000.0)
+
+
+def test_margin_pushes_sf_up():
+    distance = 2500.0
+    lenient = select_spreading_factor(distance, margin_db=0.0)
+    strict = select_spreading_factor(distance, margin_db=12.0)
+    assert strict >= lenient
+
+
+def test_higher_tx_power_lowers_sf():
+    distance = 2500.0
+    weak = select_spreading_factor(distance, tx_power_dbm=8.0)
+    strong = select_spreading_factor(distance, tx_power_dbm=20.0)
+    assert strong < weak
+
+
+def test_link_margin_consistency():
+    path_loss = PathLossModel()
+    distance = 1500.0
+    sf = select_spreading_factor(distance, path_loss, margin_db=6.0)
+    assert link_margin_db(distance, sf, path_loss) >= 6.0
+    if sf > 7:
+        assert link_margin_db(distance, sf - 1, path_loss) < 6.0
+
+
+def test_margin_matches_sensitivity_table():
+    path_loss = PathLossModel()
+    margin7 = link_margin_db(1000.0, 7, path_loss)
+    margin12 = link_margin_db(1000.0, 12, path_loss)
+    assert margin12 - margin7 == pytest.approx(
+        SENSITIVITY_DBM[7] - SENSITIVITY_DBM[12]
+    )
+
+
+def test_assign_modulations_for_a_cell():
+    gateway = Position(0.0, 0.0)
+    positions = {
+        "near": Position(200.0, 0.0),
+        "mid": Position(0.0, 2500.0),
+        "far": Position(4500.0, 0.0),
+    }
+    assignments = assign_modulations(positions, gateway)
+    assert set(assignments) == set(positions)
+    assert assignments["near"].spreading_factor == 7
+    assert (assignments["far"].spreading_factor
+            > assignments["near"].spreading_factor)
+    # ADR never assigns a slower SF to a nearer device.
+    assert (assignments["mid"].spreading_factor
+            <= assignments["far"].spreading_factor)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        select_spreading_factor(-1.0)
+    with pytest.raises(ConfigurationError):
+        select_spreading_factor(100.0, margin_db=-1.0)

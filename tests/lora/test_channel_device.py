@@ -1,0 +1,266 @@
+"""Radio medium: path loss, collisions, capture; and the radio facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lora.channel import (
+    Listener,
+    PathLossModel,
+    Position,
+    RadioChannel,
+)
+from repro.lora.device import (
+    EU868_DOWNLINK_CHANNEL,
+    EU868_UPLINK_CHANNELS,
+    LoRaRadio,
+)
+from repro.lora.frames import DataFrame, KeyRequestFrame, KeyResponseFrame
+from repro.lora.phy import LoRaModulation
+from repro.sim.core import Simulator
+from repro.sim.rng import RngRegistry
+
+
+def data_frame(sender="n", nonce=1):
+    return DataFrame(sender=sender, encrypted_message=b"\x00" * 64,
+                     signature=b"\x01" * 64, recipient_address="@R",
+                     nonce=nonce)
+
+
+def make_channel(seed=0):
+    sim = Simulator()
+    rng = RngRegistry(seed).stream("radio")
+    return sim, RadioChannel(sim, rng)
+
+
+# -- positions & path loss --------------------------------------------------------
+
+def test_distance():
+    assert Position(0, 0).distance_to(Position(3, 4)) == 5.0
+
+
+def test_path_loss_increases_with_distance():
+    model = PathLossModel()
+    assert model.loss_db(100) < model.loss_db(1000) < model.loss_db(5000)
+
+
+def test_path_loss_reference_point():
+    model = PathLossModel()
+    assert model.loss_db(1000) == pytest.approx(128.95)
+
+
+def test_path_loss_clamps_tiny_distance():
+    model = PathLossModel()
+    assert model.loss_db(0.0) == model.loss_db(1.0)
+
+
+def test_shadowing_adds_variance():
+    import random
+    model = PathLossModel(shadowing_sigma_db=6.0)
+    rng = random.Random(0)
+    samples = {round(model.loss_db(1000, rng), 4) for _ in range(10)}
+    assert len(samples) > 1
+
+
+# -- delivery ---------------------------------------------------------------------
+
+def test_delivery_in_range():
+    sim, channel = make_channel()
+    gw = LoRaRadio("gw", channel, position=Position(0, 0))
+    node = LoRaRadio("n", channel, position=Position(500, 0))
+    received = []
+    gw.on_receive(lambda frame, rssi: received.append((frame, rssi)))
+    sim.process(node.send(data_frame()))
+    sim.run()
+    assert len(received) == 1
+    assert received[0][0].sender == "n"
+
+
+def test_no_delivery_out_of_range():
+    sim, channel = make_channel()
+    gw = LoRaRadio("gw", channel, position=Position(0, 0))
+    node = LoRaRadio("n", channel, position=Position(50_000, 0))
+    received = []
+    gw.on_receive(lambda frame, rssi: received.append(frame))
+    sim.process(node.send(data_frame()))
+    sim.run()
+    assert received == []
+    assert channel.frames_lost_sensitivity >= 1
+
+
+def test_sender_does_not_hear_itself():
+    sim, channel = make_channel()
+    node = LoRaRadio("n", channel, position=Position(0, 0))
+    received = []
+    node.on_receive(lambda frame, rssi: received.append(frame))
+    sim.process(node.send(data_frame()))
+    sim.run()
+    assert received == []
+
+
+def test_higher_sf_reaches_farther():
+    def reaches(sf, distance):
+        sim, channel = make_channel()
+        modulation = LoRaModulation(spreading_factor=sf)
+        gw = LoRaRadio("gw", channel, position=Position(0, 0),
+                       modulation=modulation)
+        node = LoRaRadio("n", channel, position=Position(distance, 0),
+                         modulation=modulation)
+        received = []
+        gw.on_receive(lambda frame, rssi: received.append(frame))
+        sim.process(node.send(data_frame()))
+        sim.run()
+        return bool(received)
+
+    # Pick a distance where SF7 fails but SF12 succeeds.
+    assert not reaches(7, 6000)
+    assert reaches(12, 6000)
+
+
+# -- collisions ---------------------------------------------------------------------
+
+def two_node_collision(freq_a, freq_b, sf_a=7, sf_b=7, pos_b=(0, 500)):
+    sim, channel = make_channel()
+    gw = LoRaRadio("gw", channel, position=Position(0, 0))
+    a = LoRaRadio("a", channel, position=Position(500, 0),
+                  modulation=LoRaModulation(spreading_factor=sf_a),
+                  frequencies=(freq_a,))
+    b = LoRaRadio("b", channel, position=Position(*pos_b),
+                  modulation=LoRaModulation(spreading_factor=sf_b),
+                  frequencies=(freq_b,))
+    received = []
+    gw.on_receive(lambda frame, rssi: received.append(frame.sender))
+    sim.process(a.send(data_frame("a", 1)))
+    sim.process(b.send(data_frame("b", 2)))
+    sim.run()
+    return received
+
+
+def test_same_channel_same_sf_collides():
+    received = two_node_collision(868_100_000, 868_100_000)
+    assert received == []
+
+
+def test_different_channels_no_collision():
+    received = two_node_collision(868_100_000, 868_300_000)
+    assert sorted(received) == ["a", "b"]
+
+
+def test_orthogonal_sf_no_collision():
+    received = two_node_collision(868_100_000, 868_100_000, sf_a=7, sf_b=8)
+    assert sorted(received) == ["a", "b"]
+
+
+def test_capture_effect_near_wins():
+    """A much closer transmitter survives a collision (capture)."""
+    received = two_node_collision(868_100_000, 868_100_000,
+                                  pos_b=(0, 1900))
+    # 'a' at 500 m is ~13 dB stronger than 'b' at 1900 m: capture.
+    assert received == ["a"]
+
+
+def test_non_overlapping_frames_both_arrive():
+    sim, channel = make_channel()
+    gw = LoRaRadio("gw", channel, position=Position(0, 0))
+    a = LoRaRadio("a", channel, position=Position(500, 0))
+    b = LoRaRadio("b", channel, position=Position(0, 500))
+    received = []
+    gw.on_receive(lambda frame, rssi: received.append(frame.sender))
+
+    def sequenced():
+        yield from a.send(data_frame("a", 1))
+        yield from b.send(data_frame("b", 2))
+
+    sim.process(sequenced())
+    sim.run()
+    assert sorted(received) == ["a", "b"]
+
+
+# -- the radio facade ---------------------------------------------------------------
+
+def test_duplicate_listener_rejected():
+    sim, channel = make_channel()
+    LoRaRadio("x", channel)
+    with pytest.raises(ConfigurationError):
+        LoRaRadio("x", channel)
+
+
+def test_radio_requires_frequencies():
+    sim, channel = make_channel()
+    with pytest.raises(ConfigurationError):
+        LoRaRadio("x", channel, frequencies=())
+
+
+def test_send_returns_transmission():
+    sim, channel = make_channel()
+    node = LoRaRadio("n", channel)
+    outcome = []
+
+    def run():
+        transmission = yield from node.send(data_frame())
+        outcome.append(transmission)
+
+    sim.process(run())
+    sim.run()
+    assert len(outcome) == 1
+    assert outcome[0].end > outcome[0].start
+    assert outcome[0].frequency_hz in EU868_UPLINK_CHANNELS
+
+
+def test_channel_hopping_avoids_duty_wait():
+    """Consecutive sends pick different sub-band channels when busy."""
+    sim, channel = make_channel()
+    node = LoRaRadio("n", channel)
+    frequencies = []
+
+    def run():
+        for i in range(3):
+            transmission = yield from node.send(KeyRequestFrame(
+                sender="n", nonce=i))
+            frequencies.append(transmission.frequency_hz)
+
+    sim.process(run())
+    sim.run()
+    assert len(set(frequencies)) == 3  # three sends, three channels
+    assert sim.now < 1.0  # no duty wait needed
+
+
+def test_fourth_send_waits_for_duty_cycle():
+    sim, channel = make_channel()
+    node = LoRaRadio("n", channel)
+    times = []
+
+    def run():
+        for i in range(4):
+            yield from node.send(KeyRequestFrame(sender="n", nonce=i))
+            times.append(sim.now)
+
+    sim.process(run())
+    sim.run()
+    assert times[3] - times[2] > 1.0  # all three channels were cooling off
+
+
+def test_total_airtime_and_count():
+    sim, channel = make_channel()
+    node = LoRaRadio("n", channel)
+
+    def run():
+        yield from node.send(data_frame())
+
+    sim.process(run())
+    sim.run()
+    assert node.transmissions == 1
+    assert node.total_airtime > 0
+
+
+def test_frames_wire_sizes():
+    assert data_frame().wire_size() == 132  # the paper's 128 + 4
+    assert KeyRequestFrame(sender="n", nonce=1).wire_size() == 12
+    response = KeyResponseFrame(sender="gw", target="n",
+                                ephemeral_pubkey=b"\x00" * 70, nonce=1)
+    assert response.wire_size() == 74
+
+
+def test_downlink_constant():
+    assert EU868_DOWNLINK_CHANNEL == 869_525_000

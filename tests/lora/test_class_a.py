@@ -1,0 +1,65 @@
+"""Class-A receive windows: unit behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lora.class_a import RX1_DELAY, RX2_DELAY, ClassAWindows
+
+
+def test_unarmed_accepts_nothing():
+    windows = ClassAWindows()
+    assert not windows.armed
+    assert not windows.accepts_downlink_start(5.0)
+    assert windows.next_window_start(0.0) is None
+    with pytest.raises(ConfigurationError):
+        windows.window_opens()
+
+
+def test_window_times():
+    windows = ClassAWindows()
+    windows.note_uplink_end(10.0)
+    rx1, rx2 = windows.window_opens()
+    assert rx1 == 10.0 + RX1_DELAY
+    assert rx2 == 10.0 + RX2_DELAY
+
+
+def test_accepts_only_inside_windows():
+    windows = ClassAWindows()
+    windows.note_uplink_end(10.0)
+    assert not windows.accepts_downlink_start(10.5)   # before RX1
+    assert windows.accepts_downlink_start(11.0)       # RX1 opens
+    assert windows.accepts_downlink_start(11.25)      # inside tolerance
+    assert not windows.accepts_downlink_start(11.5)   # between windows
+    assert windows.accepts_downlink_start(12.0)       # RX2
+    assert not windows.accepts_downlink_start(12.5)   # after RX2
+
+
+def test_next_window_start_prefers_rx1():
+    windows = ClassAWindows()
+    windows.note_uplink_end(10.0)
+    assert windows.next_window_start(10.2) == 11.0
+    # Inside RX1: transmit immediately.
+    assert windows.next_window_start(11.1) == 11.1
+    # RX1 missed: fall back to RX2.
+    assert windows.next_window_start(11.6) == 12.0
+    # Both missed.
+    assert windows.next_window_start(12.5) is None
+
+
+def test_rearming_moves_windows():
+    windows = ClassAWindows()
+    windows.note_uplink_end(10.0)
+    windows.note_uplink_end(50.0)
+    assert not windows.accepts_downlink_start(11.0)
+    assert windows.accepts_downlink_start(51.0)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        ClassAWindows(rx1_delay=0.0)
+    with pytest.raises(ConfigurationError):
+        ClassAWindows(rx1_delay=2.0, rx2_delay=1.0)
+    with pytest.raises(ConfigurationError):
+        ClassAWindows(tolerance=0.0)

@@ -1,0 +1,199 @@
+"""WAN message passing and blockchain gossip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blockchain.node import FullNode
+from repro.blockchain.params import ChainParams
+from repro.blockchain.miner import Miner
+from repro.blockchain.wallet import Wallet
+from repro.crypto.keys import KeyPair
+from repro.errors import ConfigurationError
+from repro.p2p.gossip import GossipNode
+from repro.p2p.message import TxMessage
+from repro.p2p.network import WANetwork
+from repro.sim.core import Simulator
+from repro.sim.latency import ConstantLatency
+from repro.sim.rng import RngRegistry
+
+
+def make_wan(seed=0, loss_rate=0.0, delay=0.05):
+    sim = Simulator()
+    wan = WANetwork(sim, RngRegistry(seed).stream("wan"),
+                    latency=ConstantLatency(delay=delay),
+                    loss_rate=loss_rate)
+    return sim, wan
+
+
+# -- WANetwork ----------------------------------------------------------------
+
+def test_send_delivers_after_latency():
+    sim, wan = make_wan(delay=0.2)
+    received = []
+    wan.register("a", lambda env: None)
+    wan.register("b", lambda env: received.append((sim.now, env.payload)))
+    wan.send("a", "b", "hello")
+    sim.run()
+    assert received == [(0.2, "hello")]
+
+
+def test_duplicate_registration_rejected():
+    _sim, wan = make_wan()
+    wan.register("a", lambda env: None)
+    with pytest.raises(ConfigurationError):
+        wan.register("a", lambda env: None)
+
+
+def test_unknown_destination_drops():
+    sim, wan = make_wan()
+    wan.register("a", lambda env: None)
+    wan.send("a", "ghost", "x")
+    sim.run()
+    assert wan.messages_lost == 1
+    assert wan.messages_delivered == 0
+
+
+def test_loss_rate():
+    sim, wan = make_wan(loss_rate=0.5)
+    received = []
+    wan.register("a", lambda env: None)
+    wan.register("b", lambda env: received.append(env))
+    for _ in range(200):
+        wan.send("a", "b", "x")
+    sim.run()
+    assert 50 < len(received) < 150  # ~100 expected
+
+
+def test_broadcast_excludes_source_and_excluded():
+    sim, wan = make_wan()
+    received = {"b": [], "c": []}
+    wan.register("a", lambda env: pytest.fail("self-delivery"))
+    wan.register("b", lambda env: received["b"].append(env))
+    wan.register("c", lambda env: received["c"].append(env))
+    count = wan.broadcast("a", "y", exclude=("c",))
+    sim.run()
+    assert count == 1
+    assert len(received["b"]) == 1 and len(received["c"]) == 0
+
+
+def test_loss_rate_validation():
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        WANetwork(sim, RngRegistry(0).stream("x"), loss_rate=1.0)
+
+
+def test_envelope_metadata():
+    sim, wan = make_wan()
+    captured = []
+    wan.register("a", lambda env: None)
+    wan.register("b", lambda env: captured.append(env))
+    wan.send("a", "b", 123)
+    sim.run()
+    env = captured[0]
+    assert env.source == "a" and env.destination == "b"
+    assert env.payload == 123 and env.sent_at == 0.0
+
+
+# -- gossip -------------------------------------------------------------------------
+
+def make_cluster(n=3):
+    """n gossip nodes, full mesh, zero-latency-ish WAN."""
+    sim, wan = make_wan(delay=0.01)
+    params = ChainParams(coinbase_maturity=1)
+    nodes = [GossipNode(FullNode(params, f"n{i}"), wan, name=f"n{i}")
+             for i in range(n)]
+    for a in nodes:
+        for b in nodes:
+            if a is not b:
+                a.connect(b.name)
+    return sim, wan, nodes
+
+
+def funded(node_gossip, rng_seed=0):
+    import random
+    rng = random.Random(rng_seed)
+    wallet = Wallet(node_gossip.node.chain, KeyPair.generate(rng))
+    wallet.watch_chain()
+    miner = Miner(chain=node_gossip.node.chain,
+                  mempool=node_gossip.node.mempool,
+                  reward_pubkey_hash=wallet.pubkey_hash)
+    return wallet, miner
+
+
+def test_transaction_floods_to_all_peers():
+    sim, _wan, nodes = make_cluster()
+    wallet, miner = funded(nodes[0])
+    blocks = [miner.mine_and_connect(float(i)) for i in range(3)]
+    for gossip in nodes:
+        for block in blocks:
+            if gossip is not nodes[0]:
+                gossip.node.submit_block(block)
+    tx = wallet.create_payment(b"\x07" * 20, 100)
+    assert nodes[0].broadcast_transaction(tx)
+    sim.run()
+    for gossip in nodes:
+        assert tx.txid in gossip.node.mempool
+
+
+def test_block_floods_and_connects():
+    sim, _wan, nodes = make_cluster()
+    _wallet, miner = funded(nodes[0])
+    block = miner.mine_and_connect(1.0)
+    nodes[0].broadcast_block(block)
+    sim.run()
+    for gossip in nodes:
+        assert gossip.node.chain.height == 1
+
+
+def test_gossip_dedup_no_infinite_relay():
+    sim, wan, nodes = make_cluster()
+    _wallet, miner = funded(nodes[0])
+    block = miner.mine_and_connect(1.0)
+    nodes[0].broadcast_block(block)
+    sim.run()
+    # Full mesh of 3: origin sends 2, each receiver relays to 2 others
+    # once; dedup stops it there.
+    assert wan.messages_sent <= 8
+
+
+def test_on_transaction_listener_fires_once():
+    sim, _wan, nodes = make_cluster()
+    wallet, miner = funded(nodes[0])
+    blocks = [miner.mine_and_connect(float(i)) for i in range(3)]
+    for gossip in nodes[1:]:
+        for block in blocks:
+            gossip.node.submit_block(block)
+    seen = []
+    nodes[1].on_transaction.append(lambda tx: seen.append(tx.txid))
+    tx = wallet.create_payment(b"\x07" * 20, 100)
+    nodes[0].broadcast_transaction(tx)
+    sim.run()
+    assert seen == [tx.txid]
+
+
+def test_invalid_transaction_not_relayed():
+    sim, wan, nodes = make_cluster()
+    wallet, miner = funded(nodes[0])
+    miner.mine_and_connect(1.0)
+    # Node 1 never hears about the block, so node 0's tx is orphan there —
+    # build an outright invalid tx instead: spend a nonexistent coin.
+    from repro.blockchain.transaction import (OutPoint, Transaction,
+                                              TxInput, TxOutput)
+    from repro.script.script import Script
+    bogus = Transaction(
+        inputs=[TxInput(outpoint=OutPoint(txid=b"\x01" * 32, index=0))],
+        outputs=[TxOutput(value=1, script_pubkey=Script())],
+    )
+    before = wan.messages_sent
+    nodes[1].receive_transaction(bogus, origin="n0")
+    sim.run()
+    assert wan.messages_sent == before  # nothing relayed
+
+
+def test_connect_ignores_self_and_duplicates():
+    _sim, _wan, nodes = make_cluster(2)
+    nodes[0].connect("n0")
+    nodes[0].connect("n1")
+    assert nodes[0].peers.count("n1") == 1
+    assert "n0" not in nodes[0].peers

@@ -1,0 +1,217 @@
+"""Script templates, especially Listing 1's ephemeral-key-release script."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto import rsa
+from repro.crypto.hashing import hash160
+from repro.script import builder
+from repro.script.interpreter import ScriptInterpreter
+from repro.script.opcodes import OP
+from repro.script.script import Script
+
+
+class SigOkContext:
+    def __init__(self, locktime_ok=False):
+        self.locktime_ok = locktime_ok
+
+    def check_ecdsa_signature(self, pubkey, signature):
+        return True
+
+    def check_locktime(self, required):
+        return self.locktime_ok
+
+
+class SigBadContext(SigOkContext):
+    def check_ecdsa_signature(self, pubkey, signature):
+        return False
+
+
+@pytest.fixture(scope="module")
+def ephemeral():
+    return rsa.generate_keypair(512, random.Random(0xEE))
+
+
+GATEWAY_PUBKEY = b"\x02" + b"\x11" * 32
+BUYER_PUBKEY = b"\x03" + b"\x22" * 32
+
+
+def make_lock(ephemeral, locktime=1000):
+    return builder.ephemeral_key_release(
+        rsa_pubkey=ephemeral.public_key.to_bytes(),
+        gateway_pubkey_hash=hash160(GATEWAY_PUBKEY),
+        buyer_pubkey_hash=hash160(BUYER_PUBKEY),
+        refund_locktime=locktime,
+    )
+
+
+# -- P2PKH ---------------------------------------------------------------------
+
+def test_p2pkh_shape():
+    script = builder.p2pkh_locking(b"\xaa" * 20)
+    assert script.elements == (
+        int(OP.OP_DUP), int(OP.OP_HASH160), b"\xaa" * 20,
+        int(OP.OP_EQUALVERIFY), int(OP.OP_CHECKSIG),
+    )
+
+
+def test_p2pkh_rejects_bad_hash_length():
+    with pytest.raises(ValueError):
+        builder.p2pkh_locking(b"\xaa" * 19)
+
+
+def test_p2pkh_spend_verifies():
+    pubkey = GATEWAY_PUBKEY
+    locking = builder.p2pkh_locking(hash160(pubkey))
+    unlocking = builder.p2pkh_unlocking(b"sig", pubkey)
+    assert ScriptInterpreter(context=SigOkContext()).verify(unlocking, locking)
+
+
+def test_p2pkh_rejects_wrong_pubkey():
+    locking = builder.p2pkh_locking(hash160(GATEWAY_PUBKEY))
+    unlocking = builder.p2pkh_unlocking(b"sig", BUYER_PUBKEY)
+    assert not ScriptInterpreter(context=SigOkContext()).verify(unlocking,
+                                                                locking)
+
+
+def test_p2pkh_rejects_bad_signature():
+    locking = builder.p2pkh_locking(hash160(GATEWAY_PUBKEY))
+    unlocking = builder.p2pkh_unlocking(b"sig", GATEWAY_PUBKEY)
+    assert not ScriptInterpreter(context=SigBadContext()).verify(unlocking,
+                                                                 locking)
+
+
+# -- OP_RETURN -------------------------------------------------------------------
+
+def test_op_return_is_unspendable():
+    script = builder.op_return(b"announcement")
+    interp = ScriptInterpreter(context=SigOkContext())
+    assert not interp.verify(Script([]), script)
+
+
+def test_op_return_carries_payload():
+    script = builder.op_return(b"payload")
+    assert script.elements == (int(OP.OP_RETURN), b"payload")
+
+
+# -- Listing 1 --------------------------------------------------------------------
+
+def test_listing1_claim_path(ephemeral):
+    locking = make_lock(ephemeral)
+    unlocking = builder.key_release_claim(b"sig", GATEWAY_PUBKEY,
+                                          ephemeral.to_bytes())
+    assert ScriptInterpreter(context=SigOkContext()).verify(unlocking, locking)
+
+
+def test_listing1_claim_needs_matching_private_key(ephemeral):
+    locking = make_lock(ephemeral)
+    wrong = rsa.generate_keypair(512, random.Random(0xEF))
+    unlocking = builder.key_release_claim(b"sig", GATEWAY_PUBKEY,
+                                          wrong.to_bytes())
+    assert not ScriptInterpreter(context=SigOkContext()).verify(unlocking,
+                                                                locking)
+
+
+def test_listing1_claim_needs_gateway_key(ephemeral):
+    locking = make_lock(ephemeral)
+    unlocking = builder.key_release_claim(b"sig", BUYER_PUBKEY,
+                                          ephemeral.to_bytes())
+    assert not ScriptInterpreter(context=SigOkContext()).verify(unlocking,
+                                                                locking)
+
+
+def test_listing1_refund_before_locktime_fails(ephemeral):
+    locking = make_lock(ephemeral)
+    unlocking = builder.key_release_refund(b"sig", BUYER_PUBKEY)
+    interp = ScriptInterpreter(context=SigOkContext(locktime_ok=False))
+    assert not interp.verify(unlocking, locking)
+
+
+def test_listing1_refund_after_locktime(ephemeral):
+    locking = make_lock(ephemeral)
+    unlocking = builder.key_release_refund(b"sig", BUYER_PUBKEY)
+    interp = ScriptInterpreter(context=SigOkContext(locktime_ok=True))
+    assert interp.verify(unlocking, locking)
+
+
+def test_listing1_refund_needs_buyer_key(ephemeral):
+    locking = make_lock(ephemeral)
+    unlocking = builder.key_release_refund(b"sig", GATEWAY_PUBKEY)
+    interp = ScriptInterpreter(context=SigOkContext(locktime_ok=True))
+    assert not interp.verify(unlocking, locking)
+
+
+def test_listing1_gateway_cannot_take_refund_path_early(ephemeral):
+    """A gateway without the key cannot bypass the timelock."""
+    locking = make_lock(ephemeral)
+    unlocking = builder.key_release_refund(b"sig", GATEWAY_PUBKEY)
+    interp = ScriptInterpreter(context=SigOkContext(locktime_ok=False))
+    assert not interp.verify(unlocking, locking)
+
+
+def test_listing1_requires_signature_even_with_key(ephemeral):
+    locking = make_lock(ephemeral)
+    unlocking = builder.key_release_claim(b"sig", GATEWAY_PUBKEY,
+                                          ephemeral.to_bytes())
+    assert not ScriptInterpreter(context=SigBadContext()).verify(unlocking,
+                                                                 locking)
+
+
+def test_listing1_rejects_bad_arguments(ephemeral):
+    with pytest.raises(ValueError):
+        builder.ephemeral_key_release(b"pk", b"\x01" * 19, b"\x02" * 20, 10)
+    with pytest.raises(ValueError):
+        builder.ephemeral_key_release(b"pk", b"\x01" * 20, b"\x02" * 19, 10)
+    with pytest.raises(ValueError):
+        builder.ephemeral_key_release(b"pk", b"\x01" * 20, b"\x02" * 20, -1)
+
+
+def test_listing1_matches_paper_structure(ephemeral):
+    """The script must follow Listing 1 operator for operator."""
+    locking = make_lock(ephemeral, locktime=1234)
+    ops = [e for e in locking.elements if isinstance(e, int)]
+    assert ops == [
+        int(OP.OP_CHECKRSA512PAIR),
+        int(OP.OP_IF),
+        int(OP.OP_DUP), int(OP.OP_HASH160), int(OP.OP_EQUALVERIFY),
+        int(OP.OP_ELSE),
+        int(OP.OP_CHECKLOCKTIMEVERIFY), int(OP.OP_VERIFY),
+        int(OP.OP_DUP), int(OP.OP_HASH160), int(OP.OP_EQUALVERIFY),
+        int(OP.OP_ENDIF),
+        int(OP.OP_CHECKSIG),
+    ]
+
+
+# -- parser -----------------------------------------------------------------------
+
+def test_parse_roundtrip(ephemeral):
+    locking = make_lock(ephemeral, locktime=4321)
+    parsed = builder.parse_ephemeral_key_release(locking)
+    assert parsed == (
+        ephemeral.public_key.to_bytes(),
+        hash160(GATEWAY_PUBKEY),
+        hash160(BUYER_PUBKEY),
+        4321,
+    )
+
+
+def test_parse_survives_wire_roundtrip(ephemeral):
+    locking = make_lock(ephemeral, locktime=99)
+    reparsed = Script.from_bytes(locking.to_bytes())
+    assert builder.parse_ephemeral_key_release(reparsed) is not None
+
+
+def test_parse_rejects_other_scripts(ephemeral):
+    assert builder.parse_ephemeral_key_release(
+        builder.p2pkh_locking(b"\x01" * 20)
+    ) is None
+    assert builder.parse_ephemeral_key_release(
+        builder.op_return(b"data")
+    ) is None
+    # Right length, wrong opcodes.
+    mangled = list(make_lock(ephemeral).elements)
+    mangled[1] = int(OP.OP_NOP)
+    assert builder.parse_ephemeral_key_release(Script(mangled)) is None

@@ -1,0 +1,81 @@
+"""Fuzzing the script interpreter: arbitrary scripts never crash it.
+
+Consensus code must fail *closed*: whatever byte soup arrives in a
+scriptSig/scriptPubKey, evaluation either completes or raises
+:class:`EvaluationError` — never an unhandled exception, never a hang.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.script.errors import EvaluationError, SerializationError
+from repro.script.interpreter import ScriptInterpreter
+from repro.script.opcodes import OP
+from repro.script.script import Script
+
+_ALL_OPCODES = sorted(int(op) for op in OP
+                      if op not in (OP.OP_PUSHDATA1, OP.OP_PUSHDATA2,
+                                    OP.OP_PUSHDATA4))
+
+element_strategy = st.one_of(
+    st.sampled_from(_ALL_OPCODES),
+    st.integers(min_value=0, max_value=255),
+    st.binary(max_size=80),
+)
+
+
+@given(st.lists(element_strategy, max_size=30))
+@settings(max_examples=300, deadline=None)
+def test_random_scripts_fail_closed(elements):
+    try:
+        script = Script(elements)
+    except SerializationError:
+        return
+    interpreter = ScriptInterpreter()
+    try:
+        interpreter.evaluate(script)
+    except EvaluationError:
+        pass  # the only acceptable failure mode
+
+
+@given(st.lists(element_strategy, max_size=20),
+       st.lists(element_strategy, max_size=20))
+@settings(max_examples=200, deadline=None)
+def test_random_spend_verification_is_boolean(unlocking, locking):
+    try:
+        unlock_script = Script(unlocking)
+        lock_script = Script(locking)
+    except SerializationError:
+        return
+    result = ScriptInterpreter().verify(unlock_script, lock_script)
+    assert isinstance(result, bool)
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=300, deadline=None)
+def test_random_bytes_parse_or_reject(data):
+    """Wire-format parsing fails closed too."""
+    try:
+        script = Script.from_bytes(data)
+    except SerializationError:
+        return
+    # Whatever parsed must re-serialize to something parseable.
+    assert Script.from_bytes(script.to_bytes()).elements == script.elements
+
+
+@given(st.lists(st.binary(max_size=40), max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_initial_stack_contents_are_opaque_data(stack):
+    """Arbitrary initial stacks (attacker-chosen scriptSig pushes) are
+    safe under any of the hash opcodes."""
+    interpreter = ScriptInterpreter()
+    for opcode in (OP.OP_SHA256, OP.OP_HASH160, OP.OP_HASH256,
+                   OP.OP_RIPEMD160):
+        if not stack:
+            with pytest.raises(EvaluationError):
+                interpreter.evaluate(Script([opcode]), list(stack))
+        else:
+            result = interpreter.evaluate(Script([opcode]), list(stack))
+            assert len(result) == len(stack)

@@ -1,0 +1,289 @@
+"""The discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.core import Interrupt, Lock, SimulationError, Simulator
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.call_in(5.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [5.0]
+    assert sim.now == 5.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.call_in(3.0, lambda: order.append("c"))
+    sim.call_in(1.0, lambda: order.append("a"))
+    sim.call_in(2.0, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    order = []
+    for label in "abc":
+        sim.call_in(1.0, lambda l=label: order.append(l))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    fired = []
+    sim.call_in(10.0, lambda: fired.append(1))
+    sim.run(until=5.0)
+    assert fired == []
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == [1]
+
+
+def test_process_returns_value():
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(1.0)
+        return 42
+
+    process = sim.process(worker(sim))
+    sim.run()
+    assert process.processed
+    assert process.value == 42
+
+
+def test_process_receives_timeout_value():
+    sim = Simulator()
+    got = []
+
+    def worker(sim):
+        value = yield sim.timeout(1.0, value="payload")
+        got.append(value)
+
+    sim.process(worker(sim))
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_process_waits_on_manual_event():
+    sim = Simulator()
+    event = sim.event()
+    got = []
+
+    def waiter(sim):
+        value = yield event
+        got.append((sim.now, value))
+
+    sim.process(waiter(sim))
+    sim.call_in(3.0, lambda: event.succeed("done"))
+    sim.run()
+    assert got == [(3.0, "done")]
+
+
+def test_event_failure_propagates():
+    sim = Simulator()
+    event = sim.event()
+    caught = []
+
+    def waiter(sim):
+        try:
+            yield event
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.process(waiter(sim))
+    sim.call_in(1.0, lambda: event.fail(RuntimeError("boom")))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_double_trigger_rejected():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_all_of_collects_values():
+    sim = Simulator()
+    results = []
+
+    def worker(sim, delay, value):
+        yield sim.timeout(delay)
+        return value
+
+    def collector(sim):
+        values = yield sim.all_of([
+            sim.process(worker(sim, 2.0, "a")),
+            sim.process(worker(sim, 1.0, "b")),
+        ])
+        results.append((sim.now, values))
+
+    sim.process(collector(sim))
+    sim.run()
+    assert results == [(2.0, ["a", "b"])]
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+    results = []
+
+    def collector(sim):
+        value = yield sim.any_of([
+            sim.timeout(5.0, value="slow"),
+            sim.timeout(1.0, value="fast"),
+        ])
+        results.append((sim.now, value))
+
+    sim.process(collector(sim))
+    sim.run()
+    assert results == [(1.0, "fast")]
+
+
+def test_interrupt_raises_inside_process():
+    sim = Simulator()
+    events = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as interrupt:
+            events.append((sim.now, interrupt.cause))
+
+    process = sim.process(sleeper(sim))
+    sim.call_in(2.0, lambda: process.interrupt("wake up"))
+    sim.run()
+    assert events == [(2.0, "wake up")]
+
+
+def test_interrupt_after_completion_is_noop():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    process = sim.process(quick(sim))
+    sim.run()
+    process.interrupt()  # must not raise
+    sim.run()
+
+
+def test_yield_non_event_fails():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 42  # type: ignore[misc]
+
+    sim.process(bad(sim))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_call_at_rejects_past():
+    sim = Simulator()
+    sim.call_in(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_step_empty_queue_fails():
+    with pytest.raises(SimulationError):
+        Simulator().step()
+
+
+def test_peek():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.call_in(7.0, lambda: None)
+    assert sim.peek() == 7.0
+
+
+def test_runaway_guard():
+    sim = Simulator()
+
+    def forever(sim):
+        while True:
+            yield sim.timeout(0.001)
+
+    sim.process(forever(sim))
+    with pytest.raises(SimulationError):
+        sim.run(max_events=1000)
+
+
+def test_determinism():
+    def build():
+        sim = Simulator()
+        log = []
+
+        def worker(sim, name, delay):
+            for _ in range(3):
+                yield sim.timeout(delay)
+                log.append((round(sim.now, 6), name))
+
+        sim.process(worker(sim, "a", 0.7))
+        sim.process(worker(sim, "b", 1.1))
+        sim.run()
+        return log
+
+    assert build() == build()
+
+
+# -- Lock ---------------------------------------------------------------------
+
+def test_lock_mutual_exclusion():
+    sim = Simulator()
+    lock = sim.lock()
+    trace = []
+
+    def worker(sim, name, hold):
+        yield lock.acquire()
+        trace.append(("enter", name, sim.now))
+        yield sim.timeout(hold)
+        trace.append(("exit", name, sim.now))
+        lock.release()
+
+    sim.process(worker(sim, "a", 2.0))
+    sim.process(worker(sim, "b", 1.0))
+    sim.run()
+    assert trace == [
+        ("enter", "a", 0.0), ("exit", "a", 2.0),
+        ("enter", "b", 2.0), ("exit", "b", 3.0),
+    ]
+
+
+def test_lock_fifo_order():
+    sim = Simulator()
+    lock = sim.lock()
+    order = []
+
+    def worker(sim, name):
+        yield lock.acquire()
+        order.append(name)
+        yield sim.timeout(1.0)
+        lock.release()
+
+    for name in ("first", "second", "third"):
+        sim.process(worker(sim, name))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_release_unlocked_fails():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.lock().release()

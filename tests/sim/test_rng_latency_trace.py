@@ -1,0 +1,180 @@
+"""RNG streams, latency models, and metric summaries."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.latency import (
+    ConstantLatency,
+    LogNormalLatency,
+    PlanetLabLatencyMatrix,
+)
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import MetricsRecorder, Summary, histogram
+
+
+# -- RNG --------------------------------------------------------------------
+
+def test_streams_deterministic():
+    a = RngRegistry(42).stream("x").random()
+    b = RngRegistry(42).stream("x").random()
+    assert a == b
+
+
+def test_streams_independent():
+    registry = RngRegistry(42)
+    sequence_a = [registry.stream("a").random() for _ in range(5)]
+    # Re-create and interleave draws on stream b; stream a must not shift.
+    registry2 = RngRegistry(42)
+    sequence_a2 = []
+    for _ in range(5):
+        registry2.stream("b").random()
+        sequence_a2.append(registry2.stream("a").random())
+    assert sequence_a == sequence_a2
+
+
+def test_stream_identity_preserved():
+    registry = RngRegistry(1)
+    assert registry.stream("same") is registry.stream("same")
+
+
+def test_distinct_names_distinct_streams():
+    registry = RngRegistry(1)
+    assert registry.stream("a").random() != registry.stream("b").random()
+
+
+def test_fork_independent():
+    parent = RngRegistry(7)
+    child = parent.fork("worker")
+    assert parent.stream("x").random() != child.stream("x").random()
+    assert RngRegistry(7).fork("worker").stream("x").random() == \
+        RngRegistry(7).fork("worker").stream("x").random()
+
+
+# -- latency ----------------------------------------------------------------------
+
+def test_constant_latency():
+    model = ConstantLatency(delay=0.1)
+    rng = random.Random(0)
+    assert model.sample("a", "b", rng) == 0.1
+    assert model.sample("a", "a", rng) == 0.0
+
+
+def test_lognormal_latency_floor_and_self():
+    model = LogNormalLatency(median=0.05, sigma=0.5, floor=0.01)
+    rng = random.Random(0)
+    samples = [model.sample("a", "b", rng) for _ in range(500)]
+    assert all(s >= 0.01 for s in samples)
+    assert model.sample("x", "x", rng) == 0.0
+
+
+def test_lognormal_median_approx():
+    model = LogNormalLatency(median=0.05, sigma=0.3, floor=0.0)
+    rng = random.Random(1)
+    samples = sorted(model.sample("a", "b", rng) for _ in range(4000))
+    median = samples[2000]
+    assert 0.045 < median < 0.055
+
+
+def test_lognormal_validation():
+    with pytest.raises(ConfigurationError):
+        LogNormalLatency(median=0.0)
+
+
+def test_matrix_pairs_are_stable_and_symmetric():
+    matrix = PlanetLabLatencyMatrix(["s1", "s2", "s3"], seed=3)
+    assert matrix.median_for("s1", "s2") == matrix.median_for("s2", "s1")
+    assert matrix.median_for("s1", "s2") != matrix.median_for("s1", "s3")
+
+
+def test_matrix_deterministic_in_seed():
+    a = PlanetLabLatencyMatrix(["x", "y"], seed=9).median_for("x", "y")
+    b = PlanetLabLatencyMatrix(["x", "y"], seed=9).median_for("x", "y")
+    assert a == b
+
+
+def test_matrix_self_latency_zero():
+    matrix = PlanetLabLatencyMatrix(["x", "y"], seed=0)
+    assert matrix.sample("x", "x", random.Random(0)) == 0.0
+
+
+def test_matrix_lazily_adds_unknown_pairs():
+    matrix = PlanetLabLatencyMatrix(["x"], seed=0)
+    assert matrix.median_for("x", "new-site") > 0
+
+
+def test_matrix_validation():
+    with pytest.raises(ConfigurationError):
+        PlanetLabLatencyMatrix(["a"], median_range=(0.2, 0.1))
+
+
+# -- trace ------------------------------------------------------------------------
+
+def test_summary_statistics():
+    summary = Summary.of([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert summary.count == 5
+    assert summary.mean == 3.0
+    assert summary.median == 3.0
+    assert summary.minimum == 1.0
+    assert summary.maximum == 5.0
+    assert summary.p25 == 2.0
+    assert summary.p75 == 4.0
+
+
+def test_summary_matches_numpy():
+    import numpy as np
+    data = [float(x) for x in np.random.RandomState(0).gamma(2, 2, 200)]
+    summary = Summary.of(data)
+    assert summary.mean == pytest.approx(np.mean(data))
+    assert summary.median == pytest.approx(np.percentile(data, 50))
+    assert summary.p95 == pytest.approx(np.percentile(data, 95))
+    assert summary.stdev == pytest.approx(np.std(data))
+
+
+def test_summary_single_sample():
+    summary = Summary.of([7.0])
+    assert summary.mean == summary.median == summary.p99 == 7.0
+    assert summary.stdev == 0.0
+
+
+def test_summary_empty_rejected():
+    with pytest.raises(ValueError):
+        Summary.of([])
+
+
+def test_summary_format_mentions_stats():
+    text = Summary.of([1.0, 2.0]).format()
+    assert "mean=" in text and "p95=" in text
+
+
+def test_histogram_bins():
+    bins = histogram([0.0, 0.5, 1.0, 1.5, 2.0], bins=2)
+    assert len(bins) == 2
+    assert sum(count for _lo, _hi, count in bins) == 5
+
+
+def test_histogram_empty():
+    assert histogram([]) == []
+
+
+def test_histogram_degenerate_range():
+    bins = histogram([3.0, 3.0, 3.0], bins=5)
+    assert bins == [(3.0, 3.0, 3)]
+
+
+def test_recorder():
+    recorder = MetricsRecorder()
+    recorder.record("latency", 1.0)
+    recorder.record("latency", 2.0)
+    recorder.mark(0.5, "started", actor="gw-1")
+    recorder.count("deliveries")
+    recorder.count("deliveries", 2)
+    assert recorder.summary("latency").count == 2
+    assert recorder.counters["deliveries"] == 3
+    assert recorder.has("latency")
+    assert not recorder.has("missing")
+    with pytest.raises(KeyError):
+        recorder.summary("missing")
