@@ -12,6 +12,7 @@ import random
 
 import pytest
 
+from repro.blockchain.engine import ValidationEngine
 from repro.blockchain.miner import Miner
 from repro.blockchain.node import FullNode
 from repro.blockchain.params import ChainParams
@@ -78,6 +79,37 @@ def test_bench_claim_script_verification(benchmark, stack):
     miner.mine_and_connect(100.0)
     claim = gateway.claim_key_release(offer, ephemeral.to_bytes())
     benchmark(lambda: verify_transaction_scripts(claim, node.chain.utxos))
+
+
+def test_bench_script_verification_cold_cache(benchmark, stack):
+    """Every round pays the interpreter: a fresh engine per call.
+
+    Paired with the warm benchmark below, the BENCH json captures the
+    script-cache speedup trajectory across PRs.
+    """
+    _rng, node, wallet, _miner, gateway, _ephemeral = stack
+    tx = wallet.create_payment(gateway.pubkey_hash, 100)
+    wallet.release_pending(tx)
+
+    def cold():
+        engine = ValidationEngine(node.params)
+        engine.verify_transaction_scripts(tx, node.chain.utxos)
+
+    benchmark(cold)
+
+
+def test_bench_script_verification_warm_cache(benchmark, stack):
+    """Steady state after mempool admission: every verdict is a cache hit."""
+    _rng, node, wallet, _miner, gateway, _ephemeral = stack
+    tx = wallet.create_payment(gateway.pubkey_hash, 100)
+    wallet.release_pending(tx)
+    engine = ValidationEngine(node.params)
+    engine.verify_transaction_scripts(tx, node.chain.utxos)  # warm it
+
+    benchmark(lambda: engine.verify_transaction_scripts(tx, node.chain.utxos))
+    # Only the warm-up paid the interpreter; every benchmarked round hit.
+    assert engine.cache_stats.misses == len(tx.inputs)
+    assert engine.cache_stats.hits >= len(tx.inputs)
 
 
 def test_bench_mempool_accept(benchmark, stack):

@@ -97,9 +97,13 @@ def run_double_spend(confirmations_required: int = 0,
     attacker_wallet.release_pending(offer.transaction)  # free the coin
     conflicting = attacker_wallet.create_payment(attacker_key.pubkey_hash,
                                                  9_000)
-    shared = ({i.outpoint for i in offer.transaction.inputs}
-              & {i.outpoint for i in conflicting.inputs})
-    assert shared, "attack needs the two transactions to conflict"
+    # Speculative double-spend probe: apply the conflicting spend to a
+    # copy-on-write overlay and check the offer dies with it — the coin
+    # can only fund one of the two, and the live UTXO set is untouched.
+    assert miner_node.engine.conflicts(
+        conflicting, offer.transaction, miner_node.chain.utxos,
+        miner_node.chain.height + 1,
+    ), "attack needs the two transactions to conflict"
 
     # The race: the conflicting spend reaches the miner; the offer reaches
     # the gateway.  Each node accepts the first version it sees.

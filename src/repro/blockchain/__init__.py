@@ -8,8 +8,11 @@ implements the equivalent substrate:
   the block-verification toggle behind Figs. 5/6;
 * :mod:`repro.blockchain.transaction`, :mod:`repro.blockchain.block`,
   :mod:`repro.blockchain.merkle` — wire formats and hashing;
-* :mod:`repro.blockchain.utxo`, :mod:`repro.blockchain.validation`,
-  :mod:`repro.blockchain.chain` — state, rules, fork choice, reorgs;
+* :mod:`repro.blockchain.utxo`, :mod:`repro.blockchain.engine`,
+  :mod:`repro.blockchain.chain` — state (with copy-on-write overlay
+  views), the staged validation engine with its script-verification
+  cache, fork choice, reorgs (:mod:`repro.blockchain.validation` keeps
+  the deprecated free-function shims);
 * :mod:`repro.blockchain.mempool`, :mod:`repro.blockchain.miner` —
   unconfirmed pool and block production;
 * :mod:`repro.blockchain.wallet` — keys, coins, and the BcWAN transaction
@@ -20,6 +23,12 @@ implements the equivalent substrate:
 from repro.blockchain.block import Block, BlockHeader
 from repro.blockchain.chain import AddBlockResult, BlockRecord, Chain, create_genesis_block
 from repro.blockchain.context import TransactionContext
+from repro.blockchain.engine import (
+    MAX_MONEY,
+    ScriptCacheStats,
+    ValidationEngine,
+    ValidationReport,
+)
 from repro.blockchain.mempool import Mempool
 from repro.blockchain.merkle import merkle_branch, merkle_root, verify_branch
 from repro.blockchain.miner import Miner
@@ -41,7 +50,7 @@ from repro.blockchain.transaction import (
     TxInput,
     TxOutput,
 )
-from repro.blockchain.utxo import UTXOEntry, UTXOSet
+from repro.blockchain.utxo import UTXOEntry, UTXOSet, UTXOView
 from repro.blockchain.wallet import KeyReleaseOffer, Wallet
 
 __all__ = [
@@ -55,8 +64,12 @@ __all__ = [
     "ChainParams",
     "FullNode",
     "KeyReleaseOffer",
+    "MAX_MONEY",
     "Mempool",
     "Miner",
+    "ScriptCacheStats",
+    "ValidationEngine",
+    "ValidationReport",
     "OutPoint",
     "PoSProducer",
     "RelayDecision",
@@ -69,6 +82,7 @@ __all__ = [
     "TxOutput",
     "UTXOEntry",
     "UTXOSet",
+    "UTXOView",
     "Wallet",
     "create_genesis_block",
     "deserialize_block",

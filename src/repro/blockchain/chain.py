@@ -21,8 +21,8 @@ from repro.blockchain.transaction import (
     TxInput,
     TxOutput,
 )
+from repro.blockchain.engine import ValidationEngine, ValidationReport
 from repro.blockchain.utxo import UTXOEntry, UTXOSet
-from repro.blockchain import validation
 from repro.errors import ValidationError
 from repro.script.builder import op_return
 from repro.script.script import Script
@@ -75,11 +75,12 @@ class Chain:
     def __init__(self, params: Optional[ChainParams] = None,
                  verify_scripts: Optional[bool] = None) -> None:
         self.params = params or ChainParams()
-        # Whether connecting blocks re-runs all scripts.  Defaults to the
-        # chain params' verify_blocks flag (the Fig. 5 / Fig. 6 toggle).
-        self.verify_scripts = (
-            self.params.verify_blocks if verify_scripts is None else verify_scripts
-        )
+        # The staged validation pipeline plus its script cache; whether
+        # connecting blocks re-runs scripts defaults to the chain params'
+        # verify_blocks flag (the Fig. 5 / Fig. 6 toggle).
+        self.engine = ValidationEngine(self.params,
+                                       verify_scripts=verify_scripts)
+        self.last_report: Optional[ValidationReport] = None
         self.utxos = UTXOSet()
         self._records: dict[bytes, BlockRecord] = {}
         self._active: list[bytes] = []
@@ -95,6 +96,15 @@ class Chain:
         # to the UTXO set (unspendable).
 
     # -- inspection -----------------------------------------------------------
+
+    @property
+    def verify_scripts(self) -> bool:
+        """Whether block connection re-runs scripts (engine-owned flag)."""
+        return self.engine.verify_scripts
+
+    @verify_scripts.setter
+    def verify_scripts(self, value: bool) -> None:
+        self.engine.verify_scripts = value
 
     @property
     def height(self) -> int:
@@ -192,18 +202,17 @@ class Chain:
         return final
 
     def _attach(self, block: Block, parent: BlockRecord) -> AddBlockResult:
-        validation.check_block(block, parent.height, self.params)
+        self.engine.check_block(block, parent.height)
         work = 1 << self.params.pow_bits
         record = BlockRecord(block=block, height=parent.height + 1,
                              total_work=parent.total_work + work)
 
         extends_tip = parent.hash == self._active[-1]
         if extends_tip:
-            undo = validation.connect_block_transactions(
-                block, self.utxos, record.height, self.params,
-                verify_scripts=self.verify_scripts,
-            )
-            record.undo = undo
+            report = self.engine.connect_block(block, self.utxos,
+                                               record.height)
+            self.last_report = report
+            record.undo = [dict(spent) for spent in report.undo]
             self._records[block.hash] = record
             self._active.append(block.hash)
             self._notify(block, record.height)
@@ -244,11 +253,10 @@ class Chain:
         connected: list[bytes] = []
         try:
             for record in branch:
-                undo = validation.connect_block_transactions(
-                    record.block, self.utxos, record.height, self.params,
-                    verify_scripts=self.verify_scripts,
-                )
-                record.undo = undo
+                report = self.engine.connect_block(record.block, self.utxos,
+                                                   record.height)
+                self.last_report = report
+                record.undo = [dict(spent) for spent in report.undo]
                 self._active.append(record.hash)
                 connected.append(record.hash)
         except ValidationError:
@@ -262,11 +270,11 @@ class Chain:
                 failed.undo = None
                 self._active.pop()
             for record in reversed(rollback):
-                undo = validation.connect_block_transactions(
-                    record.block, self.utxos, record.height, self.params,
+                report = self.engine.connect_block(
+                    record.block, self.utxos, record.height,
                     verify_scripts=False,  # previously validated
                 )
-                record.undo = undo
+                record.undo = [dict(spent) for spent in report.undo]
                 self._active.append(record.hash)
             raise
 

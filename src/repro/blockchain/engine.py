@@ -1,0 +1,342 @@
+"""The staged validation engine.
+
+One :class:`ValidationEngine` instance serves one chain view.  It runs the
+three validation stages — *syntax* (context-free), *contextual* (against a
+UTXO source and chain position), *scripts* (interpreter execution) — and
+owns the script-verification cache that makes the paper's Fig. 6 regime
+affordable: a transaction whose scripts were executed at mempool admission
+is never re-executed when its block connects, because both stages share
+the cache keyed by ``(txid, input_index, utxo_entry_hash)``.
+
+Block connection validates against a copy-on-write
+:class:`~repro.blockchain.utxo.UTXOView` instead of mutating the live set:
+on success the overlay commits in one step, on failure it is discarded —
+there is no undo path to run and nothing to roll back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.blockchain.block import Block
+from repro.blockchain.context import TransactionContext
+from repro.blockchain.params import ChainParams
+from repro.blockchain.transaction import OutPoint, Transaction
+from repro.blockchain.utxo import UTXOEntry, UTXOSet, UTXOView
+from repro.errors import ValidationError
+from repro.script.interpreter import ScriptInterpreter
+
+__all__ = [
+    "MAX_MONEY",
+    "ScriptCacheStats",
+    "ValidationEngine",
+    "ValidationReport",
+]
+
+MAX_MONEY = 21_000_000 * 100_000_000
+
+UTXOSource = Union[UTXOSet, UTXOView]
+
+
+@dataclass
+class ScriptCacheStats:
+    """Hit/miss counters of one engine's script-verification cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def executions(self) -> int:
+        """Scripts actually run (every miss executes the interpreter)."""
+        return self.misses
+
+    def snapshot(self) -> "ScriptCacheStats":
+        return ScriptCacheStats(hits=self.hits, misses=self.misses,
+                                evictions=self.evictions)
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """What one block connect (or speculative validation) did.
+
+    Consumed by the chain (undo data for reorgs), the node and daemon
+    (cache telemetry), and the benchmarks (script-execution accounting).
+    """
+
+    block_hash: bytes
+    height: int
+    tx_count: int
+    total_fees: int
+    scripts_verified: bool
+    script_executions: int
+    cache_hits: int
+    stages: tuple[str, ...]
+    # Per-transaction spent entries, in block order (the undo record).
+    undo: tuple[dict[OutPoint, UTXOEntry], ...] = ()
+
+
+class ValidationEngine:
+    """Staged validation with a shared script-verification cache.
+
+    :param params: consensus parameters of the chain being validated.
+    :param verify_scripts: whether block connection re-checks scripts
+        (the Fig. 5 / Fig. 6 toggle); defaults to
+        ``params.verify_blocks``.  Mempool admission always verifies.
+    :param max_cache_entries: cache capacity; oldest verdicts evict first
+        (insertion order — entries are never revalidated, so recency
+        tracking buys nothing over FIFO here).
+    """
+
+    def __init__(self, params: ChainParams,
+                 verify_scripts: Optional[bool] = None,
+                 max_cache_entries: int = 1 << 16) -> None:
+        self.params = params
+        self.verify_scripts = (
+            params.verify_blocks if verify_scripts is None else verify_scripts
+        )
+        self.max_cache_entries = max_cache_entries
+        # key -> True; only successful verdicts are cached (failures raise
+        # and the offending tx never reaches a later stage twice).
+        self._script_cache: dict[tuple[bytes, int, bytes], bool] = {}
+        self.cache_stats = ScriptCacheStats()
+        self.last_report: Optional[ValidationReport] = None
+
+    # -- stage 1: syntax -------------------------------------------------------
+
+    def check_transaction_syntax(self, tx: Transaction) -> None:
+        """Context-free sanity checks on a transaction."""
+        seen = set()
+        for tx_input in tx.inputs:
+            if tx_input.outpoint in seen:
+                raise ValidationError(
+                    f"duplicate input {tx_input.outpoint} in "
+                    f"{tx.txid.hex()[:16]}.."
+                )
+            seen.add(tx_input.outpoint)
+        if not tx.is_coinbase:
+            for tx_input in tx.inputs:
+                if tx_input.outpoint.is_coinbase:
+                    raise ValidationError(
+                        "non-coinbase transaction has a null input"
+                    )
+        total = 0
+        for output in tx.outputs:
+            if output.value > MAX_MONEY:
+                raise ValidationError(
+                    f"output value too large: {output.value}"
+                )
+            total += output.value
+            if total > MAX_MONEY:
+                raise ValidationError(f"total output value too large: {total}")
+
+    # -- stage 2: contextual ---------------------------------------------------
+
+    def check_transaction_inputs(self, tx: Transaction, utxos: UTXOSource,
+                                 height: int) -> int:
+        """Contextual checks: inputs exist, maturity, value balance.
+
+        Returns the transaction fee.
+        """
+        if tx.is_coinbase:
+            return 0
+        input_value = 0
+        for tx_input in tx.inputs:
+            entry = utxos.get(tx_input.outpoint)
+            if entry is None:
+                raise ValidationError(
+                    f"input {tx_input.outpoint} not in UTXO set "
+                    f"(spent or never existed)"
+                )
+            input_value += self._check_entry_spendable(
+                tx_input.outpoint, entry, height
+            )
+        if input_value < tx.total_output_value:
+            raise ValidationError(
+                f"outputs ({tx.total_output_value}) exceed inputs "
+                f"({input_value})"
+            )
+        return input_value - tx.total_output_value
+
+    def _check_entry_spendable(self, outpoint: OutPoint, entry: UTXOEntry,
+                               height: int) -> int:
+        """Maturity check for one resolved entry; returns its value."""
+        if (entry.is_coinbase
+                and height - entry.height < self.params.coinbase_maturity):
+            raise ValidationError(
+                f"coinbase output {outpoint} spent at height {height}, "
+                f"matures at {entry.height + self.params.coinbase_maturity}"
+            )
+        return entry.value
+
+    # -- stage 3: scripts ------------------------------------------------------
+
+    def verify_input_script(self, tx: Transaction, index: int,
+                            entry: UTXOEntry) -> bool:
+        """Verify one input against its resolved entry, through the cache.
+
+        Returns True on a cache hit (no interpreter run), False on a miss
+        that executed and succeeded; raises :class:`ValidationError` on
+        script failure (failures are never cached).
+        """
+        key = (tx.txid, index, entry.entry_hash)
+        if key in self._script_cache:
+            self.cache_stats.hits += 1
+            return True
+        self.cache_stats.misses += 1
+        context = TransactionContext(
+            tx=tx, input_index=index,
+            locking_script=entry.output.script_pubkey,
+        )
+        interpreter = ScriptInterpreter(context=context)
+        if not interpreter.verify(tx.inputs[index].script_sig,
+                                  entry.output.script_pubkey):
+            raise ValidationError(
+                f"script verification failed for input {index} of "
+                f"{tx.txid.hex()[:16]}.. "
+                f"(locking: {entry.output.script_pubkey.disassemble()})"
+            )
+        if len(self._script_cache) >= self.max_cache_entries:
+            self._script_cache.pop(next(iter(self._script_cache)))
+            self.cache_stats.evictions += 1
+        self._script_cache[key] = True
+        return False
+
+    def verify_transaction_scripts(self, tx: Transaction,
+                                   utxos: UTXOSource) -> int:
+        """Run (or recall) every input's script pair; returns executions."""
+        if tx.is_coinbase:
+            return 0
+        executions = 0
+        for index, tx_input in enumerate(tx.inputs):
+            entry = utxos.get(tx_input.outpoint)
+            if entry is None:
+                raise ValidationError(
+                    f"input {tx_input.outpoint} not in UTXO set"
+                )
+            if not self.verify_input_script(tx, index, entry):
+                executions += 1
+        return executions
+
+    # -- block stages ----------------------------------------------------------
+
+    def check_block(self, block: Block, prev_height: int) -> None:
+        """Structural block checks (independent of the UTXO set)."""
+        if not block.header.meets_target(self.params.pow_bits):
+            raise ValidationError(
+                f"block {block.hash.hex()[:16]}.. does not meet the "
+                f"{self.params.pow_bits}-bit proof-of-work target"
+            )
+        if block.serialized_size() > self.params.max_block_size:
+            raise ValidationError(
+                f"block size {block.serialized_size()} exceeds limit "
+                f"{self.params.max_block_size}"
+            )
+        if block.compute_merkle_root() != block.header.merkle_root:
+            raise ValidationError("merkle root mismatch")
+        if not block.transactions[0].is_coinbase:
+            raise ValidationError("first transaction is not a coinbase")
+        for tx in block.transactions[1:]:
+            if tx.is_coinbase:
+                raise ValidationError("block contains a non-first coinbase")
+        height = prev_height + 1
+        for tx in block.transactions:
+            self.check_transaction_syntax(tx)
+            if not tx.is_final(height, block.header.timestamp):
+                raise ValidationError(
+                    f"transaction {tx.txid.hex()[:16]}.. is not final at "
+                    f"height {height}"
+                )
+
+    def connect_block(self, block: Block, utxos: UTXOSource, height: int,
+                      verify_scripts: Optional[bool] = None,
+                      commit: bool = True) -> ValidationReport:
+        """Validate and apply a block's transactions atomically.
+
+        All work happens against a :class:`UTXOView` overlay; ``utxos`` is
+        only touched by the final commit, so any :class:`ValidationError`
+        leaves it bit-for-bit untouched with no rollback work.  Pass
+        ``commit=False`` for purely speculative validation (the overlay is
+        discarded even on success).
+
+        ``verify_scripts`` overrides the engine default for this call —
+        the chain uses that to skip re-verification when restoring a
+        previously validated branch after a failed reorg.
+        """
+        if verify_scripts is None:
+            verify_scripts = self.verify_scripts
+        view = UTXOView(utxos)
+        hits_before = self.cache_stats.hits
+        undo: list[dict[OutPoint, UTXOEntry]] = []
+        total_fees = 0
+        executions = 0
+        for tx in block.transactions:
+            total_fees += self.check_transaction_inputs(tx, view, height)
+            if verify_scripts:
+                executions += self.verify_transaction_scripts(tx, view)
+            undo.append(view.apply_transaction(tx, height))
+        coinbase_value = block.coinbase.total_output_value
+        max_coinbase = self.params.coinbase_reward + total_fees
+        if coinbase_value > max_coinbase:
+            raise ValidationError(
+                f"coinbase claims {coinbase_value}, max is {max_coinbase}"
+            )
+        if commit:
+            view.commit()
+        report = ValidationReport(
+            block_hash=block.hash,
+            height=height,
+            tx_count=len(block.transactions),
+            total_fees=total_fees,
+            scripts_verified=verify_scripts,
+            script_executions=executions,
+            cache_hits=self.cache_stats.hits - hits_before,
+            stages=("syntax", "contextual", "scripts", "connect")
+            if verify_scripts else ("syntax", "contextual", "connect"),
+            undo=tuple(undo),
+        )
+        self.last_report = report
+        return report
+
+    # -- speculative helpers ---------------------------------------------------
+
+    def speculative_fees(self, transactions: list[Transaction],
+                         utxos: UTXOSource, height: int) -> int:
+        """Total fees of an ordered batch, validated against an overlay.
+
+        The miner's template assembly: dependencies inside the batch
+        resolve through the overlay as each transaction applies, and the
+        live set is never touched.
+        """
+        view = UTXOView(utxos)
+        total = 0
+        for tx in transactions:
+            total += self.check_transaction_inputs(tx, view, height)
+            view.apply_transaction(tx, height)
+        return total
+
+    def conflicts(self, first: Transaction, second: Transaction,
+                  utxos: UTXOSource, height: int) -> bool:
+        """Whether ``second`` becomes unspendable once ``first`` applies.
+
+        The double-spend probe: both orders of a conflicting pair fail the
+        contextual stage on whichever transaction comes second, and the
+        probe costs one overlay, not a UTXO-set clone.
+        """
+        view = UTXOView(utxos)
+        view.apply_transaction(first, height)
+        try:
+            self.check_transaction_inputs(second, view, height)
+        except ValidationError:
+            return True
+        return False
+
+    # -- cache management ------------------------------------------------------
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._script_cache)
+
+    def clear_cache(self) -> None:
+        self._script_cache.clear()

@@ -14,19 +14,23 @@ from typing import Iterator, Optional
 from repro.blockchain.chain import Chain
 from repro.blockchain.transaction import OutPoint, Transaction
 from repro.blockchain.utxo import UTXOEntry
-from repro.blockchain import validation
 from repro.errors import ValidationError
-from repro.script.interpreter import ScriptInterpreter
-from repro.blockchain.context import TransactionContext
 
 __all__ = ["Mempool"]
 
 
 class Mempool:
-    """Validated unconfirmed transactions, keyed by txid."""
+    """Validated unconfirmed transactions, keyed by txid.
+
+    Admission runs the chain engine's full staged pipeline — including
+    script execution — so every verdict lands in the shared script cache
+    and the eventual block connect never re-executes an admitted
+    transaction's scripts.
+    """
 
     def __init__(self, chain: Chain) -> None:
         self._chain = chain
+        self._engine = chain.engine
         self._transactions: dict[bytes, Transaction] = {}
         # outpoint -> txid of the pool transaction spending it.
         self._spends: dict[OutPoint, bytes] = {}
@@ -63,7 +67,7 @@ class Mempool:
             raise ValidationError(f"transaction {tx.txid.hex()[:16]}.. already in pool")
         if tx.is_coinbase:
             raise ValidationError("coinbase transactions cannot enter the pool")
-        validation.check_transaction_syntax(tx)
+        self._engine.check_transaction_syntax(tx)
 
         conflicts = self.conflicts_with(tx)
         if conflicts:
@@ -100,18 +104,8 @@ class Mempool:
                 f"height {next_height}"
             )
 
-        for index, (tx_input, entry) in enumerate(zip(tx.inputs, resolved)):
-            context = TransactionContext(
-                tx=tx, input_index=index,
-                locking_script=entry.output.script_pubkey,
-            )
-            interpreter = ScriptInterpreter(context=context)
-            if not interpreter.verify(tx_input.script_sig,
-                                      entry.output.script_pubkey):
-                raise ValidationError(
-                    f"script verification failed for input {index} of "
-                    f"{tx.txid.hex()[:16]}.."
-                )
+        for index, entry in enumerate(resolved):
+            self._engine.verify_input_script(tx, index, entry)
 
         self._transactions[tx.txid] = tx
         for tx_input in tx.inputs:

@@ -66,40 +66,30 @@ class Miner:
         )
 
     def build_template(self, timestamp: float) -> Block:
-        """Assemble an unmined block on the current tip."""
+        """Assemble an unmined block on the current tip.
+
+        Fee accounting is speculative validation: the selected batch is
+        applied to a copy-on-write overlay of the live UTXO set, which
+        both resolves in-batch dependencies and guarantees the template
+        connects — without cloning or mutating chain state.
+        """
         height = self.chain.height + 1
         # Reserve room for the header (84 B) and the coinbase (~90 B,
         # plus slack for a large fee value).
         budget = self.params.max_block_size - 250
         selected = self.mempool.select_for_block(budget)
-        fees = self._total_fees(selected, height)
+        try:
+            fees = self.chain.engine.speculative_fees(
+                selected, self.chain.utxos, height,
+            )
+        except ValidationError as exc:
+            raise ValidationError(f"template assembly failed: {exc}") from exc
         coinbase = self.build_coinbase(height, fees)
         return Block.assemble(
             prev_hash=self.chain.tip.hash,
             timestamp=timestamp,
             transactions=[coinbase, *selected],
         )
-
-    def _total_fees(self, transactions: list[Transaction], height: int) -> int:
-        """Sum of fees, resolving inputs from the UTXO set or the batch."""
-        by_txid = {tx.txid: tx for tx in transactions}
-        fees = 0
-        for tx in transactions:
-            input_value = 0
-            for tx_input in tx.inputs:
-                entry = self.chain.utxos.get(tx_input.outpoint)
-                if entry is not None:
-                    input_value += entry.value
-                    continue
-                parent = by_txid.get(tx_input.outpoint.txid)
-                if parent is None:
-                    raise ValidationError(
-                        f"template transaction input {tx_input.outpoint} "
-                        f"unresolvable"
-                    )
-                input_value += parent.outputs[tx_input.outpoint.index].value
-            fees += input_value - tx.total_output_value
-        return fees
 
     def mine(self, timestamp: float) -> Block:
         """Produce a valid block at ``timestamp`` (grinding nonces if needed)."""

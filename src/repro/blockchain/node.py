@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.blockchain.block import Block
 from repro.blockchain.chain import AddBlockResult, Chain
+from repro.blockchain.engine import ValidationEngine, ValidationReport
 from repro.blockchain.mempool import Mempool
 from repro.blockchain.params import ChainParams
 from repro.blockchain.transaction import Transaction
@@ -46,6 +47,16 @@ class FullNode:
     @property
     def params(self) -> ChainParams:
         return self.chain.params
+
+    @property
+    def engine(self) -> ValidationEngine:
+        """The staged validation engine shared by chain and mempool."""
+        return self.chain.engine
+
+    @property
+    def last_block_report(self) -> Optional[ValidationReport]:
+        """Telemetry of the most recent block connect (cache hits etc.)."""
+        return self.chain.last_report
 
     @property
     def height(self) -> int:

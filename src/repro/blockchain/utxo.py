@@ -1,14 +1,15 @@
-"""The unspent-transaction-output set."""
+"""The unspent-transaction-output set and copy-on-write overlay views."""
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Protocol, Union
 
 from repro.blockchain.transaction import OutPoint, Transaction, TxOutput
 from repro.errors import ValidationError
 
-__all__ = ["UTXOEntry", "UTXOSet"]
+__all__ = ["UTXOEntry", "UTXOSet", "UTXOView"]
 
 
 @dataclass(frozen=True)
@@ -22,6 +23,27 @@ class UTXOEntry:
     @property
     def value(self) -> int:
         return self.output.value
+
+    @property
+    def entry_hash(self) -> bytes:
+        """Digest of everything script verification can observe.
+
+        Deliberately excludes ``height`` and ``is_coinbase``: those feed
+        the *contextual* stage (maturity), not script execution, and the
+        same logical output must hash identically whether it was resolved
+        from the confirmed set or synthesized from an unconfirmed parent
+        — that equality is what lets the block-connect stage reuse script
+        verdicts cached at mempool admission.
+        """
+        return hashlib.sha256(self.output.serialize()).digest()
+
+
+class UTXOLike(Protocol):
+    """What validation needs from a UTXO source (set or overlay view)."""
+
+    def get(self, outpoint: OutPoint) -> Optional[UTXOEntry]: ...
+
+    def __contains__(self, outpoint: OutPoint) -> bool: ...
 
 
 class UTXOSet:
@@ -101,3 +123,105 @@ class UTXOSet:
     def snapshot(self) -> dict[OutPoint, UTXOEntry]:
         """A shallow copy of the current set (entries are immutable)."""
         return dict(self._entries)
+
+
+class UTXOView:
+    """A copy-on-write overlay over a :class:`UTXOSet` (or another view).
+
+    All mutations land in the overlay; the base is never touched until
+    :meth:`commit`.  Validating a block against a view means a failure
+    needs no undo path at all — the overlay is simply discarded — and a
+    speculative workload (miner template assembly, double-spend probing)
+    costs two small dicts instead of a full UTXO-set clone.
+
+    Views nest: ``UTXOView(UTXOView(utxos))`` works, though only the
+    innermost layer can commit to the real set.
+    """
+
+    def __init__(self, base: Union[UTXOSet, "UTXOView"]) -> None:
+        self._base = base
+        self._added: dict[OutPoint, UTXOEntry] = {}
+        self._spent: set[OutPoint] = set()
+
+    @property
+    def base(self) -> Union[UTXOSet, "UTXOView"]:
+        return self._base
+
+    def __contains__(self, outpoint: OutPoint) -> bool:
+        return self.get(outpoint) is not None
+
+    def get(self, outpoint: OutPoint) -> Optional[UTXOEntry]:
+        if outpoint in self._spent:
+            return None
+        entry = self._added.get(outpoint)
+        if entry is not None:
+            return entry
+        return self._base.get(outpoint)
+
+    def add(self, outpoint: OutPoint, entry: UTXOEntry) -> None:
+        if self.get(outpoint) is not None:
+            raise ValidationError(f"duplicate UTXO: {outpoint}")
+        self._spent.discard(outpoint)
+        self._added[outpoint] = entry
+
+    def remove(self, outpoint: OutPoint) -> UTXOEntry:
+        entry = self.get(outpoint)
+        if entry is None:
+            raise ValidationError(f"missing UTXO: {outpoint}")
+        if outpoint in self._added:
+            del self._added[outpoint]
+        else:
+            self._spent.add(outpoint)
+        return entry
+
+    def apply_transaction(self, tx: Transaction,
+                          height: int) -> dict[OutPoint, UTXOEntry]:
+        """Overlay equivalent of :meth:`UTXOSet.apply_transaction`."""
+        if not tx.is_coinbase:
+            missing = [
+                tx_input.outpoint for tx_input in tx.inputs
+                if tx_input.outpoint not in self
+            ]
+            if missing:
+                raise ValidationError(
+                    f"transaction {tx.txid.hex()[:16]}.. spends missing "
+                    f"outputs: {', '.join(str(o) for o in missing)}"
+                )
+        spent: dict[OutPoint, UTXOEntry] = {}
+        if not tx.is_coinbase:
+            for tx_input in tx.inputs:
+                spent[tx_input.outpoint] = self.remove(tx_input.outpoint)
+        for index, output in enumerate(tx.outputs):
+            self.add(
+                OutPoint(txid=tx.txid, index=index),
+                UTXOEntry(output=output, height=height,
+                          is_coinbase=tx.is_coinbase),
+            )
+        return spent
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self._added or self._spent)
+
+    def changes(self) -> tuple[dict[OutPoint, UTXOEntry], set[OutPoint]]:
+        """The pending delta as ``(added, spent)`` copies."""
+        return dict(self._added), set(self._spent)
+
+    def commit(self) -> None:
+        """Flush the overlay's delta into the base, then reset the overlay.
+
+        Spends apply before additions, so an output that was both created
+        and consumed inside the overlay (a chained spend within one block)
+        never touches the base at all.
+        """
+        for outpoint in self._spent:
+            self._base.remove(outpoint)
+        for outpoint, entry in self._added.items():
+            self._base.add(outpoint, entry)
+        self._added.clear()
+        self._spent.clear()
+
+    def discard(self) -> None:
+        """Drop the pending delta (the failure path: no undo needed)."""
+        self._added.clear()
+        self._spent.clear()

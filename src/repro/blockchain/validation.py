@@ -1,23 +1,22 @@
-"""Transaction and block validation rules.
+"""Transaction and block validation rules (deprecated free-function API).
 
-Split into *syntactic* checks (self-contained), *contextual* transaction
-checks (against a UTXO set and chain position), and *block* checks
-(structure, proof-of-work, and every contained transaction).  The node
-layer decides when the expensive script execution runs — the paper's
-Figs. 5/6 differ exactly in whether incoming blocks are re-verified.
+The staged pipeline now lives in
+:class:`repro.blockchain.engine.ValidationEngine` — syntax → contextual →
+scripts, executed against copy-on-write
+:class:`~repro.blockchain.utxo.UTXOView` overlays with a shared
+script-verification cache.  These free functions remain as thin shims for
+existing callers and tests; each call builds a throwaway engine, so no
+verdicts are cached across calls.  New code should use the engine owned
+by the :class:`~repro.blockchain.chain.Chain` it validates for.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.blockchain.block import Block
-from repro.blockchain.context import TransactionContext
+from repro.blockchain.engine import MAX_MONEY, ValidationEngine
 from repro.blockchain.params import ChainParams
 from repro.blockchain.transaction import Transaction
 from repro.blockchain.utxo import UTXOSet
-from repro.errors import ValidationError
-from repro.script.interpreter import ScriptInterpreter
 from repro.script.opcodes import OP
 
 __all__ = [
@@ -28,144 +27,46 @@ __all__ = [
     "connect_block_transactions",
 ]
 
-_MAX_MONEY = 21_000_000 * 100_000_000
+_MAX_MONEY = MAX_MONEY
 
 
 def check_transaction_syntax(tx: Transaction) -> None:
-    """Context-free sanity checks on a transaction."""
-    seen = set()
-    for tx_input in tx.inputs:
-        if tx_input.outpoint in seen:
-            raise ValidationError(
-                f"duplicate input {tx_input.outpoint} in {tx.txid.hex()[:16]}.."
-            )
-        seen.add(tx_input.outpoint)
-    if not tx.is_coinbase:
-        for tx_input in tx.inputs:
-            if tx_input.outpoint.is_coinbase:
-                raise ValidationError(
-                    "non-coinbase transaction has a null input"
-                )
-    total = 0
-    for output in tx.outputs:
-        if output.value > _MAX_MONEY:
-            raise ValidationError(f"output value too large: {output.value}")
-        total += output.value
-        if total > _MAX_MONEY:
-            raise ValidationError(f"total output value too large: {total}")
+    """Deprecated shim for :meth:`ValidationEngine.check_transaction_syntax`."""
+    ValidationEngine(ChainParams()).check_transaction_syntax(tx)
 
 
 def check_transaction_inputs(tx: Transaction, utxos: UTXOSet, height: int,
                              params: ChainParams) -> int:
-    """Contextual checks: inputs exist, maturity, value balance.
+    """Deprecated shim for :meth:`ValidationEngine.check_transaction_inputs`.
 
     Returns the transaction fee.
     """
-    if tx.is_coinbase:
-        return 0
-    input_value = 0
-    for tx_input in tx.inputs:
-        entry = utxos.get(tx_input.outpoint)
-        if entry is None:
-            raise ValidationError(
-                f"input {tx_input.outpoint} not in UTXO set "
-                f"(spent or never existed)"
-            )
-        if entry.is_coinbase and height - entry.height < params.coinbase_maturity:
-            raise ValidationError(
-                f"coinbase output {tx_input.outpoint} spent at height "
-                f"{height}, matures at {entry.height + params.coinbase_maturity}"
-            )
-        input_value += entry.value
-    if input_value < tx.total_output_value:
-        raise ValidationError(
-            f"outputs ({tx.total_output_value}) exceed inputs ({input_value})"
-        )
-    return input_value - tx.total_output_value
+    return ValidationEngine(params).check_transaction_inputs(tx, utxos, height)
 
 
 def verify_transaction_scripts(tx: Transaction, utxos: UTXOSet) -> None:
-    """Run every input's unlocking+locking script pair."""
-    if tx.is_coinbase:
-        return
-    for index, tx_input in enumerate(tx.inputs):
-        entry = utxos.get(tx_input.outpoint)
-        if entry is None:
-            raise ValidationError(f"input {tx_input.outpoint} not in UTXO set")
-        context = TransactionContext(
-            tx=tx, input_index=index,
-            locking_script=entry.output.script_pubkey,
-        )
-        interpreter = ScriptInterpreter(context=context)
-        if not interpreter.verify(tx_input.script_sig,
-                                  entry.output.script_pubkey):
-            raise ValidationError(
-                f"script verification failed for input {index} of "
-                f"{tx.txid.hex()[:16]}.. "
-                f"(locking: {entry.output.script_pubkey.disassemble()})"
-            )
+    """Deprecated shim for :meth:`ValidationEngine.verify_transaction_scripts`."""
+    ValidationEngine(ChainParams()).verify_transaction_scripts(tx, utxos)
 
 
 def check_block(block: Block, prev_height: int, params: ChainParams) -> None:
-    """Structural block checks (independent of the UTXO set)."""
-    if not block.header.meets_target(params.pow_bits):
-        raise ValidationError(
-            f"block {block.hash.hex()[:16]}.. does not meet the "
-            f"{params.pow_bits}-bit proof-of-work target"
-        )
-    if block.serialized_size() > params.max_block_size:
-        raise ValidationError(
-            f"block size {block.serialized_size()} exceeds limit "
-            f"{params.max_block_size}"
-        )
-    if block.compute_merkle_root() != block.header.merkle_root:
-        raise ValidationError("merkle root mismatch")
-    if not block.transactions[0].is_coinbase:
-        raise ValidationError("first transaction is not a coinbase")
-    for tx in block.transactions[1:]:
-        if tx.is_coinbase:
-            raise ValidationError("block contains a non-first coinbase")
-    height = prev_height + 1
-    for tx in block.transactions:
-        check_transaction_syntax(tx)
-        if not tx.is_final(height, block.header.timestamp):
-            raise ValidationError(
-                f"transaction {tx.txid.hex()[:16]}.. is not final at "
-                f"height {height}"
-            )
+    """Deprecated shim for :meth:`ValidationEngine.check_block`."""
+    ValidationEngine(params).check_block(block, prev_height)
 
 
 def connect_block_transactions(block: Block, utxos: UTXOSet, height: int,
                                params: ChainParams,
                                verify_scripts: bool = True) -> list[dict]:
-    """Apply a block's transactions to ``utxos``; returns per-tx undo data.
+    """Deprecated shim for :meth:`ValidationEngine.connect_block`.
 
-    Raises :class:`ValidationError` with the UTXO set *rolled back* to its
-    pre-call state on any failure.  ``verify_scripts=False`` reproduces the
-    paper's Fig. 5 configuration (block verification disabled).
+    Raises :class:`~repro.errors.ValidationError` with ``utxos`` untouched
+    on any failure (the engine validates against an overlay, so there is
+    no undo path to run).  ``verify_scripts=False`` reproduces the paper's
+    Fig. 5 configuration (block verification disabled).
     """
-    undo_stack: list[tuple[Transaction, dict]] = []
-    total_fees = 0
-    try:
-        for tx in block.transactions:
-            total_fees += check_transaction_inputs(tx, utxos, height, params)
-            if verify_scripts:
-                verify_transaction_scripts(tx, utxos)
-            spent = utxos.apply_transaction(tx, height)
-            undo_stack.append((tx, spent))
-    except ValidationError:
-        for tx, spent in reversed(undo_stack):
-            utxos.undo_transaction(tx, spent)
-        raise
-    coinbase_value = block.coinbase.total_output_value
-    max_coinbase = params.coinbase_reward + total_fees
-    if coinbase_value > max_coinbase:
-        for tx, spent in reversed(undo_stack):
-            utxos.undo_transaction(tx, spent)
-        raise ValidationError(
-            f"coinbase claims {coinbase_value}, max is {max_coinbase}"
-        )
-    return [spent for _, spent in undo_stack]
+    engine = ValidationEngine(params, verify_scripts=verify_scripts)
+    report = engine.connect_block(block, utxos, height)
+    return [dict(spent) for spent in report.undo]
 
 
 def is_op_return_output(script_pubkey) -> bool:

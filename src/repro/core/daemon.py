@@ -43,6 +43,11 @@ class DaemonStats:
     stall_time: float = 0.0
     max_queue_length: int = 0
     queue_wait_total: float = 0.0
+    # Validation-engine telemetry (cumulative over the node's lifetime):
+    # script executions avoided / paid across mempool admission and block
+    # connect, from the engine's shared verification cache.
+    script_cache_hits: int = 0
+    script_cache_misses: int = 0
 
     def mean_wait(self) -> float:
         return self.queue_wait_total / self.jobs_served if self.jobs_served else 0.0
@@ -127,6 +132,9 @@ class BlockchainDaemon:
                     self.blocks_rejected_consensus += 1
                     return
                 self.gossip.receive_block(block, origin=origin)
+                cache = self.node.engine.cache_stats
+                self.stats.script_cache_hits = cache.hits
+                self.stats.script_cache_misses = cache.misses
 
             self._enqueue(service, process_block, label="block")
         else:

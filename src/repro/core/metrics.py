@@ -99,6 +99,9 @@ class ExchangeTracker:
         return [r.latency for r in self.completed() if r.latency is not None]
 
     def latency_summary(self) -> Summary:
+        """Latency statistics; the zero-exchange case yields the
+        well-defined empty :class:`Summary` (count 0, NaN-free) so a run
+        that completes nothing still reports instead of crashing."""
         return Summary.of(self.latencies())
 
     def completion_rate(self) -> float:

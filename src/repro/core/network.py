@@ -84,7 +84,7 @@ class RunReport:
     @property
     def mean_latency(self) -> float:
         if not self.latencies:
-            raise ValueError("no completed exchanges")
+            return float("nan")
         return sum(self.latencies) / len(self.latencies)
 
     @property

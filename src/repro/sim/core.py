@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -225,15 +226,21 @@ class AllOf(Event):
 
 
 class AnyOf(Event):
-    """Fires when the first child event fires."""
+    """Fires when the first child event fires.
 
-    __slots__ = ()
+    Once the winner fires, the composite detaches its callback from every
+    losing child, so slow or never-firing events don't retain a reference
+    to a long-completed composite (and its captured state).
+    """
+
+    __slots__ = ("_children",)
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
         children = list(events)
         if not children:
             raise SimulationError("AnyOf needs at least one event")
+        self._children: tuple[Event, ...] = tuple(children)
         for child in children:
             child.callbacks.append(self._on_child)
             if child.processed:
@@ -243,6 +250,14 @@ class AnyOf(Event):
     def _on_child(self, event: Event) -> None:
         if self.triggered:
             return
+        for child in self._children:
+            if child is event:
+                continue
+            try:
+                child.callbacks.remove(self._on_child)
+            except ValueError:
+                pass
+        self._children = ()
         if event.ok:
             self.succeed(event.value)
         else:
@@ -264,7 +279,9 @@ class Lock:
     def __init__(self, sim: "Simulator") -> None:
         self._sim = sim
         self._locked = False
-        self._waiters: list[Event] = []
+        # deque: release() hands off to the oldest waiter in O(1);
+        # a list's pop(0) is O(n) under contention.
+        self._waiters: deque[Event] = deque()
 
     @property
     def locked(self) -> bool:
@@ -283,7 +300,7 @@ class Lock:
         if not self._locked:
             raise SimulationError("release() of an unlocked Lock")
         if self._waiters:
-            self._waiters.pop(0).succeed()
+            self._waiters.popleft().succeed()
         else:
             self._locked = False
 

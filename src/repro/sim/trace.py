@@ -30,9 +30,20 @@ class Summary:
     maximum: float
 
     @classmethod
+    def empty(cls) -> "Summary":
+        """The zero-sample summary: count 0, every statistic 0.0.
+
+        A run with no completed exchanges is a legitimate outcome (e.g. a
+        fully partitioned network ablation); reports must render it as a
+        0% completion rate, not crash.
+        """
+        return cls(count=0, mean=0.0, stdev=0.0, minimum=0.0, p25=0.0,
+                   median=0.0, p75=0.0, p95=0.0, p99=0.0, maximum=0.0)
+
+    @classmethod
     def of(cls, samples: list[float]) -> "Summary":
         if not samples:
-            raise ValueError("cannot summarize zero samples")
+            return cls.empty()
         ordered = sorted(samples)
         n = len(ordered)
         mean = sum(ordered) / n
@@ -51,6 +62,8 @@ class Summary:
         )
 
     def format(self, unit: str = "s") -> str:
+        if self.count == 0:
+            return "n=0 (no samples)"
         return (
             f"n={self.count} mean={self.mean:.3f}{unit} "
             f"median={self.median:.3f}{unit} p95={self.p95:.3f}{unit} "

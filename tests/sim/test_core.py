@@ -154,6 +154,38 @@ def test_any_of_returns_first():
     assert results == [(1.0, "fast")]
 
 
+def test_any_of_detaches_losing_children():
+    sim = Simulator()
+    fast = sim.event()
+    slow = sim.event()
+    composite = sim.any_of([fast, slow])
+    assert len(slow.callbacks) == 1
+    fast.succeed("winner")
+    sim.run()
+    assert composite.value == "winner"
+    # The loser no longer references the completed composite.
+    assert slow.callbacks == []
+    slow.succeed("late")
+    sim.run()  # firing the loser later is harmless
+
+
+def test_lock_waiters_deque_fifo_under_contention():
+    sim = Simulator()
+    lock = sim.lock()
+    order = []
+
+    def worker(sim, index):
+        yield lock.acquire()
+        order.append(index)
+        yield sim.timeout(0.001)
+        lock.release()
+
+    for index in range(100):
+        sim.process(worker(sim, index))
+    sim.run()
+    assert order == list(range(100))
+
+
 def test_interrupt_raises_inside_process():
     sim = Simulator()
     events = []

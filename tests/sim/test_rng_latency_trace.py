@@ -140,9 +140,14 @@ def test_summary_single_sample():
     assert summary.stdev == 0.0
 
 
-def test_summary_empty_rejected():
-    with pytest.raises(ValueError):
-        Summary.of([])
+def test_summary_empty_is_well_defined():
+    summary = Summary.of([])
+    assert summary.count == 0
+    assert summary.mean == 0.0 and summary.maximum == 0.0
+    # NaN-free formatting: a zero-exchange run reports, not crashes.
+    text = summary.format()
+    assert "n=0" in text
+    assert "nan" not in text.lower()
 
 
 def test_summary_format_mentions_stats():
