@@ -25,6 +25,7 @@ from repro.blockchain.params import ChainParams
 from repro.blockchain.transaction import OutPoint, Transaction
 from repro.blockchain.utxo import UTXOEntry, UTXOSet, UTXOView
 from repro.errors import ValidationError
+from repro.script.analysis import StandardnessPolicy
 from repro.script.interpreter import ScriptInterpreter
 
 __all__ = [
@@ -87,16 +88,27 @@ class ValidationEngine:
     :param max_cache_entries: cache capacity; oldest verdicts evict first
         (insertion order — entries are never revalidated, so recency
         tracking buys nothing over FIFO here).
+    :param policy: the :class:`~repro.script.analysis.StandardnessPolicy`
+        shared by the mempool (standardness) and this engine (static
+        fast-reject); a default instance is created when omitted.
+    :param static_precheck: run the static analyzer's consensus-safe
+        fast-reject before each interpreter execution.  The precheck
+        only rejects spends whose execution provably fails, so toggling
+        it never changes a verdict — only where the cost is paid.
     """
 
     def __init__(self, params: ChainParams,
                  verify_scripts: Optional[bool] = None,
-                 max_cache_entries: int = 1 << 16) -> None:
+                 max_cache_entries: int = 1 << 16,
+                 policy: Optional[StandardnessPolicy] = None,
+                 static_precheck: bool = True) -> None:
         self.params = params
         self.verify_scripts = (
             params.verify_blocks if verify_scripts is None else verify_scripts
         )
         self.max_cache_entries = max_cache_entries
+        self.policy = StandardnessPolicy() if policy is None else policy
+        self.static_precheck = static_precheck
         # key -> True; only successful verdicts are cached (failures raise
         # and the offending tx never reaches a later stage twice).
         self._script_cache: dict[tuple[bytes, int, bytes], bool] = {}
@@ -184,6 +196,18 @@ class ValidationEngine:
         if key in self._script_cache:
             self.cache_stats.hits += 1
             return True
+        if self.static_precheck:
+            reason = self.policy.precheck_spend(
+                tx.inputs[index].script_sig, entry.output.script_pubkey
+            )
+            if reason is not None:
+                # Consensus-safe: the interpreter would fail too, so the
+                # execution (and its miss) is skipped entirely.
+                self.policy.stats.fast_rejects += 1
+                raise ValidationError(
+                    f"script fast-reject for input {index} of "
+                    f"{tx.txid.hex()[:16]}..: {reason}"
+                )
         self.cache_stats.misses += 1
         context = TransactionContext(
             tx=tx, input_index=index,

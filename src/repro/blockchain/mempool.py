@@ -76,6 +76,17 @@ class Mempool:
                 f"pool transaction(s) {', '.join(c.hex()[:16] + '..' for c in conflicts)}"
             )
 
+        # Standardness pre-pass: purely static, so it runs before input
+        # resolution — a provably-unspendable output or a non-push
+        # unlocking script is turned away without touching the UTXO set
+        # or executing a single opcode.
+        standardness = self._engine.policy.check_transaction(tx)
+        if standardness is not None:
+            raise ValidationError(
+                f"transaction {tx.txid.hex()[:16]}.. is not standard: "
+                f"{standardness}"
+            )
+
         next_height = self._chain.height + 1
         input_value = 0
         resolved: list[UTXOEntry] = []

@@ -17,7 +17,7 @@ from repro.blockchain.engine import MAX_MONEY, ValidationEngine
 from repro.blockchain.params import ChainParams
 from repro.blockchain.transaction import Transaction
 from repro.blockchain.utxo import UTXOSet
-from repro.script.opcodes import OP
+from repro.script.analysis import OUTPUT_OP_RETURN, classify_output
 
 __all__ = [
     "check_transaction_syntax",
@@ -70,6 +70,10 @@ def connect_block_transactions(block: Block, utxos: UTXOSet, height: int,
 
 
 def is_op_return_output(script_pubkey) -> bool:
-    """True if a locking script is a data-carrier (OP_RETURN) output."""
-    elements = script_pubkey.elements
-    return bool(elements) and elements[0] == OP.OP_RETURN
+    """True if a locking script is a data-carrier (OP_RETURN) output.
+
+    Delegates to the static analyzer's output classification so the
+    directory layer and the standardness policy agree on what counts as
+    a data carrier.
+    """
+    return classify_output(script_pubkey) == OUTPUT_OP_RETURN

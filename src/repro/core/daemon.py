@@ -45,9 +45,12 @@ class DaemonStats:
     queue_wait_total: float = 0.0
     # Validation-engine telemetry (cumulative over the node's lifetime):
     # script executions avoided / paid across mempool admission and block
-    # connect, from the engine's shared verification cache.
+    # connect, from the engine's shared verification cache, plus the
+    # static analyzer's standardness and fast-reject counters.
     script_cache_hits: int = 0
     script_cache_misses: int = 0
+    standardness_rejects: int = 0
+    script_fast_rejects: int = 0
 
     def mean_wait(self) -> float:
         return self.queue_wait_total / self.jobs_served if self.jobs_served else 0.0
@@ -106,10 +109,14 @@ class BlockchainDaemon:
             if tx.txid in self._seen_txids:
                 return
             self._seen_txids.add(tx.txid)
+            origin = envelope.source
+
+            def process_tx(tx=tx, origin=origin):
+                self.gossip.receive_transaction(tx, origin=origin)
+                self._sync_validation_telemetry()
+
             self._enqueue(
-                self.cost_model.daemon_tx_process,
-                lambda: self.gossip.receive_transaction(tx, origin=envelope.source),
-                label="tx",
+                self.cost_model.daemon_tx_process, process_tx, label="tx",
             )
         elif isinstance(payload, BlockMessage):
             block = payload.block
@@ -132,9 +139,7 @@ class BlockchainDaemon:
                     self.blocks_rejected_consensus += 1
                     return
                 self.gossip.receive_block(block, origin=origin)
-                cache = self.node.engine.cache_stats
-                self.stats.script_cache_hits = cache.hits
-                self.stats.script_cache_misses = cache.misses
+                self._sync_validation_telemetry()
 
             self._enqueue(service, process_block, label="block")
         else:
@@ -147,6 +152,14 @@ class BlockchainDaemon:
                     lambda: handler(envelope),
                     label="protocol",
                 )
+
+    def _sync_validation_telemetry(self) -> None:
+        """Mirror the engine's script-layer counters into the stats."""
+        engine = self.node.engine
+        self.stats.script_cache_hits = engine.cache_stats.hits
+        self.stats.script_cache_misses = engine.cache_stats.misses
+        self.stats.standardness_rejects = engine.policy.stats.tx_rejected
+        self.stats.script_fast_rejects = engine.policy.stats.fast_rejects
 
     def register_protocol(self, payload_type: type,
                           handler: Callable[[Envelope], None]) -> None:

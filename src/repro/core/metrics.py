@@ -15,7 +15,52 @@ from typing import Optional
 
 from repro.sim.trace import Summary
 
-__all__ = ["ExchangeRecord", "ExchangeTracker"]
+__all__ = ["ExchangeRecord", "ExchangeTracker", "ValidationTelemetry"]
+
+
+@dataclass(frozen=True)
+class ValidationTelemetry:
+    """One snapshot of a validation engine's script-layer counters.
+
+    Bundles the script-verification cache (PR 1) with the static
+    analyzer's standardness and fast-reject counters so daemons and
+    experiment reports read one object instead of poking two stats
+    structures on the engine.
+    """
+
+    script_cache_hits: int = 0
+    script_cache_misses: int = 0
+    script_cache_evictions: int = 0
+    standardness_tx_checked: int = 0
+    standardness_tx_rejected: int = 0
+    spends_prechecked: int = 0
+    script_fast_rejects: int = 0
+    analyses: int = 0
+    analysis_cache_hits: int = 0
+    output_classes: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_engine(cls, engine) -> "ValidationTelemetry":
+        """Snapshot any object with ``cache_stats`` + ``policy.stats``."""
+        cache = engine.cache_stats
+        policy = engine.policy.stats
+        return cls(
+            script_cache_hits=cache.hits,
+            script_cache_misses=cache.misses,
+            script_cache_evictions=cache.evictions,
+            standardness_tx_checked=policy.tx_checked,
+            standardness_tx_rejected=policy.tx_rejected,
+            spends_prechecked=policy.spends_prechecked,
+            script_fast_rejects=policy.fast_rejects,
+            analyses=policy.analyses,
+            analysis_cache_hits=policy.analysis_cache_hits,
+            output_classes=dict(policy.output_classes),
+        )
+
+    @property
+    def executions_avoided(self) -> int:
+        """Interpreter runs saved by the cache plus the fast-reject pass."""
+        return self.script_cache_hits + self.script_fast_rejects
 
 
 @dataclass

@@ -6,9 +6,22 @@
   extension ``OP_CHECKRSA512PAIR``;
 * :mod:`repro.script.interpreter` — the stack machine;
 * :mod:`repro.script.builder` — standard templates (P2PKH, OP_RETURN) and
-  the paper's Listing 1 ephemeral-key-release script.
+  the paper's Listing 1 ephemeral-key-release script;
+* :mod:`repro.script.analysis` — static analyzer: abstract stack-depth
+  interpretation, output classification, and the mempool/engine
+  :class:`~repro.script.analysis.StandardnessPolicy`.
 """
 
+from repro.script.analysis import (
+    STANDARD_OUTPUT_CLASSES,
+    ScriptAnalysis,
+    ScriptIssue,
+    StandardnessPolicy,
+    StandardnessStats,
+    analyze,
+    classify_output,
+    is_push_only,
+)
 from repro.script.builder import (
     RSA_PAIR_PLACEHOLDER,
     ephemeral_key_release,
@@ -34,10 +47,18 @@ __all__ = [
     "NullContext",
     "OP",
     "RSA_PAIR_PLACEHOLDER",
+    "STANDARD_OUTPUT_CLASSES",
     "Script",
+    "ScriptAnalysis",
     "ScriptError",
     "ScriptInterpreter",
+    "ScriptIssue",
     "SerializationError",
+    "StandardnessPolicy",
+    "StandardnessStats",
+    "analyze",
+    "classify_output",
+    "is_push_only",
     "decode_number",
     "encode_number",
     "ephemeral_key_release",

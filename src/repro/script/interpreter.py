@@ -27,14 +27,21 @@ from repro.script.script import Script, decode_number, encode_number
 
 __all__ = [
     "ExecutionContext",
+    "MAX_OPS",
+    "MAX_STACK_SIZE",
     "NullContext",
     "ScriptInterpreter",
     "verify_spend",
 ]
 
-_MAX_STACK_SIZE = 1_000
-_MAX_OPS = 201
+MAX_STACK_SIZE = 1_000
+MAX_OPS = 201
 _LOCKTIME_THRESHOLD = 500_000_000  # below: block height; above: unix time
+
+# Backwards-compatible aliases (the static analyzer and external tooling use
+# the public names above).
+_MAX_STACK_SIZE = MAX_STACK_SIZE
+_MAX_OPS = MAX_OPS
 
 
 class ExecutionContext(Protocol):
@@ -120,6 +127,8 @@ class ScriptInterpreter:
             executing = all(condition_stack)
 
             if isinstance(element, bytes):
+                # Data pushes never consume op budget, however many there
+                # are — only real operators count toward MAX_OPS.
                 if executing:
                     stack.append(element)
                     self._check_stack(stack, alt_stack)
@@ -128,16 +137,14 @@ class ScriptInterpreter:
             opcode = element
             if opcode > OP.OP_16:
                 op_count += 1
-                if op_count > _MAX_OPS:
-                    raise EvaluationError(f"too many opcodes (> {_MAX_OPS})")
+                if op_count > MAX_OPS:
+                    raise EvaluationError(f"too many opcodes (> {MAX_OPS})")
 
             # Flow control runs even in non-executing branches.
             if opcode in (OP.OP_IF, OP.OP_NOTIF):
                 taken = False
                 if executing:
-                    if not stack:
-                        raise EvaluationError("OP_IF on empty stack")
-                    taken = _as_bool(stack.pop())
+                    taken = _as_bool(self._pop(stack, opcode_name(opcode)))
                     if opcode == OP.OP_NOTIF:
                         taken = not taken
                 condition_stack.append(taken)
@@ -156,7 +163,14 @@ class ScriptInterpreter:
             if not executing:
                 continue
 
-            self._execute_opcode(opcode, stack, alt_stack)
+            extra_ops = self._execute_opcode(opcode, stack, alt_stack)
+            if extra_ops:
+                # OP_CHECKMULTISIG bills one op per public key inspected
+                # (Bitcoin's nOpCount += nKeysCount) so a 20-key multisig
+                # cannot smuggle 20 signature checks for one op.
+                op_count += extra_ops
+                if op_count > MAX_OPS:
+                    raise EvaluationError(f"too many opcodes (> {MAX_OPS})")
             self._check_stack(stack, alt_stack)
 
         if condition_stack:
@@ -166,7 +180,8 @@ class ScriptInterpreter:
     # -- opcode dispatch ----------------------------------------------------
 
     def _execute_opcode(self, opcode: int, stack: list[bytes],
-                        alt_stack: list[bytes]) -> None:
+                        alt_stack: list[bytes]) -> int:
+        """Run one opcode; returns extra op-budget consumed (multisig keys)."""
         if opcode == OP.OP_0:
             stack.append(b"")
         elif opcode == OP.OP_1NEGATE:
@@ -184,7 +199,9 @@ class ScriptInterpreter:
             alt_stack.append(self._pop(stack, "OP_TOALTSTACK"))
         elif opcode == OP.OP_FROMALTSTACK:
             if not alt_stack:
-                raise EvaluationError("OP_FROMALTSTACK on empty altstack")
+                raise EvaluationError(
+                    "altstack underflow: OP_FROMALTSTACK needs 1 item, have 0"
+                )
             stack.append(alt_stack.pop())
         elif opcode == OP.OP_2DROP:
             self._need(stack, 2, "OP_2DROP")
@@ -225,9 +242,11 @@ class ScriptInterpreter:
             stack.append(stack[-2])
         elif opcode in (OP.OP_PICK, OP.OP_ROLL):
             index = self._pop_number(stack, opcode_name(opcode))
-            self._need(stack, index + 1, opcode_name(opcode))
             if index < 0:
-                raise EvaluationError(f"{opcode_name(opcode)} negative index")
+                raise EvaluationError(
+                    f"{opcode_name(opcode)} negative index {index}"
+                )
+            self._need(stack, index + 1, opcode_name(opcode))
             item = stack[-1 - index]
             if opcode == OP.OP_ROLL:
                 del stack[-1 - index]
@@ -287,7 +306,7 @@ class ScriptInterpreter:
             else:
                 stack.append(_bool_bytes(valid))
         elif opcode == OP.OP_CHECKMULTISIG:
-            self._check_multisig(stack)
+            return self._check_multisig(stack)
         elif opcode == OP.OP_CHECKLOCKTIMEVERIFY:
             # BIP-65 semantics: peek (do not pop) the required locktime.
             self._need(stack, 1, "OP_CHECKLOCKTIMEVERIFY")
@@ -307,9 +326,14 @@ class ScriptInterpreter:
             stack.append(_bool_bytes(self.rsa_pair_check(public, private)))
         else:
             raise EvaluationError(f"unknown or disabled opcode {opcode_name(opcode)}")
+        return 0
 
-    def _check_multisig(self, stack: list[bytes]) -> None:
-        """Minimal m-of-n OP_CHECKMULTISIG (with the historical extra pop)."""
+    def _check_multisig(self, stack: list[bytes]) -> int:
+        """Minimal m-of-n OP_CHECKMULTISIG (with the historical extra pop).
+
+        Returns the key count ``n``, which the evaluator bills against the
+        op budget.
+        """
         n = self._pop_number(stack, "OP_CHECKMULTISIG")
         if not 0 <= n <= 20:
             raise EvaluationError(f"multisig n out of range: {n}")
@@ -330,20 +354,24 @@ class ScriptInterpreter:
             if self.context.check_ecdsa_signature(pubkey, signatures[sig_index]):
                 sig_index += 1
         stack.append(_bool_bytes(sig_index == len(signatures)))
+        return n
 
     # -- helpers -------------------------------------------------------------
 
     @staticmethod
     def _pop(stack: list[bytes], operation: str) -> bytes:
         if not stack:
-            raise EvaluationError(f"{operation} on empty stack")
+            raise EvaluationError(
+                f"stack underflow: {operation} needs 1 item, have 0"
+            )
         return stack.pop()
 
     @staticmethod
     def _need(stack: list[bytes], count: int, operation: str) -> None:
         if len(stack) < count:
             raise EvaluationError(
-                f"{operation} needs {count} items, stack has {len(stack)}"
+                f"stack underflow: {operation} needs {count} items, "
+                f"have {len(stack)}"
             )
 
     def _pop_number(self, stack: list[bytes], operation: str) -> int:
@@ -355,8 +383,12 @@ class ScriptInterpreter:
 
     @staticmethod
     def _check_stack(stack: list[bytes], alt_stack: list[bytes]) -> None:
-        if len(stack) + len(alt_stack) > _MAX_STACK_SIZE:
-            raise EvaluationError(f"stack size exceeds {_MAX_STACK_SIZE}")
+        combined = len(stack) + len(alt_stack)
+        if combined > MAX_STACK_SIZE:
+            raise EvaluationError(
+                f"stack overflow: {combined} items (stack + altstack) "
+                f"exceeds limit {MAX_STACK_SIZE}"
+            )
 
 
 _UNARY_NUMERIC = {

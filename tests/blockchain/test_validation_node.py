@@ -4,8 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.blockchain import validation
 from repro.blockchain.block import Block
+from repro.blockchain.engine import ValidationEngine
 from repro.blockchain.node import FullNode
 from repro.blockchain.params import ChainParams
 from repro.blockchain.transaction import (
@@ -17,7 +17,7 @@ from repro.blockchain.transaction import (
 )
 from repro.crypto.keys import KeyPair
 from repro.errors import ValidationError
-from repro.script.builder import op_return, p2pkh_locking
+from repro.script.builder import p2pkh_locking
 from repro.script.script import Script, encode_number
 
 
@@ -39,7 +39,7 @@ def test_duplicate_inputs_rejected():
         outputs=[TxOutput(value=1, script_pubkey=Script())],
     )
     with pytest.raises(ValidationError):
-        validation.check_transaction_syntax(tx)
+        ValidationEngine(ChainParams()).check_transaction_syntax(tx)
 
 
 def test_null_input_in_regular_tx_rejected():
@@ -49,7 +49,7 @@ def test_null_input_in_regular_tx_rejected():
         outputs=[TxOutput(value=1, script_pubkey=Script())],
     )
     with pytest.raises(ValidationError):
-        validation.check_transaction_syntax(tx)
+        ValidationEngine(ChainParams()).check_transaction_syntax(tx)
 
 
 def test_oversized_value_rejected():
@@ -59,15 +59,15 @@ def test_oversized_value_rejected():
                           script_pubkey=Script())],
     )
     with pytest.raises(ValidationError):
-        validation.check_transaction_syntax(tx)
+        ValidationEngine(ChainParams()).check_transaction_syntax(tx)
 
 
 def test_fee_computation(funded_chain, rng):
     node, wallet, _miner = funded_chain
     tx = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 100,
                                fee=777)
-    fee = validation.check_transaction_inputs(
-        tx, node.chain.utxos, node.chain.height + 1, node.params,
+    fee = ValidationEngine(node.params).check_transaction_inputs(
+        tx, node.chain.utxos, node.chain.height + 1,
     )
     assert fee == 777
 
@@ -80,12 +80,8 @@ def test_script_verification_catches_forgery(funded_chain, rng):
         0, Script([b"\x01" * 64, thief.public_key.to_bytes()]),
     )
     with pytest.raises(ValidationError):
-        validation.verify_transaction_scripts(forged, node.chain.utxos)
-
-
-def test_is_op_return_output():
-    assert validation.is_op_return_output(op_return(b"data"))
-    assert not validation.is_op_return_output(p2pkh_locking(b"\x01" * 20))
+        ValidationEngine(node.params).verify_transaction_scripts(
+            forged, node.chain.utxos)
 
 
 # -- block checks -----------------------------------------------------------------
@@ -99,7 +95,7 @@ def test_block_must_start_with_coinbase():
     block = Block.assemble(prev_hash=b"\x00" * 32, timestamp=0.0,
                            transactions=[tx])
     with pytest.raises(ValidationError):
-        validation.check_block(block, 0, params)
+        ValidationEngine(params).check_block(block, prev_height=0)
 
 
 def test_block_rejects_second_coinbase():
@@ -109,7 +105,7 @@ def test_block_rejects_second_coinbase():
         transactions=[make_coinbase(1), make_coinbase(1, value=49)],
     )
     with pytest.raises(ValidationError):
-        validation.check_block(block, 0, params)
+        ValidationEngine(params).check_block(block, prev_height=0)
 
 
 def test_block_rejects_merkle_mismatch():
@@ -119,7 +115,7 @@ def test_block_rejects_merkle_mismatch():
     tampered = Block(header=good.header,
                      transactions=[make_coinbase(1, value=49)])
     with pytest.raises(ValidationError):
-        validation.check_block(tampered, 0, params)
+        ValidationEngine(params).check_block(tampered, prev_height=0)
 
 
 def test_block_rejects_oversize():
@@ -132,7 +128,7 @@ def test_block_rejects_oversize():
     block = Block.assemble(prev_hash=b"\x00" * 32, timestamp=0.0,
                            transactions=[coinbase])
     with pytest.raises(ValidationError):
-        validation.check_block(block, 0, params)
+        ValidationEngine(params).check_block(block, prev_height=0)
 
 
 def test_block_rejects_insufficient_pow():
@@ -143,7 +139,7 @@ def test_block_rejects_insufficient_pow():
     if block.header.meets_target(30):  # pragma: no cover
         pytest.skip("freak hash")
     with pytest.raises(ValidationError):
-        validation.check_block(block, 0, params)
+        ValidationEngine(params).check_block(block, prev_height=0)
 
 
 def test_connect_block_rolls_back_on_failure(funded_chain, rng):
@@ -160,8 +156,8 @@ def test_connect_block_rolls_back_on_failure(funded_chain, rng):
     )
     before = node.chain.utxos.snapshot()
     with pytest.raises(ValidationError):
-        validation.connect_block_transactions(
-            block, node.chain.utxos, height, node.params,
+        ValidationEngine(node.params).connect_block(
+            block, node.chain.utxos, height,
         )
     assert node.chain.utxos.snapshot() == before
 

@@ -1,0 +1,49 @@
+"""The deprecated ``validation.py`` shims stay importable and correct.
+
+Everything in-repo now calls :class:`ValidationEngine`; these tests are
+the one sanctioned importer of the shim module (hence the lint pragmas)
+so the compatibility surface keeps working until it is removed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blockchain import validation  # lint: allow(deprecated-validation)
+from repro.blockchain.transaction import OutPoint, Transaction, TxInput, TxOutput
+from repro.crypto.keys import KeyPair
+from repro.errors import ValidationError
+from repro.script.builder import op_return, p2pkh_locking
+from repro.script.script import Script
+
+
+def test_shim_check_transaction_syntax_rejects_duplicates():
+    outpoint = OutPoint(txid=b"\x01" * 32, index=0)
+    tx = Transaction(
+        inputs=[TxInput(outpoint=outpoint), TxInput(outpoint=outpoint)],
+        outputs=[TxOutput(value=1, script_pubkey=Script())],
+    )
+    with pytest.raises(ValidationError):
+        validation.check_transaction_syntax(tx)
+
+
+def test_shim_fee_computation_matches_engine(funded_chain, rng):
+    node, wallet, _miner = funded_chain
+    tx = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 100,
+                               fee=321)
+    fee = validation.check_transaction_inputs(
+        tx, node.chain.utxos, node.chain.height + 1, node.params,
+    )
+    assert fee == 321
+
+
+def test_shim_verify_transaction_scripts(funded_chain, rng):
+    node, wallet, _miner = funded_chain
+    tx = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 100)
+    assert validation.verify_transaction_scripts(tx, node.chain.utxos) is None
+
+
+def test_is_op_return_output():
+    assert validation.is_op_return_output(op_return(b"data"))
+    assert not validation.is_op_return_output(p2pkh_locking(b"\x01" * 20))
+    assert not validation.is_op_return_output(Script())

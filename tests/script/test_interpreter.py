@@ -374,3 +374,49 @@ def test_verify_false_on_script_error():
 def test_verify_false_on_empty_final_stack():
     interp = ScriptInterpreter()
     assert not interp.verify(Script([b"x"]), Script([OP.OP_DROP]))
+
+
+def test_pushes_do_not_count_toward_op_limit(interp):
+    # 300 pushes of data plus one real opcode: well past MAX_OPS elements
+    # but only one billable op.
+    result = run(interp, [b"x"] * 300 + [OP.OP_DEPTH])
+    assert result[-1] == num(300)
+
+
+def test_multisig_bills_one_op_per_key(interp):
+    interp.context = AcceptAllContext()
+    keys = [b"\x02" * 66] * 20
+    multisig = [b"", b""] + keys + [num(20), OP.OP_CHECKMULTISIG]
+    # 180 NOPs + 1 multisig op + 20 key charges = 201 = MAX_OPS: passes.
+    run(interp, [OP.OP_NOP] * 180 + multisig)
+    # One more NOP tips the budget to 202 only because of key billing.
+    with pytest.raises(EvaluationError, match="too many opcodes"):
+        run(interp, [OP.OP_NOP] * 181 + multisig)
+
+
+def test_alt_stack_counts_toward_combined_limit(interp):
+    # 1000 items is exactly at the limit even split across both stacks...
+    full = [b"x"] * 1000
+    run(interp, [OP.OP_TOALTSTACK, OP.OP_DROP, b"y"], initial=list(full))
+    # ...but duplicating while one item sits on the altstack overflows.
+    with pytest.raises(EvaluationError, match="stack overflow"):
+        run(interp, [OP.OP_TOALTSTACK, OP.OP_DUP], initial=list(full))
+
+
+def test_underflow_messages_are_consistent(interp):
+    with pytest.raises(EvaluationError, match="stack underflow: OP_DUP"):
+        run(interp, [OP.OP_DUP])
+    with pytest.raises(EvaluationError, match="stack underflow: OP_IF"):
+        run(interp, [OP.OP_IF, OP.OP_ENDIF])
+    with pytest.raises(EvaluationError,
+                       match="altstack underflow: OP_FROMALTSTACK"):
+        run(interp, [OP.OP_FROMALTSTACK])
+
+
+def test_pick_roll_reject_negative_index_before_depth_check(interp):
+    # A negative index must be reported as such even when the stack is
+    # too shallow for any positive pick.
+    with pytest.raises(EvaluationError, match="negative index"):
+        run(interp, [b"a", num(-1), OP.OP_PICK])
+    with pytest.raises(EvaluationError, match="negative index"):
+        run(interp, [b"a", num(-1), OP.OP_ROLL])

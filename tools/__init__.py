@@ -1,0 +1,1 @@
+"""Developer tooling for the BcWAN reproduction (not shipped with src)."""

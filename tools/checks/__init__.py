@@ -1,0 +1,104 @@
+"""AST-based repo invariant checks.
+
+A tiny lint framework purpose-built for this repo's consensus
+invariants — the rules a generic linter cannot know:
+
+* consensus modules must be deterministic (no wall-clock reads, and the
+  hash-feeding layers must be float-free);
+* nothing that reaches a hash may iterate an unordered set;
+* no bare ``except`` (it swallows ``ValidationError`` and worse);
+* no new code may import the deprecated ``validation.py`` shims.
+
+Each rule is an :class:`ast.NodeVisitor` subclass (see
+``checkers.py``); the runner in ``__main__.py`` walks the given paths
+and applies every checker whose :meth:`Checker.applies_to` accepts the
+file.  Run it as ``python -m tools.checks src tests``.
+
+A violation on a line carrying ``# lint: allow(<rule>)`` is suppressed —
+that is the escape hatch for intentional exceptions (e.g. the shim
+module's own tests), and it doubles as an inventory of every exemption.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["Violation", "Checker", "check_source", "check_file"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation at a specific source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class Checker(ast.NodeVisitor):
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`rule` (the name used in pragmas and output),
+    override ``visit_*`` methods, and call :meth:`report` on offending
+    nodes.  :meth:`applies_to` scopes the rule to parts of the tree.
+    """
+
+    rule: str = "abstract"
+
+    def __init__(self, path: str, source_lines: Sequence[str]) -> None:
+        self.path = path
+        self.source_lines = source_lines
+        self.violations: list[Violation] = []
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        """Whether this rule covers ``path`` (posix-style, repo-relative)."""
+        return True
+
+    def report(self, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        if 0 < line <= len(self.source_lines):
+            text = self.source_lines[line - 1]
+            if f"lint: allow({self.rule})" in text:
+                return
+        self.violations.append(
+            Violation(path=self.path, line=line, rule=self.rule,
+                      message=message)
+        )
+
+
+def check_source(source: str, path: str,
+                 checker_classes: Sequence[type[Checker]]) -> list[Violation]:
+    """Run every applicable checker over one module's source text."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(path=path, line=exc.lineno or 1, rule="syntax",
+                          message=f"file does not parse: {exc.msg}")]
+    lines = source.splitlines()
+    violations: list[Violation] = []
+    for checker_class in checker_classes:
+        if not checker_class.applies_to(path):
+            continue
+        checker = checker_class(path, lines)
+        checker.visit(tree)
+        violations.extend(checker.violations)
+    return violations
+
+
+def check_file(path: Path, root: Path,
+               checker_classes: Sequence[type[Checker]]) -> list[Violation]:
+    """Run the checkers over one file, reporting root-relative paths."""
+    try:
+        relative = path.relative_to(root).as_posix()
+    except ValueError:
+        relative = path.as_posix()
+    return check_source(path.read_text(encoding="utf-8"), relative,
+                        checker_classes)

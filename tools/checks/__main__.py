@@ -1,0 +1,65 @@
+"""Run the repo invariant checks: ``python -m tools.checks [paths...]``.
+
+Walks every ``*.py`` under the given paths (default: ``src tests
+benchmarks tools``), applies each checker from
+:data:`tools.checks.checkers.ALL_CHECKERS` whose scope covers the file,
+and prints one ``path:line: [rule] message`` per violation.  Exit status
+is 1 when anything fires — the CI ``lint`` job runs exactly this.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.checks import Violation, check_file
+from tools.checks.checkers import ALL_CHECKERS
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "tools")
+
+
+def iter_python_files(paths: list[str], root: Path) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = (root / raw) if not Path(raw).is_absolute() else Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            files.append(path)
+        elif path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+    return files
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.checks",
+        description="BcWAN repo invariant lint",
+    )
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
+                        help="files or directories to check "
+                             "(default: %(default)s)")
+    parser.add_argument("--root", default=".",
+                        help="repo root that paths are relative to")
+    args = parser.parse_args(argv)
+
+    root = Path(args.root).resolve()
+    violations: list[Violation] = []
+    checked = 0
+    for path in iter_python_files(args.paths, root):
+        violations.extend(check_file(path, root, ALL_CHECKERS))
+        checked += 1
+
+    for violation in sorted(violations,
+                            key=lambda v: (v.path, v.line, v.rule)):
+        print(violation)
+    if violations:
+        print(f"{len(violations)} violation(s) in {checked} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"ok: {checked} file(s), "
+          f"{len(ALL_CHECKERS)} rule(s), no violations")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,216 @@
+"""The repo's invariant checkers.
+
+Scoping notes (why each rule covers what it covers):
+
+* **Wall-clock** is banned from all three consensus packages
+  (``blockchain``, ``script``, ``crypto``): every timestamp there must
+  come from the simulation clock or from block headers, or runs stop
+  being reproducible.
+* **Floats** are banned only from ``script`` and ``crypto`` — the
+  layers whose values feed hashes and signatures, where float
+  round-trips would be a consensus fault.  ``blockchain`` legitimately
+  carries simulation-time floats (header timestamps, mining times) that
+  never enter a hash preimage un-serialized.
+* **Unordered-set iteration** is banned in all consensus packages:
+  set order is insertion/hash dependent, so anything iterated into a
+  serialization or hash must come from a list, tuple, or ``sorted()``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.checks import Checker
+
+__all__ = [
+    "ALL_CHECKERS",
+    "BareExceptChecker",
+    "ConsensusWallClockChecker",
+    "ConsensusFloatChecker",
+    "UnorderedSetIterationChecker",
+    "DeprecatedValidationImportChecker",
+]
+
+_CONSENSUS_PACKAGES = (
+    "src/repro/blockchain/", "src/repro/script/", "src/repro/crypto/",
+)
+_HASH_FEEDING_PACKAGES = ("src/repro/script/", "src/repro/crypto/")
+
+
+def _in_any(path: str, prefixes: tuple[str, ...]) -> bool:
+    return any(path.startswith(prefix) for prefix in prefixes)
+
+
+def _dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for an attribute/name chain, '' for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+class BareExceptChecker(Checker):
+    """``except:`` swallows everything, including ``ValidationError``."""
+
+    rule = "bare-except"
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(node, "bare 'except:' — name the exception type")
+        self.generic_visit(node)
+
+
+class ConsensusWallClockChecker(Checker):
+    """No wall-clock reads in consensus modules.
+
+    Consensus code must draw time from the simulation clock or block
+    headers; a ``time.time()`` call makes validation verdicts depend on
+    the host's clock.
+    """
+
+    rule = "consensus-wall-clock"
+
+    _BANNED = frozenset({
+        "time.time", "time.monotonic", "time.perf_counter",
+        "time.time_ns", "time.monotonic_ns", "time.perf_counter_ns",
+        "datetime.now", "datetime.utcnow", "datetime.today",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "date.today", "datetime.date.today",
+    })
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        return _in_any(path, _CONSENSUS_PACKAGES)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _dotted_name(node.func)
+        if name in self._BANNED:
+            self.report(node, f"wall-clock read '{name}()' in a consensus "
+                              f"module — use the simulation clock")
+        self.generic_visit(node)
+
+
+class ConsensusFloatChecker(Checker):
+    """No floats where values feed hashes or signatures.
+
+    Applies to ``script`` and ``crypto`` only: a float that reaches a
+    hash preimage or a key computation is a cross-platform consensus
+    fault waiting to happen.  (``blockchain`` carries simulation-time
+    floats by design and is exempt.)
+    """
+
+    rule = "consensus-float"
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        return _in_any(path, _HASH_FEEDING_PACKAGES)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if isinstance(node.value, float):
+            self.report(node, f"float literal {node.value!r} in a "
+                              f"hash-feeding module — use integers")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "float":
+            self.report(node, "float() conversion in a hash-feeding module")
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.annotation, ast.Name) and \
+                node.annotation.id == "float":
+            self.report(node, "float-typed field in a hash-feeding module")
+        self.generic_visit(node)
+
+
+class UnorderedSetIterationChecker(Checker):
+    """No iterating unordered sets in consensus modules.
+
+    Set iteration order is hash- and insertion-dependent; when the loop
+    body feeds a serialization or digest, two nodes can disagree.  Wrap
+    the set in ``sorted(...)`` (which this rule accepts) or keep a list.
+    """
+
+    rule = "unordered-set-iteration"
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        return _in_any(path, _CONSENSUS_PACKAGES)
+
+    @staticmethod
+    def _is_unordered(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        return False
+
+    def _check_iter(self, iter_node: ast.AST) -> None:
+        if self._is_unordered(iter_node):
+            self.report(iter_node,
+                        "iteration over an unordered set — wrap in "
+                        "sorted() or use an ordered container")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehensions(self, node) -> None:
+        for comp in node.generators:
+            self._check_iter(comp.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehensions
+    visit_SetComp = _visit_comprehensions
+    visit_DictComp = _visit_comprehensions
+    visit_GeneratorExp = _visit_comprehensions
+
+
+class DeprecatedValidationImportChecker(Checker):
+    """No new imports of the deprecated ``validation.py`` shims.
+
+    The free functions build a throwaway engine per call, bypassing the
+    shared script cache; everything in-repo goes through
+    ``ValidationEngine``.  The shim module itself (and its dedicated
+    coverage test, via pragma) are the only importers allowed.
+    """
+
+    rule = "deprecated-validation"
+
+    _MODULE = "repro.blockchain.validation"
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        return not path.endswith("repro/blockchain/validation.py")
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == self._MODULE or \
+                    alias.name.startswith(self._MODULE + "."):
+                self.report(node, f"import of deprecated shim module "
+                                  f"'{alias.name}' — use ValidationEngine")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == self._MODULE:
+            self.report(node, f"import from deprecated shim module "
+                              f"'{node.module}' — use ValidationEngine")
+        elif node.module == "repro.blockchain" and any(
+                alias.name == "validation" for alias in node.names):
+            self.report(node, "import of deprecated shim module "
+                              "'repro.blockchain.validation' — "
+                              "use ValidationEngine")
+        self.generic_visit(node)
+
+
+ALL_CHECKERS: tuple[type[Checker], ...] = (
+    BareExceptChecker,
+    ConsensusWallClockChecker,
+    ConsensusFloatChecker,
+    UnorderedSetIterationChecker,
+    DeprecatedValidationImportChecker,
+)
