@@ -37,9 +37,14 @@ class FullNode:
 
     def __init__(self, params: Optional[ChainParams] = None,
                  name: str = "node",
-                 verify_scripts: Optional[bool] = None) -> None:
+                 verify_scripts: Optional[bool] = None,
+                 chain: Optional[Chain] = None) -> None:
         self.name = name
-        self.chain = Chain(params, verify_scripts=verify_scripts)
+        # A pre-built chain (e.g. restored from a snapshot via
+        # repro.blockchain.store after a crash) takes precedence; the
+        # params/verify_scripts arguments only seed a fresh chain.
+        self.chain = chain if chain is not None else Chain(
+            params, verify_scripts=verify_scripts)
         self.mempool = Mempool(self.chain)
         self.blocks_processed = 0
         self.transactions_processed = 0

@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import json
 import struct
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Optional, Union
+from typing import IO, Optional, Union
 
 from repro.blockchain.block import Block, BlockHeader
 from repro.blockchain.chain import Chain
@@ -65,15 +66,32 @@ def deserialize_block(data: bytes) -> Block:
     return block
 
 
-def save_chain(chain: Chain, path: Union[str, Path]) -> int:
+Destination = Union[str, Path, IO[str]]
+
+
+@contextmanager
+def _opened(target: Destination, mode: str):
+    """Yield a text stream for a path or pass a file-like through.
+
+    File-like targets (``io.StringIO``, sockets, an in-memory crash
+    snapshot) are yielded as-is and left open — the caller owns them.
+    """
+    if hasattr(target, "write") or hasattr(target, "read"):
+        yield target
+    else:
+        with Path(target).open(mode, encoding="utf-8") as handle:
+            yield handle
+
+
+def save_chain(chain: Chain, path: Destination) -> int:
     """Write the active chain (excluding genesis) to ``path``.
 
+    ``path`` may be a filesystem path or any writable text stream.
     Returns the number of blocks written.  Genesis is derived from the
     chain params, so it is never stored.
     """
-    path = Path(path)
     count = 0
-    with path.open("w", encoding="utf-8") as handle:
+    with _opened(path, "w") as handle:
         handle.write(json.dumps({
             "format": _FORMAT_VERSION,
             "height": chain.height,
@@ -88,13 +106,15 @@ def save_chain(chain: Chain, path: Union[str, Path]) -> int:
     return count
 
 
-def load_chain(path: Union[str, Path],
+def load_chain(path: Destination,
                params: Optional[ChainParams] = None,
                verify_scripts: Optional[bool] = None) -> Chain:
-    """Rebuild a chain from a snapshot, re-validating every block."""
-    path = Path(path)
+    """Rebuild a chain from a snapshot, re-validating every block.
+
+    ``path`` may be a filesystem path or any readable text stream.
+    """
     chain = Chain(params, verify_scripts=verify_scripts)
-    with path.open("r", encoding="utf-8") as handle:
+    with _opened(path, "r") as handle:
         header_line = handle.readline()
         if not header_line:
             raise ValidationError(f"empty chain snapshot: {path}")

@@ -1,0 +1,119 @@
+"""Canned federation scenarios for chaos runs.
+
+:func:`build_federation` assembles the standard test mesh — N gateway
+daemons on one WAN, fully connected gossip, a :class:`SyncAgent` each —
+from a single seed, so chaos tests and benchmarks share one deterministic
+construction instead of re-wiring daemons by hand.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.blockchain.miner import Miner
+from repro.blockchain.node import FullNode
+from repro.blockchain.params import ChainParams
+from repro.blockchain.wallet import Wallet
+from repro.chaos.faults import FaultPlan
+from repro.chaos.injector import ChaosInjector
+from repro.core.costmodel import CostModel
+from repro.core.daemon import BlockchainDaemon
+from repro.crypto.keys import KeyPair
+from repro.errors import ConfigurationError
+from repro.p2p.network import WANetwork
+from repro.p2p.sync import SyncAgent
+from repro.sim.core import Simulator
+from repro.sim.latency import ConstantLatency
+from repro.sim.rng import RngRegistry
+
+__all__ = ["Federation", "build_federation"]
+
+
+@dataclass
+class Federation:
+    """One assembled gateway mesh plus its (optional) chaos injector."""
+
+    sim: Simulator
+    rngs: RngRegistry
+    wan: WANetwork
+    params: ChainParams
+    names: list[str]
+    daemons: dict[str, BlockchainDaemon]
+    agents: dict[str, SyncAgent]
+    injector: Optional[ChaosInjector] = None
+    _wallets: dict[str, Wallet] = field(default_factory=dict)
+
+    def daemon(self, name: str) -> BlockchainDaemon:
+        return self.daemons[name]
+
+    def make_miner(self, name: str, key_seed: int) -> Miner:
+        """A miner on ``name``'s chain with its own reward key.
+
+        Distinct ``key_seed`` values give distinct coinbase reward keys,
+        so two partition sides mining at the same heights produce
+        *different* block hashes — a genuine fork, not a coincidence.
+        """
+        daemon = self.daemons[name]
+        wallet = Wallet(daemon.node.chain,
+                        KeyPair.generate(random.Random(key_seed)))
+        wallet.watch_chain()
+        self._wallets[name] = wallet
+        return Miner(chain=daemon.node.chain, mempool=daemon.node.mempool,
+                     reward_pubkey_hash=wallet.pubkey_hash)
+
+    def wallet(self, name: str) -> Wallet:
+        return self._wallets[name]
+
+    def run_plan(self, plan: FaultPlan,
+                 watch_reconvergence: bool = True) -> ChaosInjector:
+        """Install ``plan`` over this federation (before ``sim.run``)."""
+        injector = ChaosInjector(self.sim, self.wan, plan,
+                                 daemons=self.daemons)
+        injector.install()
+        if watch_reconvergence:
+            injector.watch_reconvergence()
+        self.injector = injector
+        return injector
+
+
+def build_federation(size: int = 6, seed: int = 0,
+                     latency: float = 0.05,
+                     loss_rate: float = 0.0,
+                     sync_interval: float = 5.0,
+                     params: Optional[ChainParams] = None,
+                     verify_blocks: bool = False,
+                     verify_scripts: bool = False) -> Federation:
+    """A ``size``-gateway full mesh named ``gw-0`` .. ``gw-{size-1}``.
+
+    Defaults favour chaos testing: cheap validation (the faults under
+    test are network/process faults, not script faults), deterministic
+    constant latency, short sync interval so recovery happens within
+    small simulated horizons.
+    """
+    if size < 2:
+        raise ConfigurationError("a federation needs at least two gateways")
+    sim = Simulator()
+    rngs = RngRegistry(seed)
+    wan = WANetwork(sim, rngs.stream("wan"),
+                    latency=ConstantLatency(delay=latency),
+                    loss_rate=loss_rate)
+    chain_params = params or ChainParams(coinbase_maturity=1)
+    cost = CostModel(jitter_sigma=0.0)
+    names = [f"gw-{i}" for i in range(size)]
+    daemons: dict[str, BlockchainDaemon] = {}
+    agents: dict[str, SyncAgent] = {}
+    for name in names:
+        node = FullNode(chain_params, name, verify_scripts=verify_scripts)
+        daemons[name] = BlockchainDaemon(
+            sim, name, wan, node, cost, rngs.stream(f"daemon-{name}"),
+            verify_blocks=verify_blocks)
+    for name in names:
+        for peer in names:
+            if peer != name:
+                daemons[name].gossip.connect(peer)
+    for name in names:
+        agents[name] = SyncAgent(sim, daemons[name], interval=sync_interval)
+    return Federation(sim=sim, rngs=rngs, wan=wan, params=chain_params,
+                      names=names, daemons=daemons, agents=agents)

@@ -25,6 +25,7 @@ from typing import Any, Callable, Optional
 
 from repro.blockchain.node import FullNode
 from repro.core.costmodel import CostModel
+from repro.p2p.dedup import LRUSet
 from repro.p2p.gossip import GossipNode
 from repro.p2p.message import BlockMessage, Envelope, TxMessage
 from repro.p2p.network import WANetwork
@@ -51,6 +52,17 @@ class DaemonStats:
     script_cache_misses: int = 0
     standardness_rejects: int = 0
     script_fast_rejects: int = 0
+    # Crash/restart lifecycle and sync-recovery telemetry.  ``chaos`` is
+    # a shared reference to the run's ChaosTelemetry when a ChaosInjector
+    # manages this daemon (None outside chaos runs).
+    crashes: int = 0
+    restarts: int = 0
+    jobs_lost_to_crash: int = 0
+    messages_refused_offline: int = 0
+    sync_timeouts: int = 0
+    sync_retries: int = 0
+    sync_backoff_resets: int = 0
+    chaos: Optional[Any] = None
 
     def mean_wait(self) -> float:
         return self.queue_wait_total / self.jobs_served if self.jobs_served else 0.0
@@ -63,6 +75,7 @@ class _Job:
     completion: Event
     enqueued_at: float
     label: str = ""
+    epoch: int = 0
 
 
 class BlockchainDaemon:
@@ -74,6 +87,7 @@ class BlockchainDaemon:
                  verify_blocks: Optional[bool] = None) -> None:
         self.sim = sim
         self.name = name
+        self.network = network
         self.node = node
         self.cost_model = cost_model
         self.rng = rng
@@ -91,18 +105,72 @@ class BlockchainDaemon:
         # applied before a gossiped block enters the chain.
         self.block_validator: Optional[Callable[[Any], bool]] = None
         self.blocks_rejected_consensus = 0
+        # Crash/restart lifecycle: while offline the daemon refuses all
+        # traffic and RPCs; ``_epoch`` fences jobs enqueued before a crash
+        # so an in-service job never runs against post-restart state.
+        self.online = True
+        self._epoch = 0
+        # Set by a SyncAgent when one attaches; crash() resets its
+        # in-flight request state alongside the daemon's own queue.
+        self.sync_agent: Optional[Any] = None
 
         self._queue: deque[_Job] = deque()
         self._wakeup: Optional[Event] = None
         # Items already queued or processed; the inv/getdata pattern means
         # a real daemon never downloads (or verifies) the same item twice.
-        self._seen_txids: set[bytes] = set()
-        self._seen_blocks: set[bytes] = set()
+        # Bounded: a gateway relaying for months must not grow without
+        # limit (an ancient re-download costs one redundant validation).
+        self._seen_txids: LRUSet = LRUSet(8192)
+        self._seen_blocks: LRUSet = LRUSet(8192)
         sim.process(self._serve())
+
+    # -- crash/restart lifecycle -------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop: drop the queue, refuse traffic, go dark on the WAN.
+
+        Everything in RAM is lost — queued jobs, dedup memories, and (on
+        restart) the mempool.  Whether *chain* state survives depends on
+        what the operator restores via :meth:`restart`.
+        """
+        if not self.online:
+            return
+        self.online = False
+        self._epoch += 1
+        self.stats.crashes += 1
+        self.stats.jobs_lost_to_crash += len(self._queue)
+        self._queue.clear()
+        self.network.set_host_down(self.name)
+        if self.sync_agent is not None:
+            self.sync_agent.reset()
+
+    def restart(self, node: FullNode) -> None:
+        """Come back up serving ``node`` (fresh or restored from a store).
+
+        The caller decides the recovery mode: a brand-new
+        :class:`FullNode` models total state loss (re-sync from genesis),
+        one rebuilt via :func:`repro.blockchain.store.load_chain` models a
+        gateway whose chain store survived the crash.
+        """
+        if self.online:
+            return
+        self.node = node
+        self.gossip.node = node
+        self.gossip.reset_caches()
+        self._seen_txids.clear()
+        self._seen_blocks.clear()
+        self.online = True
+        self.stats.restarts += 1
+        self.network.set_host_up(self.name)
 
     # -- inbound network traffic ------------------------------------------------
 
     def handle_envelope(self, envelope: Envelope) -> None:
+        if not self.online:
+            # The WAN already drops deliveries to downed hosts; this
+            # guards direct handler calls (tests, local loopback).
+            self.stats.messages_refused_offline += 1
+            return
         payload = envelope.payload
         if isinstance(payload, TxMessage):
             tx = payload.transaction
@@ -191,12 +259,18 @@ class BlockchainDaemon:
 
     def _enqueue(self, service_mean: float,
                  fn: Optional[Callable[[], Any]], label: str = "") -> Event:
+        if not self.online:
+            # A dead daemon answers nothing: the caller's event simply
+            # never fires, like an RPC against a crashed process.
+            self.stats.messages_refused_offline += 1
+            return self.sim.event()
         job = _Job(
             service_time=self.cost_model.sample(service_mean, self.rng),
             fn=fn,
             completion=self.sim.event(),
             enqueued_at=self.sim.now,
             label=label,
+            epoch=self._epoch,
         )
         self._queue.append(job)
         self.stats.max_queue_length = max(self.stats.max_queue_length,
@@ -220,6 +294,12 @@ class BlockchainDaemon:
             self.stats.queue_wait_total += self.sim.now - job.enqueued_at
             if job.service_time > 0:
                 yield self.sim.timeout(job.service_time)
+            if job.epoch != self._epoch:
+                # The daemon crashed while this job was in service: its
+                # work (and its caller's completion) died with the
+                # process.  The completion event deliberately never
+                # fires — a lost RPC looks exactly like this.
+                continue
             self.stats.jobs_served += 1
             self.stats.busy_time += job.service_time
             result = None

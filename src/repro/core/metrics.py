@@ -15,7 +15,54 @@ from typing import Optional
 
 from repro.sim.trace import Summary
 
-__all__ = ["ExchangeRecord", "ExchangeTracker", "ValidationTelemetry"]
+__all__ = ["ExchangeRecord", "ExchangeTracker", "ValidationTelemetry",
+           "ChaosTelemetry"]
+
+
+@dataclass
+class ChaosTelemetry:
+    """Shared fault-injection and recovery counters for one run.
+
+    One instance is owned by a :class:`repro.chaos.ChaosInjector` and
+    shared (by reference) with every managed daemon's ``DaemonStats`` and
+    every :class:`repro.p2p.sync.SyncAgent`, so a single object tells the
+    whole story: what was injected, what it broke, and how long the
+    federation took to heal.
+
+    ``fault_log`` is an append-only, deterministic record of every
+    injected fault (``"t=12.500000 partition-drop gw-0->gw-3 TipMessage"``
+    style lines): two runs with the same seed must produce byte-identical
+    logs — that equality is the reproducibility test for a fault plan.
+    """
+
+    # Injection-side counters.
+    faults_injected: dict = field(default_factory=dict)  # kind -> count
+    messages_dropped: int = 0
+    messages_corrupted: int = 0
+    messages_duplicated: int = 0
+    messages_delayed: int = 0
+    partition_drops: int = 0
+    partitions_started: int = 0
+    partitions_healed: int = 0
+    crashes: int = 0
+    restarts: int = 0
+    # Recovery-side counters (fed by SyncAgents).
+    sync_timeouts: int = 0
+    sync_retries: int = 0
+    backoff_resets: int = 0
+    # Seconds from the plan's last scheduled fault until every watched
+    # node reported the same tip; None until convergence is observed.
+    reconvergence_time: Optional[float] = None
+    fault_log: list = field(default_factory=list)
+
+    def record_fault(self, kind: str, detail: str, now: float) -> None:
+        """Count one injected fault and append its deterministic log line."""
+        self.faults_injected[kind] = self.faults_injected.get(kind, 0) + 1
+        self.fault_log.append(f"t={now:.6f} {kind} {detail}")
+
+    @property
+    def total_faults(self) -> int:
+        return sum(self.faults_injected.values())
 
 
 @dataclass(frozen=True)

@@ -4,19 +4,35 @@ Each :class:`GossipNode` wraps one :class:`repro.blockchain.FullNode` and
 relays newly-accepted items to its peers (dedup by hash, no echo to the
 origin) — the inv/getdata pattern collapsed to direct push, appropriate
 for the handful of gateways in a BcWAN federation.
+
+Robustness notes (the lessons a lossy, partitioned WAN teaches):
+
+* Dedup memories are bounded :class:`~repro.p2p.dedup.LRUSet`\\ s, not
+  unbounded sets — a gateway that relays for months keeps a fixed
+  footprint.
+* A transaction rejected only because its parents are unknown (orphan)
+  is *not* marked known: it is parked in a bounded buffer and re-tried
+  whenever a new transaction or block lands, so a child that raced ahead
+  of its parent on a reordering WAN is recovered instead of blackholed.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Optional
 
 from repro.blockchain.block import Block
 from repro.blockchain.node import FullNode
 from repro.blockchain.transaction import Transaction
+from repro.p2p.dedup import LRUSet
 from repro.p2p.message import BlockMessage, Envelope, TxMessage
 from repro.p2p.network import WANetwork
 
 __all__ = ["GossipNode"]
+
+# Rejection reasons that depend on state we may acquire later: the tx is
+# retryable, so it must not enter the known-txid dedup set.
+_ORPHAN_REASON_MARKER = "not found in chain or pool"
 
 
 class GossipNode:
@@ -28,13 +44,23 @@ class GossipNode:
     """
 
     def __init__(self, node: FullNode, network: WANetwork,
-                 name: Optional[str] = None, auto_register: bool = True) -> None:
+                 name: Optional[str] = None, auto_register: bool = True,
+                 dedup_cache_size: int = 4096,
+                 orphan_pool_size: int = 256) -> None:
         self.node = node
         self.network = network
         self.name = name or node.name
         self.peers: list[str] = []
-        self._known_txids: set[bytes] = set()
-        self._known_blocks: set[bytes] = set()
+        self._known_txids: LRUSet = LRUSet(dedup_cache_size)
+        self._known_blocks: LRUSet = LRUSet(dedup_cache_size)
+        # Orphan transactions waiting for parents: txid -> (tx, origin).
+        self.orphan_pool_size = orphan_pool_size
+        self._orphan_txs: OrderedDict[bytes, tuple[Transaction, str]] = (
+            OrderedDict()
+        )
+        self._retrying_orphans = False
+        self.orphans_resolved = 0
+        self.orphans_evicted = 0
         # Listeners called when a tx/block is newly accepted locally.
         self.on_transaction: list[Callable[[Transaction], None]] = []
         self.on_block: list[Callable[[Block], None]] = []
@@ -46,6 +72,16 @@ class GossipNode:
     def connect(self, peer_name: str) -> None:
         if peer_name != self.name and peer_name not in self.peers:
             self.peers.append(peer_name)
+
+    def reset_caches(self) -> None:
+        """Forget dedup and orphan state (crash with state loss)."""
+        self._known_txids.clear()
+        self._known_blocks.clear()
+        self._orphan_txs.clear()
+
+    @property
+    def orphan_count(self) -> int:
+        return len(self._orphan_txs)
 
     # -- local origination -------------------------------------------------
 
@@ -62,12 +98,14 @@ class GossipNode:
             for listener in self.on_transaction:
                 listener(tx)
             self._relay(TxMessage(transaction=tx))
+            self._retry_orphans()
         return decision.accepted
 
     def broadcast_block(self, block: Block) -> bool:
         """Announce a locally-mined (already connected) block."""
         self._known_blocks.add(block.hash)
         self._relay(BlockMessage(block=block))
+        self._retry_orphans()
         return True
 
     # -- inbound ---------------------------------------------------------------
@@ -82,13 +120,23 @@ class GossipNode:
     def receive_transaction(self, tx: Transaction, origin: str = "") -> None:
         if tx.txid in self._known_txids:
             return
-        self._known_txids.add(tx.txid)
         decision = self.node.submit_transaction(tx)
         if decision.accepted:
+            self._known_txids.add(tx.txid)
             for listener in self.on_transaction:
                 listener(tx)
             if decision.relay:
                 self._relay(TxMessage(transaction=tx), exclude=(origin,))
+            self._retry_orphans()
+        elif _ORPHAN_REASON_MARKER in decision.reason:
+            # Parents unknown — park it; a later parent (via gossip or
+            # sync) re-triggers evaluation.  Deliberately NOT marked
+            # known: a re-gossip after eviction must get a fresh chance.
+            self._stash_orphan(tx, origin)
+        else:
+            # Permanent verdict (invalid, duplicate, conflicting spend):
+            # remember it so repeats are dropped cheaply.
+            self._known_txids.add(tx.txid)
 
     def receive_block(self, block: Block, origin: str = "") -> None:
         if block.hash in self._known_blocks:
@@ -101,6 +149,57 @@ class GossipNode:
                     listener(block)
             if decision.relay:
                 self._relay(BlockMessage(block=block), exclude=(origin,))
+            self._retry_orphans()
+
+    # -- orphan recovery --------------------------------------------------------
+
+    def _stash_orphan(self, tx: Transaction, origin: str) -> None:
+        if tx.txid in self._orphan_txs:
+            self._orphan_txs.move_to_end(tx.txid)
+            return
+        self._orphan_txs[tx.txid] = (tx, origin)
+        while len(self._orphan_txs) > self.orphan_pool_size:
+            self._orphan_txs.popitem(last=False)
+            self.orphans_evicted += 1
+
+    def _retry_orphans(self) -> None:
+        """Re-evaluate parked orphans now that new state arrived.
+
+        Loops to a fixpoint so chains of orphans (grandchild waiting on
+        child waiting on parent) resolve in one pass; the reentrancy
+        guard keeps accepted orphans from recursing back in here.
+        """
+        if self._retrying_orphans or not self._orphan_txs:
+            return
+        self._retrying_orphans = True
+        try:
+            progress = True
+            while progress and self._orphan_txs:
+                progress = False
+                for txid in list(self._orphan_txs):
+                    entry = self._orphan_txs.get(txid)
+                    if entry is None:
+                        continue
+                    tx, origin = entry
+                    decision = self.node.submit_transaction(tx)
+                    if decision.accepted:
+                        del self._orphan_txs[txid]
+                        self._known_txids.add(txid)
+                        self.orphans_resolved += 1
+                        progress = True
+                        for listener in self.on_transaction:
+                            listener(tx)
+                        if decision.relay:
+                            self._relay(TxMessage(transaction=tx),
+                                        exclude=(origin,))
+                    elif _ORPHAN_REASON_MARKER not in decision.reason:
+                        # Now permanently decided (e.g. parent confirmed
+                        # and the orphan double-spends, or it confirmed
+                        # itself): stop retrying.
+                        del self._orphan_txs[txid]
+                        self._known_txids.add(txid)
+        finally:
+            self._retrying_orphans = False
 
     def _relay(self, message, exclude: tuple[str, ...] = ()) -> None:
         for peer in self.peers:

@@ -4,12 +4,18 @@ Hosts register by name; :meth:`WANetwork.send` delivers a payload to the
 destination's handler after a sampled one-way latency.  The latency model
 defaults to PlanetLab-like per-pair lognormal distributions — the
 substrate standing in for the paper's 5-node PlanetLab deployment.
+
+Every send returns a :class:`SendReceipt` naming the verdict: queued for
+delivery, lost to the sampled loss process, refused for lack of a route,
+or blocked by an injected fault.  Drops are never silent — each kind has
+its own counter, and an optional interceptor (the chaos engine's hook)
+can drop, delay, duplicate, or corrupt any message in flight.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Optional
 
 from repro.errors import ConfigurationError
@@ -17,7 +23,7 @@ from repro.p2p.message import Envelope
 from repro.sim.core import Simulator
 from repro.sim.latency import LatencyModel, LogNormalLatency
 
-__all__ = ["WANetwork", "Host"]
+__all__ = ["WANetwork", "Host", "SendReceipt", "FaultDecision"]
 
 
 @dataclass
@@ -26,6 +32,51 @@ class Host:
 
     name: str
     handler: Callable[[Envelope], None]
+
+
+@dataclass(frozen=True)
+class SendReceipt:
+    """The delivery verdict for one :meth:`WANetwork.send` call.
+
+    ``status`` is one of:
+
+    * ``"queued"`` — scheduled for delivery after a sampled latency (the
+      destination may still be down by the time it arrives);
+    * ``"lost"`` — consumed by the baseline sampled-loss process;
+    * ``"no_route"`` — the destination name was never registered;
+    * ``"blocked"`` — dropped by an injected fault (chaos engine).
+    """
+
+    envelope: Envelope
+    status: str
+    reason: str = ""
+
+    @property
+    def queued(self) -> bool:
+        return self.status == "queued"
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What an interceptor wants done with one in-flight message.
+
+    The zero value (``FaultDecision()``) means "deliver normally".
+    ``drop`` wins over everything else; otherwise ``extra_delay`` seconds
+    are added to the sampled latency, ``duplicates`` extra copies are
+    scheduled (each with its own latency sample), and a non-``None``
+    ``replace_payload`` substitutes the payload (modeling corruption the
+    receiver cannot parse).
+    """
+
+    drop: bool = False
+    reason: str = ""
+    extra_delay: float = 0.0
+    duplicates: int = 0
+    replace_payload: Any = None
+
+
+# Interceptors may return None as shorthand for "no fault".
+Interceptor = Callable[[Envelope], Optional[FaultDecision]]
 
 
 class WANetwork:
@@ -41,9 +92,22 @@ class WANetwork:
         self.latency = latency or LogNormalLatency()
         self.loss_rate = loss_rate
         self._hosts: dict[str, Host] = {}
+        self._down: set[str] = set()
+        # Chaos hook: consulted once per send, after the baseline loss
+        # sample, so injected faults compose with (rather than replace)
+        # the WAN's own loss process.
+        self.interceptor: Optional[Interceptor] = None
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_lost = 0
+        self.messages_duplicated = 0
+        self.messages_corrupted = 0
+        # Breakdown of messages_lost by cause; the sum of these four
+        # always equals messages_lost.
+        self.drops_sampled_loss = 0
+        self.drops_unknown_destination = 0
+        self.drops_offline = 0
+        self.drops_injected = 0
         self.bytes_modeled = 0
 
     def register(self, name: str, handler: Callable[[Envelope], None]) -> Host:
@@ -51,10 +115,12 @@ class WANetwork:
             raise ConfigurationError(f"duplicate host name: {name}")
         host = Host(name=name, handler=handler)
         self._hosts[name] = host
+        self._down.discard(name)
         return host
 
     def unregister(self, name: str) -> None:
         self._hosts.pop(name, None)
+        self._down.discard(name)
 
     def hosts(self) -> list[str]:
         return list(self._hosts)
@@ -62,28 +128,75 @@ class WANetwork:
     def is_registered(self, name: str) -> bool:
         return name in self._hosts
 
-    def send(self, source: str, destination: str, payload: Any) -> Envelope:
-        """Queue ``payload`` for delivery; returns the envelope.
+    # -- host liveness (crash/restart lifecycle) -------------------------------
 
-        Unknown destinations and sampled losses are silently dropped, as a
-        real datagram would be; reliability is the sender's problem (the
-        BcWAN exchange runs over TCP, which the protocol layer models by
-        not injecting loss on those flows).
+    def set_host_down(self, name: str) -> None:
+        """Stop delivering to ``name`` (host crashed but keeps its slot)."""
+        if name in self._hosts:
+            self._down.add(name)
+
+    def set_host_up(self, name: str) -> None:
+        """Resume deliveries to a previously-downed host."""
+        self._down.discard(name)
+
+    def is_host_up(self, name: str) -> bool:
+        return name in self._hosts and name not in self._down
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(self, source: str, destination: str, payload: Any) -> SendReceipt:
+        """Queue ``payload`` for delivery; returns the delivery verdict.
+
+        Nothing is dropped invisibly: an unknown destination, a sampled
+        loss, and an injected fault each return a distinct verdict and
+        bump a dedicated counter.  ``queued`` only promises the message
+        entered the WAN — the destination can still crash before the
+        latency elapses (counted as ``drops_offline`` at delivery time).
         """
         envelope = Envelope(source=source, destination=destination,
                             payload=payload, sent_at=self.sim.now)
         self.messages_sent += 1
+        if destination not in self._hosts:
+            self.messages_lost += 1
+            self.drops_unknown_destination += 1
+            return SendReceipt(envelope, "no_route",
+                               reason=f"unknown destination: {destination}")
         if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
             self.messages_lost += 1
-            return envelope
-        delay = self.latency.sample(source, destination, self.rng)
-        self.sim.call_in(delay, lambda: self._deliver(envelope))
-        return envelope
+            self.drops_sampled_loss += 1
+            return SendReceipt(envelope, "lost", reason="sampled loss")
+
+        decision = None
+        if self.interceptor is not None:
+            decision = self.interceptor(envelope)
+        if decision is None:
+            decision = _NO_FAULT
+        if decision.drop:
+            self.messages_lost += 1
+            self.drops_injected += 1
+            return SendReceipt(envelope, "blocked",
+                               reason=decision.reason or "injected drop")
+        if decision.replace_payload is not None:
+            envelope = replace(envelope, payload=decision.replace_payload)
+            self.messages_corrupted += 1
+
+        copies = 1 + max(0, decision.duplicates)
+        self.messages_duplicated += copies - 1
+        for _ in range(copies):
+            delay = (self.latency.sample(source, destination, self.rng)
+                     + decision.extra_delay)
+            self.sim.call_in(delay, lambda env=envelope: self._deliver(env))
+        return SendReceipt(envelope, "queued", reason=decision.reason)
 
     def _deliver(self, envelope: Envelope) -> None:
         host = self._hosts.get(envelope.destination)
         if host is None:
             self.messages_lost += 1
+            self.drops_unknown_destination += 1
+            return
+        if envelope.destination in self._down:
+            self.messages_lost += 1
+            self.drops_offline += 1
             return
         self.messages_delivered += 1
         host.handler(envelope)
@@ -98,3 +211,6 @@ class WANetwork:
             self.send(source, name, payload)
             count += 1
         return count
+
+
+_NO_FAULT = FaultDecision()

@@ -3,13 +3,19 @@
 Flooding gossip is push-only: on a lossy WAN a dropped ``BlockMessage``
 or ``TxMessage`` would leave a node permanently behind.  Real Bitcoin-family
 daemons recover through headers/inv exchanges on a timer; this module
-implements the equivalent:
+implements the equivalent, hardened for partitions and churn:
 
-* every ``interval`` seconds a :class:`SyncAgent` asks one peer
-  (round-robin) for its tip;
-* a peer that is ahead answers with the blocks above the requester's
-  height (bounded per round), which the requester feeds through its
-  normal validation path;
+* every ``interval`` seconds a :class:`SyncAgent` probes one peer
+  (round-robin over peers that are not backing off) for its tip;
+* every request is guarded by a **timeout** — a peer that fails to
+  answer is scored, and repeat offenders are skipped with **jittered
+  exponential backoff** until they answer again;
+* a peer that is ahead (or on a different branch at the same height)
+  triggers a **header-first catch-up session**: the requester fetches
+  header inventories, walks back to the last common block (the fork
+  point — essential after a partition in which both sides mined), then
+  streams full blocks in pipelined batches until it reaches the peer's
+  tip, instead of waiting one poll round per batch;
 * mempool contents piggyback as a txid inventory; missing transactions
   are fetched explicitly.
 
@@ -21,8 +27,10 @@ verification, faithfully).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.p2p.message import Envelope
 from repro.sim.core import Simulator
@@ -32,8 +40,11 @@ if TYPE_CHECKING:  # imported lazily to avoid a p2p <-> core import cycle
 
 __all__ = [
     "SyncAgent",
+    "PeerScore",
     "GetTipMessage",
     "TipMessage",
+    "GetHeadersMessage",
+    "HeadersMessage",
     "GetBlocksMessage",
     "BlocksMessage",
     "GetTxsMessage",
@@ -51,9 +62,30 @@ class GetTipMessage:
 
 @dataclass(frozen=True)
 class TipMessage:
-    """Responder's tip height (the requester decides whether to catch up)."""
+    """Responder's tip (the requester decides whether to catch up).
+
+    ``tip_hash`` lets the requester detect a divergent branch even at
+    equal height — the split-brain signature a healed partition leaves.
+    """
 
     height: int
+    tip_hash: bytes = b""
+
+
+@dataclass(frozen=True)
+class GetHeadersMessage:
+    """Fetch ``(height, hash)`` pairs for active heights above ``above_height``."""
+
+    above_height: int
+    limit: int
+
+
+@dataclass(frozen=True)
+class HeadersMessage:
+    """Active-chain header inventory: ascending ``(height, hash)`` pairs."""
+
+    headers: tuple  # of (int, bytes)
+    tip_height: int
 
 
 @dataclass(frozen=True)
@@ -78,48 +110,225 @@ class TxsMessage:
     transactions: tuple  # of repro.blockchain.Transaction
 
 
+@dataclass
+class PeerScore:
+    """Failure bookkeeping for one peer."""
+
+    successes: int = 0
+    failures: int = 0
+    consecutive_failures: int = 0
+    backoff_until: float = 0.0
+
+
+@dataclass
+class _Pending:
+    """One in-flight request awaiting a reply (or its deadline)."""
+
+    kind: str  # "tip" | "headers" | "blocks"
+    peer: str
+    token: int
+    message: Any
+    retries_left: int = 0
+
+
+@dataclass
+class _CatchupSession:
+    """State of one header-first catch-up against a single peer."""
+
+    peer: str
+    target_height: int
+    header_base: int = 0
+    next_above: int = 0
+
+
 class SyncAgent:
-    """Periodic state reconciliation for one daemon."""
+    """Periodic state reconciliation for one daemon.
+
+    :param interval: seconds between tip probes.
+    :param max_blocks_per_round: responder-side cap per ``BlocksMessage``.
+    :param request_timeout: seconds before an unanswered request counts
+        as a failure.
+    :param backoff_base: exponential growth factor of the per-peer
+        backoff (delay = ``interval * backoff_base**(failures-1)``).
+    :param backoff_cap: ceiling on the backoff delay, in seconds; defaults
+        to ``8 * interval``.
+    :param backoff_jitter: relative jitter (+/-) applied to each backoff
+        delay, drawn from the agent's own deterministic stream so thundering
+        retries decorrelate without perturbing any other randomness.
+    :param header_window: headers requested per ``GetHeadersMessage`` while
+        walking back to the fork point.
+    :param session_retries: automatic retransmissions of an unanswered
+        catch-up request before the session is abandoned.
+    """
 
     def __init__(self, sim: Simulator, daemon: "BlockchainDaemon",
-                 interval: float = 30.0, max_blocks_per_round: int = 50) -> None:
+                 interval: float = 30.0, max_blocks_per_round: int = 50,
+                 request_timeout: float = 5.0,
+                 backoff_base: float = 2.0,
+                 backoff_cap: Optional[float] = None,
+                 backoff_jitter: float = 0.2,
+                 header_window: int = 32,
+                 header_overlap: int = 8,
+                 session_retries: int = 2) -> None:
         self.sim = sim
         self.daemon = daemon
         self.interval = interval
         self.max_blocks_per_round = max_blocks_per_round
+        self.request_timeout = request_timeout
+        self.backoff_base = backoff_base
+        self.backoff_cap = (8 * interval) if backoff_cap is None else backoff_cap
+        self.backoff_jitter = backoff_jitter
+        self.header_window = header_window
+        self.header_overlap = header_overlap
+        self.session_retries = session_retries
+        # Counters (legacy names kept: experiments read them directly).
         self.rounds = 0
+        self.skipped_rounds = 0
         self.blocks_recovered = 0
         self.txs_recovered = 0
+        self.timeouts = 0
+        self.retries = 0
+        self.backoff_resets = 0
+        self.catchup_sessions = 0
+        self.batches_received = 0
+        self.headers_received = 0
+        self.peer_scores: dict[str, PeerScore] = {}
         self._peer_cursor = 0
+        self._pending: dict[str, _Pending] = {}
+        self._session: Optional[_CatchupSession] = None
+        self._tokens = itertools.count(1)
+        # Jitter stream: seeded from the daemon name only, so backoff
+        # noise is reproducible and independent of every other stream.
+        self._jitter_rng = random.Random(f"sync-agent:{daemon.name}")
+        # Optional shared repro.core.metrics.ChaosTelemetry (duck-typed
+        # to avoid a p2p -> core import).
+        self.telemetry: Optional[Any] = None
+        daemon.sync_agent = self
         daemon.register_protocol(GetTipMessage, self._on_get_tip)
         daemon.register_protocol(TipMessage, self._on_tip)
+        daemon.register_protocol(GetHeadersMessage, self._on_get_headers)
+        daemon.register_protocol(HeadersMessage, self._on_headers)
         daemon.register_protocol(GetBlocksMessage, self._on_get_blocks)
         daemon.register_protocol(BlocksMessage, self._on_blocks)
         daemon.register_protocol(GetTxsMessage, self._on_get_txs)
         daemon.register_protocol(TxsMessage, self._on_txs)
         self._process = sim.process(self._loop())
 
+    # -- lifecycle ---------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop in-flight request state (the owning daemon crashed)."""
+        self._pending.clear()
+        self._session = None
+
+    def score_for(self, peer: str) -> PeerScore:
+        score = self.peer_scores.get(peer)
+        if score is None:
+            score = PeerScore()
+            self.peer_scores[peer] = score
+        return score
+
     # -- the periodic probe -----------------------------------------------------
 
     def _loop(self):
         while True:
             yield self.sim.timeout(self.interval)
-            peers = self.daemon.gossip.peers
-            if not peers:
+            self._run_round()
+
+    def _run_round(self) -> None:
+        if not self.daemon.online:
+            self.skipped_rounds += 1
+            return
+        peers = self.daemon.gossip.peers
+        if not peers:
+            return
+        peer = self._pick_peer(peers)
+        if peer is None:
+            self.skipped_rounds += 1
+            return
+        self.rounds += 1
+        node = self.daemon.node
+        self._send_request(peer, GetTipMessage(
+            height=node.height,
+            mempool_txids=tuple(tx.txid for tx in node.mempool.transactions()),
+        ), kind="tip")
+
+    def _pick_peer(self, peers: list[str]) -> Optional[str]:
+        """Round-robin over peers that are neither backing off nor busy."""
+        now = self.sim.now
+        for offset in range(len(peers)):
+            peer = peers[(self._peer_cursor + offset) % len(peers)]
+            if peer in self._pending:
                 continue
-            peer = peers[self._peer_cursor % len(peers)]
-            self._peer_cursor += 1
-            self.rounds += 1
-            node = self.daemon.node
-            self.daemon.gossip.network.send(
-                self.daemon.name, peer,
-                GetTipMessage(
-                    height=node.height,
-                    mempool_txids=tuple(
-                        tx.txid for tx in node.mempool.transactions()
-                    ),
-                ),
-            )
+            if self.score_for(peer).backoff_until > now:
+                continue
+            self._peer_cursor = (self._peer_cursor + offset + 1) % len(peers)
+            return peer
+        return None
+
+    # -- request/timeout machinery ----------------------------------------------
+
+    def _send_request(self, peer: str, message: Any, kind: str,
+                      retries_left: int = 0) -> None:
+        token = next(self._tokens)
+        self._pending[peer] = _Pending(kind=kind, peer=peer, token=token,
+                                       message=message,
+                                       retries_left=retries_left)
+        self.daemon.gossip.network.send(self.daemon.name, peer, message)
+        self.sim.call_in(self.request_timeout,
+                         lambda: self._on_deadline(peer, token))
+
+    def _on_deadline(self, peer: str, token: int) -> None:
+        pending = self._pending.get(peer)
+        if pending is None or pending.token != token:
+            return  # answered (or superseded) in time
+        self.timeouts += 1
+        self.daemon.stats.sync_timeouts += 1
+        if self.telemetry is not None:
+            self.telemetry.sync_timeouts += 1
+        if pending.retries_left > 0:
+            self.retries += 1
+            self.daemon.stats.sync_retries += 1
+            if self.telemetry is not None:
+                self.telemetry.sync_retries += 1
+            self._send_request(peer, pending.message, pending.kind,
+                               pending.retries_left - 1)
+            return
+        del self._pending[peer]
+        self._record_failure(peer)
+        if self._session is not None and self._session.peer == peer:
+            self._session = None  # abandoned; a later probe restarts it
+
+    def _record_failure(self, peer: str) -> None:
+        score = self.score_for(peer)
+        score.failures += 1
+        score.consecutive_failures += 1
+        delay = min(
+            self.backoff_cap,
+            self.interval * self.backoff_base ** (score.consecutive_failures - 1),
+        )
+        jitter = 1.0 + self.backoff_jitter * (2 * self._jitter_rng.random() - 1)
+        score.backoff_until = self.sim.now + delay * jitter
+
+    def _record_success(self, peer: str) -> None:
+        score = self.score_for(peer)
+        score.successes += 1
+        if score.consecutive_failures > 0:
+            self.backoff_resets += 1
+            self.daemon.stats.sync_backoff_resets += 1
+            if self.telemetry is not None:
+                self.telemetry.backoff_resets += 1
+        score.consecutive_failures = 0
+        score.backoff_until = 0.0
+
+    def _resolve_pending(self, peer: str, kind: str) -> bool:
+        """Match a reply against the in-flight request; score the peer."""
+        pending = self._pending.get(peer)
+        if pending is None or pending.kind != kind:
+            return False  # unsolicited (stale retransmit, duplicate)
+        del self._pending[peer]
+        self._record_success(peer)
+        return True
 
     # -- responder side ------------------------------------------------------------
 
@@ -128,7 +337,8 @@ class SyncAgent:
         node = self.daemon.node
         network = self.daemon.gossip.network
         network.send(self.daemon.name, envelope.source,
-                     TipMessage(height=node.height))
+                     TipMessage(height=node.height,
+                                tip_hash=node.chain.tip.hash))
         # Push any mempool transactions the requester is missing.
         theirs = set(request.mempool_txids)
         missing = [tx for tx in node.mempool.transactions()
@@ -145,13 +355,19 @@ class SyncAgent:
             network.send(self.daemon.name, envelope.source,
                          GetTxsMessage(txids=wanted))
 
-    def _on_tip(self, envelope: Envelope) -> None:
-        their_height = envelope.payload.height
-        if their_height > self.daemon.node.height:
-            self.daemon.gossip.network.send(
-                self.daemon.name, envelope.source,
-                GetBlocksMessage(above_height=self.daemon.node.height),
-            )
+    def _on_get_headers(self, envelope: Envelope) -> None:
+        request = envelope.payload
+        chain = self.daemon.node.chain
+        top = min(chain.height, request.above_height + request.limit)
+        headers = []
+        for height in range(request.above_height + 1, top + 1):
+            block = chain.block_at(height)
+            if block is not None:
+                headers.append((height, block.hash))
+        self.daemon.gossip.network.send(
+            self.daemon.name, envelope.source,
+            HeadersMessage(headers=tuple(headers), tip_height=chain.height),
+        )
 
     def _on_get_blocks(self, envelope: Envelope) -> None:
         above = envelope.payload.above_height
@@ -169,12 +385,6 @@ class SyncAgent:
                 BlocksMessage(blocks=tuple(blocks)),
             )
 
-    def _on_blocks(self, envelope: Envelope) -> None:
-        before = self.daemon.node.height
-        for block in envelope.payload.blocks:
-            self.daemon.gossip.receive_block(block, origin=envelope.source)
-        self.blocks_recovered += max(0, self.daemon.node.height - before)
-
     def _on_get_txs(self, envelope: Envelope) -> None:
         node = self.daemon.node
         found = []
@@ -187,6 +397,91 @@ class SyncAgent:
                 self.daemon.name, envelope.source,
                 TxsMessage(transactions=tuple(found)),
             )
+
+    # -- requester side ----------------------------------------------------------
+
+    def _on_tip(self, envelope: Envelope) -> None:
+        self._resolve_pending(envelope.source, "tip")
+        payload = envelope.payload
+        node = self.daemon.node
+        behind = payload.height > node.height
+        diverged = (payload.height == node.height
+                    and payload.tip_hash
+                    and payload.tip_hash != node.chain.tip.hash)
+        if (behind or diverged) and self._session is None:
+            self._start_catchup(envelope.source, payload.height)
+
+    def _start_catchup(self, peer: str, target_height: int) -> None:
+        self.catchup_sessions += 1
+        node = self.daemon.node
+        base = max(0, min(node.height, target_height) - self.header_overlap)
+        self._session = _CatchupSession(peer=peer,
+                                        target_height=target_height,
+                                        header_base=base)
+        self._send_request(peer,
+                           GetHeadersMessage(above_height=base,
+                                             limit=self.header_window),
+                           kind="headers", retries_left=self.session_retries)
+
+    def _on_headers(self, envelope: Envelope) -> None:
+        solicited = self._resolve_pending(envelope.source, "headers")
+        session = self._session
+        if (not solicited or session is None
+                or session.peer != envelope.source):
+            return
+        payload = envelope.payload
+        self.headers_received += len(payload.headers)
+        session.target_height = max(session.target_height, payload.tip_height)
+        chain = self.daemon.node.chain
+        fork_height: Optional[int] = None
+        for height, block_hash in reversed(payload.headers):
+            if chain.contains(block_hash):
+                fork_height = height
+                break
+        if fork_height is None:
+            if session.header_base > 0:
+                # Nothing in this window is ours: the fork is deeper.
+                session.header_base = max(
+                    0, session.header_base - self.header_window)
+                self._send_request(
+                    session.peer,
+                    GetHeadersMessage(above_height=session.header_base,
+                                      limit=self.header_window),
+                    kind="headers", retries_left=self.session_retries)
+                return
+            # Window already starts at genesis, which every chain of this
+            # network shares: the fork point is height 0.
+            fork_height = 0
+        session.next_above = fork_height
+        self._request_next_batch()
+
+    def _request_next_batch(self) -> None:
+        session = self._session
+        assert session is not None
+        self._send_request(session.peer,
+                           GetBlocksMessage(above_height=session.next_above),
+                           kind="blocks", retries_left=self.session_retries)
+
+    def _on_blocks(self, envelope: Envelope) -> None:
+        solicited = self._resolve_pending(envelope.source, "blocks")
+        blocks = envelope.payload.blocks
+        self.batches_received += 1
+        before = self.daemon.node.height
+        for block in blocks:
+            self.daemon.gossip.receive_block(block, origin=envelope.source)
+        self.blocks_recovered += max(0, self.daemon.node.height - before)
+        session = self._session
+        if (not solicited or session is None
+                or session.peer != envelope.source):
+            return
+        if blocks:
+            session.next_above += len(blocks)
+        if blocks and session.next_above < session.target_height:
+            # Pipelined batching: keep streaming within this session
+            # instead of waiting a full poll interval per batch.
+            self._request_next_batch()
+        else:
+            self._session = None
 
     def _on_txs(self, envelope: Envelope) -> None:
         before = len(self.daemon.node.mempool)

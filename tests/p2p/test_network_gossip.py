@@ -197,3 +197,213 @@ def test_connect_ignores_self_and_duplicates():
     nodes[0].connect("n1")
     assert nodes[0].peers.count("n1") == 1
     assert "n0" not in nodes[0].peers
+
+
+# -- delivery verdicts and loss accounting ------------------------------------
+
+def test_send_returns_receipt_with_verdict():
+    sim, wan = make_wan()
+    wan.register("a", lambda env: None)
+    wan.register("b", lambda env: None)
+    queued = wan.send("a", "b", "x")
+    assert queued.queued and queued.status == "queued"
+    no_route = wan.send("a", "ghost", "x")
+    assert not no_route.queued
+    assert no_route.status == "no_route"
+
+
+def test_unknown_destination_counted_separately_from_loss():
+    sim, wan = make_wan(loss_rate=0.3)
+    wan.register("a", lambda env: None)
+    wan.register("b", lambda env: None)
+    wan.send("a", "ghost", "x")
+    receipts = [wan.send("a", "b", "x") for _ in range(100)]
+    sim.run()
+    sampled = sum(1 for r in receipts if r.status == "lost")
+    assert sampled > 0
+    assert wan.drops_unknown_destination == 1
+    assert wan.drops_sampled_loss == sampled
+    # The aggregate is still the sum of its parts.
+    assert wan.messages_lost == (wan.drops_sampled_loss
+                                 + wan.drops_unknown_destination
+                                 + wan.drops_offline
+                                 + wan.drops_injected)
+
+
+def test_down_host_drops_at_delivery_time():
+    sim, wan = make_wan()
+    received = []
+    wan.register("a", lambda env: None)
+    wan.register("b", received.append)
+    wan.set_host_down("b")
+    receipt = wan.send("a", "b", "x")
+    assert receipt.queued  # the sender cannot know yet
+    sim.run()
+    assert received == []
+    assert wan.drops_offline == 1
+    wan.set_host_up("b")
+    wan.send("a", "b", "y")
+    sim.run()
+    assert len(received) == 1
+
+
+def test_interceptor_can_drop_delay_duplicate_and_corrupt():
+    from repro.p2p.network import FaultDecision
+
+    sim, wan = make_wan(delay=0.1)
+    received = []
+    wan.register("a", lambda env: None)
+    wan.register("b", lambda env: received.append((sim.now, env.payload)))
+
+    decisions = {
+        "drop-me": FaultDecision(drop=True, reason="test"),
+        "slow-me": FaultDecision(extra_delay=1.0),
+        "copy-me": FaultDecision(duplicates=1),
+        "garble-me": FaultDecision(replace_payload="garbled"),
+    }
+    wan.interceptor = lambda env: decisions.get(env.payload)
+
+    blocked = wan.send("a", "b", "drop-me")
+    assert blocked.status == "blocked"
+    wan.send("a", "b", "slow-me")
+    wan.send("a", "b", "copy-me")
+    wan.send("a", "b", "garble-me")
+    wan.send("a", "b", "normal")
+    sim.run()
+    payloads = sorted(p for _, p in received)
+    assert payloads == ["copy-me", "copy-me", "garbled", "normal", "slow-me"]
+    slow_at = [t for t, p in received if p == "slow-me"]
+    assert slow_at == [1.1]  # latency + injected delay
+    assert wan.drops_injected == 1
+    assert wan.messages_duplicated == 1
+    assert wan.messages_corrupted == 1
+
+
+# -- orphan transaction recovery ----------------------------------------------
+
+def chained_pair(wallet):
+    """A parent payment and a child spending the parent's output."""
+    from repro.blockchain.transaction import (
+        OutPoint, Transaction, TxInput, TxOutput)
+    from repro.script import builder
+
+    parent = wallet.create_payment(wallet.pubkey_hash, 200)
+    child = Transaction(
+        inputs=[TxInput(outpoint=OutPoint(txid=parent.txid, index=0))],
+        outputs=[TxOutput(
+            value=200,
+            script_pubkey=builder.p2pkh_locking(wallet.pubkey_hash))],
+    )
+    signature = wallet.sign_input(
+        child, 0, builder.p2pkh_locking(wallet.pubkey_hash))
+    child = child.with_input_script(
+        0, builder.p2pkh_unlocking(signature, wallet.pubkey_bytes))
+    return parent, child
+
+
+def test_child_before_parent_is_parked_then_resolved():
+    sim, _wan, nodes = make_cluster()
+    wallet, miner = funded(nodes[0])
+    blocks = [miner.mine_and_connect(float(i)) for i in range(2)]
+    for gossip in nodes[1:]:
+        for block in blocks:
+            gossip.node.submit_block(block)
+    parent, child = chained_pair(wallet)
+    receiver = nodes[1]
+    # Child arrives first: parked, not blackholed, not marked known.
+    receiver.receive_transaction(child, origin="n0")
+    assert child.txid not in receiver.node.mempool
+    assert receiver.orphan_count == 1
+    # Parent arrives: both enter the pool, orphan counter ticks.
+    receiver.receive_transaction(parent, origin="n0")
+    assert parent.txid in receiver.node.mempool
+    assert child.txid in receiver.node.mempool
+    assert receiver.orphan_count == 0
+    assert receiver.orphans_resolved == 1
+
+
+def test_resolved_orphan_is_relayed_onward():
+    sim, wan, nodes = make_cluster()
+    wallet, miner = funded(nodes[0])
+    blocks = [miner.mine_and_connect(float(i)) for i in range(2)]
+    for gossip in nodes[1:]:
+        for block in blocks:
+            gossip.node.submit_block(block)
+    parent, child = chained_pair(wallet)
+    nodes[1].receive_transaction(child, origin="zzz")
+    nodes[1].receive_transaction(parent, origin="zzz")
+    sim.run()
+    # n2 heard both via relay from n1.
+    assert parent.txid in nodes[2].node.mempool
+    assert child.txid in nodes[2].node.mempool
+
+
+def test_orphan_pool_is_bounded():
+    sim, _wan, nodes = make_cluster()
+    wallet, miner = funded(nodes[0])
+    blocks = [miner.mine_and_connect(float(i)) for i in range(4)]
+    for gossip in nodes[1:]:
+        for block in blocks:
+            gossip.node.submit_block(block)
+    receiver = nodes[1]
+    receiver.orphan_pool_size = 2
+    orphans = []
+    for _ in range(3):
+        parent, child = chained_pair(wallet)
+        orphans.append(child)
+        receiver.receive_transaction(child, origin="n0")
+    assert receiver.orphan_count == 2
+    assert receiver.orphans_evicted == 1
+
+
+def test_invalid_transaction_still_permanently_rejected():
+    """The orphan path must not weaken dedup for truly invalid txs."""
+    sim, _wan, nodes = make_cluster()
+    wallet, miner = funded(nodes[0])
+    blocks = [miner.mine_and_connect(float(i)) for i in range(2)]
+    for gossip in nodes[1:]:
+        for block in blocks:
+            gossip.node.submit_block(block)
+    from repro.blockchain.transaction import (
+        OutPoint, Transaction, TxInput, TxOutput)
+    from repro.script import builder
+
+    parent, child = chained_pair(wallet)
+    receiver = nodes[1]
+    receiver.receive_transaction(parent, origin="n0")
+    receiver.receive_transaction(child, origin="n0")
+    assert child.txid in receiver.node.mempool
+    # A conflicting spend of the same parent output is permanently
+    # invalid (double spend), so it is remembered — not parked.
+    conflict = Transaction(
+        inputs=[TxInput(outpoint=OutPoint(txid=parent.txid, index=0))],
+        outputs=[TxOutput(
+            value=150,
+            script_pubkey=builder.p2pkh_locking(wallet.pubkey_hash))],
+    )
+    signature = wallet.sign_input(
+        conflict, 0, builder.p2pkh_locking(wallet.pubkey_hash))
+    conflict = conflict.with_input_script(
+        0, builder.p2pkh_unlocking(signature, wallet.pubkey_bytes))
+    receiver.receive_transaction(conflict, origin="n0")
+    assert conflict.txid not in receiver.node.mempool
+    assert receiver.orphan_count == 0
+    assert conflict.txid in receiver._known_txids
+    # The repeat is dropped before it even reaches validation.
+    processed = receiver.node.transactions_processed
+    receiver.receive_transaction(conflict, origin="n0")
+    assert receiver.node.transactions_processed == processed
+
+
+def test_dedup_caches_are_bounded_lru():
+    sim, _wan, nodes = make_cluster()
+    gossip = nodes[0]
+    assert gossip._known_txids.maxsize == 4096
+    assert gossip._known_blocks.maxsize == 4096
+    small = GossipNode(FullNode(ChainParams(), "tiny"), _wan, name="tiny",
+                       auto_register=False, dedup_cache_size=2)
+    small._known_txids.add(b"a")
+    small._known_txids.add(b"b")
+    small._known_txids.add(b"c")
+    assert len(small._known_txids) == 2
+    assert b"a" not in small._known_txids
