@@ -44,6 +44,13 @@ def main() -> None:
               f"received {recipient.messages_decrypted} readings, "
               f"paid {recipient.payments_made * config.price} units")
 
+    # Every component exposes the same registry-backed view: call
+    # ``stats()`` on a daemon (or a sync agent, gossip node, chaos
+    # injector) and read it like a dict.
+    stats = network.master_daemon.stats()
+    print(f"\nmaster daemon: {stats['jobs_served']} jobs served, "
+          f"mean queue wait {stats['mean_wait'] * 1000:.2f} ms")
+
     # Every decrypted reading matches what the sensor sent.
     intact = sum(
         1 for record in network.tracker.completed()

@@ -41,7 +41,7 @@ UTXOSource = Union[UTXOSet, UTXOView]
 
 
 @dataclass
-class ScriptCacheStats:
+class ScriptCacheStats:  # lint: allow(ad-hoc-telemetry) — consensus-layer; mirrored into the registry by DaemonStats
     """Hit/miss counters of one engine's script-verification cache."""
 
     hits: int = 0
@@ -114,6 +114,11 @@ class ValidationEngine:
         self._script_cache: dict[tuple[bytes, int, bytes], bool] = {}
         self.cache_stats = ScriptCacheStats()
         self.last_report: Optional[ValidationReport] = None
+        # Optional wall-clock profiler (repro.obs.profile.HotPathProfiler).
+        # None by default: the hot paths below pay exactly one attribute
+        # load and branch when profiling is off — the microbench guard in
+        # benchmarks/test_obs_overhead.py pins that.
+        self.obs = None
 
     # -- stage 1: syntax -------------------------------------------------------
 
@@ -192,6 +197,17 @@ class ValidationEngine:
         that executed and succeeded; raises :class:`ValidationError` on
         script failure (failures are never cached).
         """
+        if self.obs is None:
+            return self._verify_input_script(tx, index, entry)
+        t0 = self.obs.clock()
+        try:
+            return self._verify_input_script(tx, index, entry)
+        finally:
+            self.obs.observe("engine.verify_input_script",
+                             self.obs.clock() - t0)
+
+    def _verify_input_script(self, tx: Transaction, index: int,
+                             entry: UTXOEntry) -> bool:
         key = (tx.txid, index, entry.entry_hash)
         if key in self._script_cache:
             self.cache_stats.hits += 1
@@ -214,8 +230,16 @@ class ValidationEngine:
             locking_script=entry.output.script_pubkey,
         )
         interpreter = ScriptInterpreter(context=context)
-        if not interpreter.verify(tx.inputs[index].script_sig,
-                                  entry.output.script_pubkey):
+        obs = self.obs
+        if obs is None:
+            verified = interpreter.verify(tx.inputs[index].script_sig,
+                                          entry.output.script_pubkey)
+        else:
+            t0 = obs.clock()
+            verified = interpreter.verify(tx.inputs[index].script_sig,
+                                          entry.output.script_pubkey)
+            obs.observe("script.interpreter_verify", obs.clock() - t0)
+        if not verified:
             raise ValidationError(
                 f"script verification failed for input {index} of "
                 f"{tx.txid.hex()[:16]}.. "

@@ -34,6 +34,9 @@ class Mempool:
         self._transactions: dict[bytes, Transaction] = {}
         # outpoint -> txid of the pool transaction spending it.
         self._spends: dict[OutPoint, bytes] = {}
+        # Optional wall-clock profiler; None keeps accept() at one extra
+        # attribute load and branch (see repro.obs.profile).
+        self.obs = None
 
     def __len__(self) -> int:
         return len(self._transactions)
@@ -63,6 +66,15 @@ class Mempool:
         transactions (unconfirmed chaining), but never from outputs already
         spent by another pool transaction.
         """
+        if self.obs is None:
+            return self._accept(tx)
+        t0 = self.obs.clock()
+        try:
+            return self._accept(tx)
+        finally:
+            self.obs.observe("mempool.accept", self.obs.clock() - t0)
+
+    def _accept(self, tx: Transaction) -> None:
         if tx.txid in self._transactions:
             raise ValidationError(f"transaction {tx.txid.hex()[:16]}.. already in pool")
         if tx.is_coinbase:

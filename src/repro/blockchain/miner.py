@@ -33,11 +33,17 @@ _MAX_NONCE = 1 << 62
 
 @dataclass
 class Miner:
-    """Assembles and mines blocks paying ``reward_pubkey_hash``."""
+    """Assembles and mines blocks paying ``reward_pubkey_hash``.
+
+    ``obs`` optionally points at a wall-clock
+    :class:`~repro.obs.profile.HotPathProfiler`; when None (default) the
+    mining path pays one attribute test.
+    """
 
     chain: Chain
     mempool: Mempool
     reward_pubkey_hash: bytes
+    obs: Optional[object] = None
 
     def __post_init__(self) -> None:
         if len(self.reward_pubkey_hash) != 20:
@@ -93,6 +99,15 @@ class Miner:
 
     def mine(self, timestamp: float) -> Block:
         """Produce a valid block at ``timestamp`` (grinding nonces if needed)."""
+        if self.obs is None:
+            return self._mine(timestamp)
+        t0 = self.obs.clock()
+        try:
+            return self._mine(timestamp)
+        finally:
+            self.obs.observe("miner.mine", self.obs.clock() - t0)
+
+    def _mine(self, timestamp: float) -> Block:
         template = self.build_template(timestamp)
         if template.header.meets_target(self.params.pow_bits):
             return template

@@ -2,7 +2,9 @@
 
 One :class:`ChaosInjector` owns a network's interception hook plus the
 crash/restart schedule for its managed daemons, and funnels everything it
-does into a single shared :class:`~repro.core.metrics.ChaosTelemetry`.
+does into a single shared :class:`~repro.obs.telemetry.ChaosTelemetry`
+(registry-backed, so a scenario's ``MetricsRegistry.snapshot()`` sees
+every injected fault).
 
 Determinism contract
 --------------------
@@ -24,8 +26,9 @@ from typing import TYPE_CHECKING, Optional
 from repro.blockchain.node import FullNode
 from repro.blockchain.store import load_chain, save_chain
 from repro.chaos.faults import CorruptedPayload, FaultPlan
-from repro.core.metrics import ChaosTelemetry
 from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry, StatsView
+from repro.obs.telemetry import ChaosTelemetry
 from repro.p2p.message import Envelope
 from repro.p2p.network import FaultDecision, WANetwork
 from repro.sim.core import Simulator
@@ -42,12 +45,14 @@ class ChaosInjector:
 
     def __init__(self, sim: Simulator, network: WANetwork, plan: FaultPlan,
                  daemons: Optional[dict[str, "BlockchainDaemon"]] = None,
-                 telemetry: Optional[ChaosTelemetry] = None) -> None:
+                 telemetry: Optional[ChaosTelemetry] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.sim = sim
         self.network = network
         self.plan = plan
         self.daemons: dict[str, "BlockchainDaemon"] = dict(daemons or {})
-        self.telemetry = telemetry if telemetry is not None else ChaosTelemetry()
+        self.telemetry = (telemetry if telemetry is not None
+                          else ChaosTelemetry(registry))
         # All chaos randomness hangs off the plan's seed, nothing else.
         self._rng = RngRegistry(plan.seed).stream("chaos-faults")
         # host -> serialized chain snapshot taken at crash time.
@@ -224,6 +229,10 @@ class ChaosInjector:
                 self.telemetry.reconvergence_time = self.sim.now - horizon
                 return
             yield self.sim.timeout(poll)
+
+    def stats(self) -> StatsView:
+        """The uniform observability accessor over the shared telemetry."""
+        return self.telemetry.stats()
 
     def _converged(self) -> bool:
         daemons = list(self.daemons.values())

@@ -22,6 +22,8 @@ from repro.core.costmodel import CostModel
 from repro.core.daemon import BlockchainDaemon
 from repro.crypto.keys import KeyPair
 from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.p2p.network import WANetwork
 from repro.p2p.sync import SyncAgent
 from repro.sim.core import Simulator
@@ -42,6 +44,8 @@ class Federation:
     names: list[str]
     daemons: dict[str, BlockchainDaemon]
     agents: dict[str, SyncAgent]
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Tracer = field(default_factory=lambda: Tracer(enabled=False))
     injector: Optional[ChaosInjector] = None
     _wallets: dict[str, Wallet] = field(default_factory=dict)
 
@@ -70,7 +74,8 @@ class Federation:
                  watch_reconvergence: bool = True) -> ChaosInjector:
         """Install ``plan`` over this federation (before ``sim.run``)."""
         injector = ChaosInjector(self.sim, self.wan, plan,
-                                 daemons=self.daemons)
+                                 daemons=self.daemons,
+                                 registry=self.registry)
         injector.install()
         if watch_reconvergence:
             injector.watch_reconvergence()
@@ -84,21 +89,27 @@ def build_federation(size: int = 6, seed: int = 0,
                      sync_interval: float = 5.0,
                      params: Optional[ChainParams] = None,
                      verify_blocks: bool = False,
-                     verify_scripts: bool = False) -> Federation:
+                     verify_scripts: bool = False,
+                     tracing: bool = False) -> Federation:
     """A ``size``-gateway full mesh named ``gw-0`` .. ``gw-{size-1}``.
 
     Defaults favour chaos testing: cheap validation (the faults under
     test are network/process faults, not script faults), deterministic
     constant latency, short sync interval so recovery happens within
-    small simulated horizons.
+    small simulated horizons.  ``tracing=True`` attaches a sim-time
+    :class:`~repro.obs.tracing.Tracer` to the WAN, so envelope transits
+    and per-daemon block validation produce spans.
     """
     if size < 2:
         raise ConfigurationError("a federation needs at least two gateways")
     sim = Simulator()
     rngs = RngRegistry(seed)
+    registry = MetricsRegistry()
+    tracer = Tracer(sim, enabled=tracing)
     wan = WANetwork(sim, rngs.stream("wan"),
                     latency=ConstantLatency(delay=latency),
                     loss_rate=loss_rate)
+    wan.tracer = tracer
     chain_params = params or ChainParams(coinbase_maturity=1)
     cost = CostModel(jitter_sigma=0.0)
     names = [f"gw-{i}" for i in range(size)]
@@ -108,7 +119,7 @@ def build_federation(size: int = 6, seed: int = 0,
         node = FullNode(chain_params, name, verify_scripts=verify_scripts)
         daemons[name] = BlockchainDaemon(
             sim, name, wan, node, cost, rngs.stream(f"daemon-{name}"),
-            verify_blocks=verify_blocks)
+            verify_blocks=verify_blocks, registry=registry)
     for name in names:
         for peer in names:
             if peer != name:
@@ -116,4 +127,5 @@ def build_federation(size: int = 6, seed: int = 0,
     for name in names:
         agents[name] = SyncAgent(sim, daemons[name], interval=sync_interval)
     return Federation(sim=sim, rngs=rngs, wan=wan, params=chain_params,
-                      names=names, daemons=daemons, agents=agents)
+                      names=names, daemons=daemons, agents=agents,
+                      registry=registry, tracer=tracer)

@@ -114,6 +114,14 @@ class NetworkConfig:
     rsa_bits: int = 512
     wait_for_confirmation: bool = False
 
+    # Observability: ``tracing`` turns on sim-time span collection (one
+    # trace per exchange, one per block) and makes the run's JSONL trace
+    # export meaningful; ``profile_hot_paths`` attaches the wall-clock
+    # HotPathProfiler to the engine/mempool/miner/sync hot paths.  Both
+    # default off so headline runs pay only no-op guards.
+    tracing: bool = False
+    profile_hot_paths: bool = False
+
     cost_model: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self) -> None:

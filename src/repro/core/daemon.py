@@ -25,6 +25,10 @@ from typing import Any, Callable, Optional
 
 from repro.blockchain.node import FullNode
 from repro.core.costmodel import CostModel
+# DaemonStats now lives in the observability layer (registry-backed);
+# re-exported here so the historical import path keeps working.
+from repro.obs.registry import MetricsRegistry
+from repro.obs.telemetry import DaemonStats
 from repro.p2p.dedup import LRUSet
 from repro.p2p.gossip import GossipNode
 from repro.p2p.message import BlockMessage, Envelope, TxMessage
@@ -35,40 +39,6 @@ __all__ = ["BlockchainDaemon", "DaemonStats"]
 
 
 @dataclass
-class DaemonStats:
-    """Aggregate daemon behaviour over a run."""
-
-    jobs_served: int = 0
-    busy_time: float = 0.0
-    blocks_verified: int = 0
-    stall_time: float = 0.0
-    max_queue_length: int = 0
-    queue_wait_total: float = 0.0
-    # Validation-engine telemetry (cumulative over the node's lifetime):
-    # script executions avoided / paid across mempool admission and block
-    # connect, from the engine's shared verification cache, plus the
-    # static analyzer's standardness and fast-reject counters.
-    script_cache_hits: int = 0
-    script_cache_misses: int = 0
-    standardness_rejects: int = 0
-    script_fast_rejects: int = 0
-    # Crash/restart lifecycle and sync-recovery telemetry.  ``chaos`` is
-    # a shared reference to the run's ChaosTelemetry when a ChaosInjector
-    # manages this daemon (None outside chaos runs).
-    crashes: int = 0
-    restarts: int = 0
-    jobs_lost_to_crash: int = 0
-    messages_refused_offline: int = 0
-    sync_timeouts: int = 0
-    sync_retries: int = 0
-    sync_backoff_resets: int = 0
-    chaos: Optional[Any] = None
-
-    def mean_wait(self) -> float:
-        return self.queue_wait_total / self.jobs_served if self.jobs_served else 0.0
-
-
-@dataclass
 class _Job:
     service_time: float
     fn: Optional[Callable[[], Any]]
@@ -76,6 +46,10 @@ class _Job:
     enqueued_at: float
     label: str = ""
     epoch: int = 0
+    # The job's tracing span (e.g. a block's ``block.validate``).  The
+    # daemon owns its lifecycle: ended ``ok`` when served, ``lost`` when
+    # the queue dies with a crash or the epoch fence voids the job.
+    span: Any = None
 
 
 class BlockchainDaemon:
@@ -84,7 +58,8 @@ class BlockchainDaemon:
     def __init__(self, sim: Simulator, name: str, network: WANetwork,
                  node: FullNode, cost_model: CostModel,
                  rng: random.Random,
-                 verify_blocks: Optional[bool] = None) -> None:
+                 verify_blocks: Optional[bool] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.sim = sim
         self.name = name
         self.network = network
@@ -97,7 +72,9 @@ class BlockchainDaemon:
         )
         self.gossip = GossipNode(node, network, name=name, auto_register=False)
         network.register(name, self.handle_envelope)
-        self.stats = DaemonStats()
+        # Registry-backed and callable: read `daemon.stats.jobs_served`
+        # or take the uniform view via `daemon.stats()`.
+        self.stats = DaemonStats(registry, host=name)
         # Handlers for non-gossip payloads (the BcWAN delivery protocol),
         # registered by agents: payload type -> callable(envelope).
         self.protocol_handlers: dict[type, Callable[[Envelope], None]] = {}
@@ -139,6 +116,11 @@ class BlockchainDaemon:
         self._epoch += 1
         self.stats.crashes += 1
         self.stats.jobs_lost_to_crash += len(self._queue)
+        # Spans riding on queued jobs die with the queue: close them as
+        # lost so a crash never leaks an open span.
+        for job in self._queue:
+            if job.span is not None:
+                job.span.end("lost", reason="daemon crash")
         self._queue.clear()
         self.network.set_host_down(self.name)
         if self.sync_agent is not None:
@@ -200,16 +182,24 @@ class BlockchainDaemon:
             else:
                 service = self.cost_model.daemon_block_process
             origin = envelope.source
+            # The block's validation span: child of the transit span that
+            # delivered it, so one block's trace shows gossip hop →
+            # per-peer queueing/verification stall → adoption.
+            span = self.network.tracer.span(
+                "block.validate", parent=envelope.trace,
+                host=self.name, txs=len(block.transactions))
 
-            def process_block(block=block, origin=origin):
+            def process_block(block=block, origin=origin, span=span):
                 if (self.block_validator is not None
                         and not self.block_validator(block)):
                     self.blocks_rejected_consensus += 1
+                    span.end("rejected", reason="consensus")
                     return
-                self.gossip.receive_block(block, origin=origin)
+                self.gossip.receive_block(block, origin=origin, parent=span)
                 self._sync_validation_telemetry()
+                span.end("ok")
 
-            self._enqueue(service, process_block, label="block")
+            self._enqueue(service, process_block, label="block", span=span)
         else:
             handler = self.protocol_handlers.get(type(payload))
             if handler is not None:
@@ -258,11 +248,14 @@ class BlockchainDaemon:
     # -- queueing ----------------------------------------------------------------
 
     def _enqueue(self, service_mean: float,
-                 fn: Optional[Callable[[], Any]], label: str = "") -> Event:
+                 fn: Optional[Callable[[], Any]], label: str = "",
+                 span: Any = None) -> Event:
         if not self.online:
             # A dead daemon answers nothing: the caller's event simply
             # never fires, like an RPC against a crashed process.
             self.stats.messages_refused_offline += 1
+            if span is not None:
+                span.end("lost", reason="daemon offline")
             return self.sim.event()
         job = _Job(
             service_time=self.cost_model.sample(service_mean, self.rng),
@@ -271,6 +264,7 @@ class BlockchainDaemon:
             enqueued_at=self.sim.now,
             label=label,
             epoch=self._epoch,
+            span=span,
         )
         self._queue.append(job)
         self.stats.max_queue_length = max(self.stats.max_queue_length,
@@ -299,6 +293,8 @@ class BlockchainDaemon:
                 # work (and its caller's completion) died with the
                 # process.  The completion event deliberately never
                 # fires — a lost RPC looks exactly like this.
+                if job.span is not None:
+                    job.span.end("lost", reason="daemon crash mid-service")
                 continue
             self.stats.jobs_served += 1
             self.stats.busy_time += job.service_time

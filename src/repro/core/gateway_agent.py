@@ -154,19 +154,22 @@ class GatewayAgent:
         record = self.tracker.get(frame.nonce)
         if record is not None and record.t_epk_sent is None:
             # The paper's clock starts at "the first message from the
-            # gateway": the start of the ePk downlink.
+            # gateway": the start of the ePk downlink.  The uplink leg of
+            # the trace starts at the same instant.
             record.t_epk_sent = transmission.start
+            self.tracker.begin_leg(record, "uplink", start=transmission.start)
 
     def _forward(self, frame: DataFrame):
         """Steps 6-7: resolve ``@R`` on-chain, push the data over TCP/IP."""
         record = self.tracker.get(frame.nonce)
         if record is not None:
             record.t_data_received = self.sim.now
+            self.tracker.end_leg(record, "uplink")
+            self.tracker.begin_leg(record, "publication")
         pending = self._ephemeral.get(frame.nonce)
         if pending is None:
             if record is not None:
-                record.status = "failed"
-                record.failure_reason = "gateway lost ephemeral key state"
+                self.tracker.fail(record, "gateway lost ephemeral key state")
             return
         yield self.sim.timeout(self.cost_model.sample(
             self.cost_model.gateway_frame_handling, self.rng,
@@ -176,9 +179,9 @@ class GatewayAgent:
         )
         if announcement is None:
             if record is not None:
-                record.status = "failed"
-                record.failure_reason = (
-                    f"no directory entry for {frame.recipient_address}"
+                self.tracker.fail(
+                    record,
+                    f"no directory entry for {frame.recipient_address}",
                 )
             self._ephemeral.pop(frame.nonce, None)
             return
@@ -187,6 +190,8 @@ class GatewayAgent:
             frame.recipient_address, self.daemon.queue_length,
         )
         self.deliveries_forwarded += 1
+        parent = (self.tracker.leg(record, "publication")
+                  if record is not None else None)
         self.wan.send(self.name, announcement.endpoint, DeliveryMessage(
             delivery_id=frame.nonce,
             encrypted_message=frame.encrypted_message,
@@ -195,7 +200,7 @@ class GatewayAgent:
             node_id=frame.sender,
             gateway_pubkey_hash=self.wallet.pubkey_hash,
             price=pending.quoted_price,
-        ))
+        ), parent=parent)
 
     # -- blockchain side ----------------------------------------------------------
 
@@ -207,8 +212,7 @@ class GatewayAgent:
         if not ack.accepted:
             self._ephemeral.pop(ack.delivery_id, None)
             if record is not None:
-                record.status = "failed"
-                record.failure_reason = f"recipient refused: {ack.reason}"
+                self.tracker.fail(record, f"recipient refused: {ack.reason}")
             return
         pending = self._ephemeral.get(ack.delivery_id)
         if pending is None:
@@ -241,8 +245,7 @@ class GatewayAgent:
             found = self.daemon.node.chain.find_transaction(offer_txid)
             if found is None:
                 if record is not None:
-                    record.status = "failed"
-                    record.failure_reason = "offer transaction vanished"
+                    self.tracker.fail(record, "offer transaction vanished")
                 return
             offer_tx = found[0]
 
@@ -255,8 +258,7 @@ class GatewayAgent:
         offer = self._audit_offer(offer_tx, pending)
         if offer is None:
             if record is not None:
-                record.status = "failed"
-                record.failure_reason = "offer failed gateway audit"
+                self.tracker.fail(record, "offer failed gateway audit")
             return
 
         claim_tx = yield self.daemon.rpc(

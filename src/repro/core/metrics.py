@@ -5,109 +5,30 @@ the :class:`ExchangeTracker` is the shared registry agents stamp as the
 protocol progresses.  The paper's headline metric is
 ``t_decrypted - t_epk_sent`` — "from the first message from the gateway to
 the decryption of the message by the recipient" (section 5.2).
+
+When the tracker is given a :class:`~repro.obs.tracing.Tracer`, each
+exchange also becomes one *trace*: a root ``exchange`` span plus four
+contiguous ``leg.*`` child spans (uplink / publication / payment /
+decryption) that the breakdown in :mod:`repro.obs.export` summarises.
+
+``ValidationTelemetry`` and ``ChaosTelemetry`` now live in
+:mod:`repro.obs.telemetry`; the names below are deprecated re-exports
+kept for import compatibility (the ``validation.py`` shim precedent).
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
+# Deprecated re-exports: telemetry now lives in repro.obs.telemetry.
+from repro.obs.telemetry import ChaosTelemetry, ValidationTelemetry
+from repro.obs.tracing import NULL_TRACER, Span, Tracer
 from repro.sim.trace import Summary
 
 __all__ = ["ExchangeRecord", "ExchangeTracker", "ValidationTelemetry",
            "ChaosTelemetry"]
-
-
-@dataclass
-class ChaosTelemetry:
-    """Shared fault-injection and recovery counters for one run.
-
-    One instance is owned by a :class:`repro.chaos.ChaosInjector` and
-    shared (by reference) with every managed daemon's ``DaemonStats`` and
-    every :class:`repro.p2p.sync.SyncAgent`, so a single object tells the
-    whole story: what was injected, what it broke, and how long the
-    federation took to heal.
-
-    ``fault_log`` is an append-only, deterministic record of every
-    injected fault (``"t=12.500000 partition-drop gw-0->gw-3 TipMessage"``
-    style lines): two runs with the same seed must produce byte-identical
-    logs — that equality is the reproducibility test for a fault plan.
-    """
-
-    # Injection-side counters.
-    faults_injected: dict = field(default_factory=dict)  # kind -> count
-    messages_dropped: int = 0
-    messages_corrupted: int = 0
-    messages_duplicated: int = 0
-    messages_delayed: int = 0
-    partition_drops: int = 0
-    partitions_started: int = 0
-    partitions_healed: int = 0
-    crashes: int = 0
-    restarts: int = 0
-    # Recovery-side counters (fed by SyncAgents).
-    sync_timeouts: int = 0
-    sync_retries: int = 0
-    backoff_resets: int = 0
-    # Seconds from the plan's last scheduled fault until every watched
-    # node reported the same tip; None until convergence is observed.
-    reconvergence_time: Optional[float] = None
-    fault_log: list = field(default_factory=list)
-
-    def record_fault(self, kind: str, detail: str, now: float) -> None:
-        """Count one injected fault and append its deterministic log line."""
-        self.faults_injected[kind] = self.faults_injected.get(kind, 0) + 1
-        self.fault_log.append(f"t={now:.6f} {kind} {detail}")
-
-    @property
-    def total_faults(self) -> int:
-        return sum(self.faults_injected.values())
-
-
-@dataclass(frozen=True)
-class ValidationTelemetry:
-    """One snapshot of a validation engine's script-layer counters.
-
-    Bundles the script-verification cache (PR 1) with the static
-    analyzer's standardness and fast-reject counters so daemons and
-    experiment reports read one object instead of poking two stats
-    structures on the engine.
-    """
-
-    script_cache_hits: int = 0
-    script_cache_misses: int = 0
-    script_cache_evictions: int = 0
-    standardness_tx_checked: int = 0
-    standardness_tx_rejected: int = 0
-    spends_prechecked: int = 0
-    script_fast_rejects: int = 0
-    analyses: int = 0
-    analysis_cache_hits: int = 0
-    output_classes: dict = field(default_factory=dict)
-
-    @classmethod
-    def from_engine(cls, engine) -> "ValidationTelemetry":
-        """Snapshot any object with ``cache_stats`` + ``policy.stats``."""
-        cache = engine.cache_stats
-        policy = engine.policy.stats
-        return cls(
-            script_cache_hits=cache.hits,
-            script_cache_misses=cache.misses,
-            script_cache_evictions=cache.evictions,
-            standardness_tx_checked=policy.tx_checked,
-            standardness_tx_rejected=policy.tx_rejected,
-            spends_prechecked=policy.spends_prechecked,
-            script_fast_rejects=policy.fast_rejects,
-            analyses=policy.analyses,
-            analysis_cache_hits=policy.analysis_cache_hits,
-            output_classes=dict(policy.output_classes),
-        )
-
-    @property
-    def executions_avoided(self) -> int:
-        """Interpreter runs saved by the cache plus the fast-reject pass."""
-        return self.script_cache_hits + self.script_fast_rejects
 
 
 @dataclass
@@ -136,6 +57,11 @@ class ExchangeRecord:
     price: int = 0
     decrypted: bytes = b""
 
+    # Tracing context: the root span of this exchange's trace and the
+    # currently-open leg spans by name.  Excluded from comparisons.
+    trace: Any = field(default=None, repr=False, compare=False)
+    legs: dict = field(default_factory=dict, repr=False, compare=False)
+
     @property
     def completed(self) -> bool:
         return self.status == "completed"
@@ -162,18 +88,72 @@ class ExchangeRecord:
 
 
 class ExchangeTracker:
-    """Registry of all exchanges in a run."""
+    """Registry of all exchanges in a run.
 
-    def __init__(self) -> None:
+    With a tracer attached, the tracker doubles as the span lifecycle
+    owner for exchange traces: agents call :meth:`begin_leg` /
+    :meth:`end_leg` at the protocol steps, and :meth:`complete` /
+    :meth:`fail` guarantee no leg span outlives its exchange — a failed
+    exchange closes its open legs with ``status="lost"``.
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
         self._records: dict[int, ExchangeRecord] = {}
         self._ids = itertools.count(1)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def new_exchange(self, node_id: str, plaintext: bytes) -> ExchangeRecord:
         record = ExchangeRecord(
             exchange_id=next(self._ids), node_id=node_id, plaintext=plaintext,
         )
+        record.trace = self.tracer.span(
+            "exchange", exchange_id=record.exchange_id, node=node_id)
         self._records[record.exchange_id] = record
         return record
+
+    # -- span lifecycle ----------------------------------------------------------
+
+    def begin_leg(self, record: ExchangeRecord, leg: str,
+                  start: Optional[float] = None, **attrs: Any) -> Span:
+        """Open ``leg.<leg>`` under the exchange's root span.  Idempotent:
+        a duplicate frame re-entering a step reuses the open span."""
+        existing = record.legs.get(leg)
+        if existing is not None:
+            return existing
+        span = self.tracer.span(f"leg.{leg}", parent=record.trace,
+                                start=start, **attrs)
+        record.legs[leg] = span
+        return span
+
+    def end_leg(self, record: ExchangeRecord, leg: str,
+                status: str = "ok", at: Optional[float] = None,
+                **attrs: Any) -> None:
+        span = record.legs.pop(leg, None)
+        if span is not None:
+            span.end(status, at=at, **attrs)
+
+    def leg(self, record: ExchangeRecord, leg: str) -> Optional[Span]:
+        return record.legs.get(leg)
+
+    def complete(self, record: ExchangeRecord) -> None:
+        record.status = "completed"
+        self._close(record, leg_status="ok", root_status="ok")
+
+    def fail(self, record: ExchangeRecord, reason: str) -> None:
+        """Mark failed; any leg still in flight is closed ``lost``."""
+        record.status = "failed"
+        record.failure_reason = reason
+        self._close(record, leg_status="lost", root_status="failed",
+                    reason=reason)
+
+    def _close(self, record: ExchangeRecord, leg_status: str,
+               root_status: str, **attrs: Any) -> None:
+        for leg in list(record.legs):
+            self.end_leg(record, leg, status=leg_status, **attrs)
+        if record.trace is not None:
+            record.trace.end(root_status, **attrs)
+
+    # -- queries -----------------------------------------------------------------
 
     def get(self, exchange_id: int) -> Optional[ExchangeRecord]:
         return self._records.get(exchange_id)

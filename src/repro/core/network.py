@@ -37,6 +37,11 @@ from repro.core.recipient import RecipientAgent
 from repro.crypto.keys import KeyPair
 from repro.errors import ConfigurationError
 from repro.lora.channel import Position, RadioChannel
+from repro.obs.export import (export_trace_jsonl, format_breakdown,
+                              leg_breakdown)
+from repro.obs.profile import HotPathProfiler
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.lora.device import EU868_DOWNLINK_CHANNEL, LoRaRadio
 from repro.lora.phy import LoRaModulation
 from repro.p2p.network import WANetwork
@@ -80,11 +85,15 @@ class RunReport:
     daemon_stats: dict[str, DaemonStats]
     frames_lost_collision: int
     frames_lost_sensitivity: int
+    # Per-leg latency summaries derived from spans (uplink / publication
+    # / payment / decryption / total); empty when tracing was off.
+    legs: dict[str, Summary] = field(default_factory=dict)
 
     @property
     def mean_latency(self) -> float:
+        # NaN-free on empty, matching the Summary.of([]) convention.
         if not self.latencies:
-            return float("nan")
+            return 0.0
         return sum(self.latencies) / len(self.latencies)
 
     @property
@@ -104,6 +113,12 @@ class RunReport:
         ]
         if self.latencies:
             lines.append(f"latency: {self.summary.format()}")
+        if self.legs and self.legs.get("total") and self.legs["total"].count:
+            lines.append("per-leg breakdown (from spans):")
+            for leg in ("uplink", "publication", "payment", "decryption",
+                        "total"):
+                summary = self.legs[leg]
+                lines.append(f"  {leg:<12} {summary.format()}")
         return "\n".join(lines)
 
 
@@ -114,7 +129,14 @@ class BcWANNetwork:
         self.config = config or NetworkConfig()
         self.rngs = RngRegistry(self.config.seed)
         self.sim = Simulator()
-        self.tracker = ExchangeTracker()
+        # The observability spine: one registry and one tracer for the
+        # whole deployment.  Trace/span ids are minted in span-creation
+        # order, so same-seed runs export byte-identical JSONL.
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(self.sim, enabled=self.config.tracing)
+        self.profiler = (HotPathProfiler()
+                         if self.config.profile_hot_paths else None)
+        self.tracker = ExchangeTracker(self.tracer)
         self.sites: list[Site] = []
         self.sensors: list[NodeAgent] = []
         self._exchanges_launched = 0
@@ -152,11 +174,16 @@ class BcWANNetwork:
         )
         self.wan = WANetwork(self.sim, self.rngs.stream("wan"), latency,
                              loss_rate=cfg.wan_loss_rate)
+        self.wan.tracer = self.tracer
 
         self.master_daemon = BlockchainDaemon(
             self.sim, "master", self.wan, master_node, cfg.cost_model,
             self.rngs.stream("daemon-master"), verify_blocks=False,
+            registry=self.registry,
         )
+        if self.profiler is not None:
+            self._attach_profiler(master_node)
+            self.miner.obs = self.profiler
 
         modulation = LoRaModulation(spreading_factor=cfg.spreading_factor)
         registries = [RecipientRegistry() for _ in range(cfg.num_gateways)]
@@ -168,7 +195,10 @@ class BcWANNetwork:
                 self.sim, name, self.wan, node, cfg.cost_model,
                 self.rngs.stream(f"daemon-{name}"),
                 verify_blocks=cfg.verify_blocks,
+                registry=self.registry,
             )
+            if self.profiler is not None:
+                self._attach_profiler(node)
             wallet = Wallet(node.chain, actor_keys[i])
             wallet.watch_chain()
             directory = DirectoryView(node.chain)
@@ -224,6 +254,13 @@ class BcWANNetwork:
                 for daemon in [self.master_daemon]
                 + [site.daemon for site in self.sites]
             ]
+            if self.profiler is not None:
+                for agent in self.sync_agents:
+                    agent.obs = self.profiler
+
+    def _attach_profiler(self, node: FullNode) -> None:
+        node.engine.obs = self.profiler
+        node.mempool.obs = self.profiler
 
     def _bootstrap_chain(self, master_node: FullNode,
                          actor_keys: list[KeyPair]) -> None:
@@ -323,10 +360,15 @@ class BcWANNetwork:
         """The master mines every ``block_interval`` seconds, forever."""
         while True:
             yield self.sim.timeout(self.config.block_interval)
+            # One block = one trace: mining roots it, each gossip hop and
+            # per-peer validation nests beneath.
+            span = self.tracer.span("block.mine", host="master")
             block = yield self.master_daemon.rpc(
                 lambda: self.miner.mine_and_connect(self.sim.now)
             )
-            self.master_daemon.gossip.broadcast_block(block)
+            span.end("ok", height=self.master_daemon.node.height,
+                     txs=len(block.transactions))
+            self.master_daemon.gossip.broadcast_block(block, parent=span)
 
     # -- proof-of-stake mode (§6 future work) -----------------------------------
 
@@ -392,12 +434,17 @@ class BcWANNetwork:
             yield self.sim.timeout(slot_index * duration - self.sim.now + 0.05)
             if not producer.is_leader(self.sim.now):
                 continue
+            span = self.tracer.span("block.mine", host=site.name)
             produced = yield site.daemon.rpc(
                 lambda: producer.try_produce(self.sim.now)
             )
-            if produced is not None:
-                block, _signature = produced
-                site.daemon.gossip.broadcast_block(block)
+            if produced is None:
+                span.end("skipped", reason="not produced")
+                continue
+            block, _signature = produced
+            span.end("ok", height=site.node.height,
+                     txs=len(block.transactions))
+            site.daemon.gossip.broadcast_block(block, parent=span)
 
     def _reclaim_loop(self, site: Site):
         """Periodic sweep of expired, unclaimed key-release offers."""
@@ -478,9 +525,8 @@ class BcWANNetwork:
                 if self.sim.now - last_progress_time > settle_grace:
                     for record in records:
                         if record.status == "pending":
-                            record.status = "failed"
-                            record.failure_reason = (
-                                "unresolved at run end (frame lost?)"
+                            self.tracker.fail(
+                                record, "unresolved at run end (frame lost?)"
                             )
                     break
         return self.report()
@@ -517,4 +563,16 @@ class BcWANNetwork:
             frames_lost_sensitivity=sum(
                 site.channel.frames_lost_sensitivity for site in self.sites
             ),
+            legs=leg_breakdown(self.tracer) if self.tracer.enabled else {},
         )
+
+    # -- observability exports ----------------------------------------------------
+
+    def export_trace(self, include_metrics: bool = True) -> str:
+        """The run's deterministic JSONL trace (and metrics) export."""
+        return export_trace_jsonl(
+            self.tracer, self.registry if include_metrics else None)
+
+    def format_breakdown(self) -> str:
+        """Human-readable Fig. 5/6-style per-leg latency table."""
+        return format_breakdown(self.tracer)

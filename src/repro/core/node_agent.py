@@ -108,8 +108,7 @@ class NodeAgent:
                 break
             self._pending_keys.pop(record.exchange_id, None)
         if response is None:
-            record.status = "failed"
-            record.failure_reason = "no ePk response from gateway"
+            self.tracker.fail(record, "no ePk response from gateway")
             return record
         record.t_epk_received = self.sim.now
 
@@ -118,8 +117,7 @@ class NodeAgent:
                 response.ephemeral_pubkey
             )
         except rsa.RSAError as exc:
-            record.status = "failed"
-            record.failure_reason = f"malformed ePk: {exc}"
+            self.tracker.fail(record, f"malformed ePk: {exc}")
             return record
 
         # Step 3: K-encrypt then ePk-wrap (STM32-class cost).

@@ -114,6 +114,8 @@ class RecipientAgent:
             record.t_delivered = self.sim.now
             record.recipient = self.name
             record.price = message.price
+            self.tracker.end_leg(record, "publication")
+            self.tracker.begin_leg(record, "payment")
 
         # Step 8: authenticate the payload.
         yield self.sim.timeout(self.cost_model.sample(
@@ -163,16 +165,17 @@ class RecipientAgent:
         self._pending[offer.outpoint] = _PendingSettlement(
             message=message, offer=offer, source=envelope.source,
         )
+        parent = (self.tracker.leg(record, "payment")
+                  if record is not None else None)
         self.wan.send(self.name, envelope.source, DeliveryAck(
             delivery_id=message.delivery_id,
             accepted=True,
             offer_txid=offer.transaction.txid,
-        ))
+        ), parent=parent)
 
     def _refuse(self, envelope: Envelope, record, reason: str) -> None:
         if record is not None:
-            record.status = "failed"
-            record.failure_reason = reason
+            self.tracker.fail(record, reason)
         self.wan.send(self.name, envelope.source, DeliveryAck(
             delivery_id=envelope.payload.delivery_id,
             accepted=False,
@@ -201,6 +204,8 @@ class RecipientAgent:
             return
         if record is not None:
             record.t_claim_seen = self.sim.now
+            self.tracker.end_leg(record, "payment")
+            self.tracker.begin_leg(record, "decryption")
         self._pending.pop(settlement.offer.outpoint, None)
 
         yield self.sim.timeout(self.cost_model.sample(
@@ -214,14 +219,14 @@ class RecipientAgent:
             )
         except ProtocolError as exc:
             if record is not None:
-                record.status = "failed"
-                record.failure_reason = f"decryption failed: {exc}"
+                self.tracker.fail(record, f"decryption failed: {exc}")
             return
         self.messages_decrypted += 1
         if record is not None:
             record.decrypted = plaintext
             record.t_decrypted = self.sim.now
-            record.status = "completed"
+            self.tracker.end_leg(record, "decryption")
+            self.tracker.complete(record)
 
     # -- refunds ----------------------------------------------------------------------
 
@@ -259,6 +264,6 @@ class RecipientAgent:
                 self._pending.pop(outpoint, None)
                 record = self.tracker.get(settlement.message.delivery_id)
                 if record is not None and record.status == "pending":
-                    record.status = "failed"
-                    record.failure_reason = "gateway never claimed; refunded"
+                    self.tracker.fail(record,
+                                      "gateway never claimed; refunded")
         return refunded

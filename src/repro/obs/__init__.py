@@ -1,0 +1,48 @@
+"""Unified observability: sim-time tracing, metrics, export, profiling.
+
+The observability layer has four deliberately separate concerns:
+
+* :mod:`repro.obs.registry` — a central :class:`MetricsRegistry` of
+  labeled counters, gauges and histograms with one ``snapshot()`` shape.
+  Every telemetry surface in the repo stores its numbers here.
+* :mod:`repro.obs.tracing` — a sim-clock :class:`Tracer` producing
+  nested spans with deterministic ids, used to follow one fair exchange
+  (Fig. 3) or one block's life across daemons and the WAN.
+* :mod:`repro.obs.export` — deterministic JSONL export (byte-identical
+  for the same seed) plus the human-readable per-leg latency breakdown
+  mirroring the paper's Figs. 5/6.
+* :mod:`repro.obs.profile` — *wall-clock* hot-path timing hooks.  These
+  are host-machine measurements and are therefore never part of the
+  deterministic export.
+
+Determinism contract: everything reachable from the JSONL export — span
+ids, trace ids, sim timestamps, metric values — is a pure function of
+the scenario seed.  In particular spans never record process-global
+identifiers such as ``Envelope.message_id``.
+"""
+
+from repro.obs.export import (export_trace_jsonl, format_breakdown,
+                              leg_breakdown)
+from repro.obs.profile import HotPathProfiler
+from repro.obs.registry import Instrument, MetricsRegistry, StatsView
+from repro.obs.telemetry import (ChaosTelemetry, DaemonStats,
+                                 MetricsRecorder, ValidationTelemetry)
+from repro.obs.tracing import NULL_SPAN, NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "ChaosTelemetry",
+    "DaemonStats",
+    "HotPathProfiler",
+    "Instrument",
+    "MetricsRecorder",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Span",
+    "StatsView",
+    "Tracer",
+    "ValidationTelemetry",
+    "export_trace_jsonl",
+    "format_breakdown",
+    "leg_breakdown",
+]

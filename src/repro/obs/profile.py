@@ -1,0 +1,88 @@
+"""Wall-clock hot-path profiling, kept apart from sim-time tracing.
+
+The tracer measures *simulated* seconds; this module measures *host*
+nanoseconds spent inside the repo's hot paths (script verification,
+interpreter execution, mempool accept, sync batch apply).  The two must
+never mix: host timings differ between machines and runs, so they are
+excluded from the deterministic JSONL export by construction — nothing
+in :mod:`repro.obs.export` reads a profiler.
+
+The cost contract is that a *disabled* hot path pays one attribute load
+and one branch (``if self.obs is None``) — the callers keep their PR 1
+bodies verbatim behind that guard, and the microbench guard in
+``benchmarks/test_obs_overhead.py`` pins it.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["HotPathProfiler"]
+
+
+class _Acc:
+    __slots__ = ("calls", "total_ns", "min_ns", "max_ns")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.total_ns = 0
+        self.min_ns: int | None = None
+        self.max_ns = 0
+
+    def add(self, elapsed_ns: int) -> None:
+        self.calls += 1
+        self.total_ns += elapsed_ns
+        if self.min_ns is None or elapsed_ns < self.min_ns:
+            self.min_ns = elapsed_ns
+        if elapsed_ns > self.max_ns:
+            self.max_ns = elapsed_ns
+
+
+class HotPathProfiler:
+    """Accumulates per-site wall-clock timings.
+
+    Usage at an instrumented site::
+
+        t0 = profiler.clock()
+        ...  # the hot body
+        profiler.observe("engine.verify_input_script", profiler.clock() - t0)
+    """
+
+    def __init__(self) -> None:
+        self._sites: dict[str, _Acc] = {}
+
+    @staticmethod
+    def clock() -> int:
+        return time.perf_counter_ns()
+
+    def observe(self, name: str, elapsed_ns: int) -> None:
+        acc = self._sites.get(name)
+        if acc is None:
+            acc = self._sites[name] = _Acc()
+        acc.add(elapsed_ns)
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        out: dict[str, dict[str, float]] = {}
+        for name in sorted(self._sites):
+            acc = self._sites[name]
+            out[name] = {
+                "calls": acc.calls,
+                "total_us": acc.total_ns / 1e3,
+                "mean_us": (acc.total_ns / acc.calls / 1e3
+                            if acc.calls else 0.0),
+                "min_us": (acc.min_ns or 0) / 1e3,
+                "max_us": acc.max_ns / 1e3,
+            }
+        return out
+
+    def format(self) -> str:
+        snap = self.snapshot()
+        if not snap:
+            return "(no hot-path samples)"
+        width = max(len(name) for name in snap)
+        lines = [f"{'site':<{width}}  {'calls':>8}  {'mean us':>10}  "
+                 f"{'total us':>12}"]
+        for name, row in snap.items():
+            lines.append(f"{name:<{width}}  {row['calls']:>8.0f}  "
+                         f"{row['mean_us']:>10.2f}  {row['total_us']:>12.1f}")
+        return "\n".join(lines)

@@ -1,0 +1,247 @@
+"""The central metrics store: labeled counters, gauges and histograms.
+
+One :class:`MetricsRegistry` per scenario.  Instruments are registered
+by name; labeled instruments fan out into children keyed by their label
+values, with a hard cardinality bound per instrument — past the bound,
+further label sets collapse into a reserved ``__overflow__`` child so a
+buggy label (say, a txid) can never grow the registry without bound.
+
+``snapshot()`` is the single canonical read shape: a plain dict of
+sorted ``name{k=v,...}`` series, suitable both for tests and for the
+deterministic JSONL export.  :class:`StatsView` wraps one subset of the
+snapshot behind a read-only mapping for the uniform ``stats()``
+accessors on daemons, sync agents, gossip nodes and the chaos injector.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Mapping
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Instrument", "MetricsRegistry", "StatsView"]
+
+_KINDS = ("counter", "gauge", "histogram")
+_OVERFLOW = "__overflow__"
+
+
+class _Cell:
+    """One concrete time series: an instrument at one label set."""
+
+    __slots__ = ("kind", "_value", "_count", "_sum", "_min", "_max")
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._value = 0.0
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self.kind not in ("counter", "gauge"):
+            raise ConfigurationError("inc() is for counters and gauges")
+        self._value += amount
+
+    def set(self, value: float) -> None:
+        if self.kind != "gauge":
+            raise ConfigurationError("set() is for gauges")
+        self._value = value
+
+    def observe(self, value: float) -> None:
+        if self.kind != "histogram":
+            raise ConfigurationError("observe() is for histograms")
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def value(self) -> float:
+        if self.kind == "histogram":
+            raise ConfigurationError("histograms have no scalar value; "
+                                     "use summary()")
+        return self._value
+
+    def summary(self) -> dict[str, float]:
+        if self.kind != "histogram":
+            raise ConfigurationError("summary() is for histograms")
+        if self._count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0,
+                    "max": 0.0, "mean": 0.0}
+        return {"count": self._count, "sum": self._sum,
+                "min": self._min, "max": self._max,
+                "mean": self._sum / self._count}
+
+
+class Instrument:
+    """A named metric; labeled instruments hold one child per label set."""
+
+    __slots__ = ("name", "kind", "labelnames", "_registry", "_children")
+
+    def __init__(self, name: str, kind: str,
+                 labelnames: tuple[str, ...],
+                 registry: "MetricsRegistry") -> None:
+        self.name = name
+        self.kind = kind
+        self.labelnames = labelnames
+        self._registry = registry
+        self._children: dict[tuple[str, ...], _Cell] = {}
+        if not labelnames:
+            self._children[()] = _Cell(kind)
+
+    def labels(self, **label_values: object) -> _Cell:
+        if tuple(sorted(label_values)) != tuple(sorted(self.labelnames)):
+            raise ConfigurationError(
+                f"instrument {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(label_values))}")
+        key = tuple(str(label_values[name]) for name in self.labelnames)
+        cell = self._children.get(key)
+        if cell is None:
+            if len(self._children) >= self._registry.max_label_sets:
+                self._registry.label_overflows += 1
+                key = tuple(_OVERFLOW for _ in self.labelnames)
+                cell = self._children.get(key)
+                if cell is None:
+                    cell = self._children[key] = _Cell(self.kind)
+                return cell
+            cell = self._children[key] = _Cell(self.kind)
+        return cell
+
+    # Unlabeled instruments act directly as their single cell.
+
+    def _sole(self) -> _Cell:
+        if self.labelnames:
+            raise ConfigurationError(
+                f"instrument {self.name!r} is labeled; call .labels() first")
+        return self._children[()]
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._sole().inc(amount)
+
+    def set(self, value: float) -> None:
+        self._sole().set(value)
+
+    def observe(self, value: float) -> None:
+        self._sole().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._sole().value
+
+    def summary(self) -> dict[str, float]:
+        return self._sole().summary()
+
+    def series(self) -> Iterator[tuple[str, _Cell]]:
+        for key in sorted(self._children):
+            if self.labelnames:
+                labels = ",".join(f"{name}={value}" for name, value
+                                  in zip(self.labelnames, key))
+                yield f"{self.name}{{{labels}}}", self._children[key]
+            else:
+                yield self.name, self._children[key]
+
+
+def _number(value: float) -> float | int:
+    """Collapse integral floats so snapshots render as ints."""
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+class MetricsRegistry:
+    """All instruments of one scenario, under one cardinality budget."""
+
+    def __init__(self, max_label_sets: int = 64) -> None:
+        self.max_label_sets = max_label_sets
+        self.label_overflows = 0
+        self._instruments: dict[str, Instrument] = {}
+
+    def _instrument(self, name: str, kind: str,
+                    labelnames: tuple[str, ...]) -> Instrument:
+        if kind not in _KINDS:
+            raise ConfigurationError(f"unknown instrument kind {kind!r}")
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if existing.kind != kind or existing.labelnames != labelnames:
+                raise ConfigurationError(
+                    f"instrument {name!r} already registered as "
+                    f"{existing.kind}{existing.labelnames}, "
+                    f"not {kind}{labelnames}")
+            return existing
+        instrument = Instrument(name, kind, labelnames, self)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, *labelnames: str) -> Instrument:
+        return self._instrument(name, "counter", labelnames)
+
+    def gauge(self, name: str, *labelnames: str) -> Instrument:
+        return self._instrument(name, "gauge", labelnames)
+
+    def histogram(self, name: str, *labelnames: str) -> Instrument:
+        return self._instrument(name, "histogram", labelnames)
+
+    def get(self, name: str) -> Optional[Instrument]:
+        return self._instruments.get(name)
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """The canonical read shape, fully sorted for determinism."""
+        counters: dict[str, object] = {}
+        gauges: dict[str, object] = {}
+        histograms: dict[str, object] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            for series, cell in instrument.series():
+                if instrument.kind == "counter":
+                    counters[series] = _number(cell.value)
+                elif instrument.kind == "gauge":
+                    gauges[series] = _number(cell.value)
+                else:
+                    histograms[series] = {k: _number(v) for k, v
+                                          in cell.summary().items()}
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+
+class StatsView(Mapping):
+    """A read-only, sorted view of one component's stats.
+
+    The uniform return type of every ``stats()`` accessor: behaves as a
+    mapping, renders as an aligned table via :meth:`format`.
+    """
+
+    def __init__(self, values: Mapping[str, object]) -> None:
+        self._values = {key: values[key] for key in sorted(values)}
+
+    def __getitem__(self, key: str) -> object:
+        return self._values[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return f"StatsView({self._values!r})"
+
+    def as_dict(self) -> dict[str, object]:
+        return dict(self._values)
+
+    def format(self) -> str:
+        if not self._values:
+            return "(no stats)"
+        width = max(len(key) for key in self._values)
+        lines = []
+        for key, value in self._values.items():
+            if isinstance(value, float):
+                rendered = f"{value:.6g}"
+            else:
+                rendered = str(value)
+            lines.append(f"{key:<{width}}  {rendered}")
+        return "\n".join(lines)

@@ -1,0 +1,316 @@
+"""Registry-backed telemetry surfaces behind their historical APIs.
+
+``DaemonStats``, ``ChaosTelemetry``, ``ValidationTelemetry`` and
+``MetricsRecorder`` predate the observability layer; their attribute
+APIs are load-bearing across the test suite and the experiment CLI.
+This module keeps those APIs intact while moving the *storage* onto a
+:class:`~repro.obs.registry.MetricsRegistry`: every counter read or
+``+=`` resolves to a registry cell, so one ``registry.snapshot()`` sees
+the whole scenario.
+
+Each surface also grows the uniform ``stats()`` accessor returning a
+:class:`~repro.obs.registry.StatsView` — the one blessed read path for
+examples and tooling.
+
+The old import homes (``repro.core.metrics``, ``repro.sim.trace``)
+remain as thin deprecated shims; a ``tools/checks`` lint rule forbids
+*new* ad-hoc counter dataclasses outside ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.obs.registry import MetricsRegistry, StatsView
+from repro.sim.trace import Summary
+
+__all__ = ["ChaosTelemetry", "DaemonStats", "MetricsRecorder",
+           "ValidationTelemetry"]
+
+
+class _RegistryCounters:
+    """Base for counter bags whose fields live in a registry.
+
+    Subclasses declare ``_prefix``, ``_counters`` and ``_gauges``
+    (tuples of field names).  Each field becomes a property reading and
+    writing one registry cell, so both ``stats.x += 1`` and the
+    assignment style ``stats.x = engine_value`` keep working.  When no
+    registry is supplied the instance creates a private one, preserving
+    the historical "independent bag of zeros" construction.
+    """
+
+    _prefix = ""
+    _counters: tuple[str, ...] = ()
+    _gauges: tuple[str, ...] = ()
+    _labelnames: tuple[str, ...] = ()
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 **label_values: str) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._labels = {name: label_values.get(name, "")
+                        for name in self._labelnames}
+        self._cells: dict[str, Any] = {}
+        for name in self._counters:
+            self._cells[name] = self._cell("counter", name)
+        for name in self._gauges:
+            self._cells[name] = self._cell("gauge", name)
+
+    def _cell(self, kind: str, name: str) -> Any:
+        metric = f"{self._prefix}.{name}"
+        if kind == "counter":
+            instrument = self.registry.counter(metric, *self._labelnames)
+        else:
+            instrument = self.registry.gauge(metric, *self._labelnames)
+        if self._labelnames:
+            return instrument.labels(**self._labels)
+        return instrument
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+
+        def make_property(field_name: str, kind: str):
+            def getter(self: "_RegistryCounters") -> float:
+                value = self._cells[field_name].value
+                if kind == "counter" or float(value).is_integer():
+                    return int(value)
+                return value
+
+            def setter(self: "_RegistryCounters", value: float) -> None:
+                cell = self._cells[field_name]
+                if kind == "counter":
+                    # Counters in the old dataclasses were assigned to
+                    # directly (daemon mirrors engine numbers by ``=``),
+                    # so emulate assignment with a delta.
+                    cell.inc(value - cell.value)
+                else:
+                    cell.set(value)
+
+            return property(getter, setter)
+
+        for name in cls._counters:
+            setattr(cls, name, make_property(name, "counter"))
+        for name in cls._gauges:
+            setattr(cls, name, make_property(name, "gauge"))
+
+    def _numbers(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for name in (*self._counters, *self._gauges):
+            out[name] = getattr(self, name)
+        return out
+
+
+class DaemonStats(_RegistryCounters):
+    """Telemetry for one :class:`~repro.core.daemon.BlockchainDaemon`.
+
+    Kept attribute-compatible with the old dataclass; additionally
+    callable — ``daemon.stats()`` — returning a :class:`StatsView`, the
+    uniform accessor shared with sync, gossip and chaos.
+    """
+
+    _prefix = "daemon"
+    _labelnames = ("host",)
+    _counters = (
+        "jobs_served",
+        "blocks_verified",
+        "script_cache_hits",
+        "script_cache_misses",
+        "standardness_rejects",
+        "script_fast_rejects",
+        "crashes",
+        "restarts",
+        "jobs_lost_to_crash",
+        "messages_refused_offline",
+        "sync_timeouts",
+        "sync_retries",
+        "sync_backoff_resets",
+        "max_queue_length",
+    )
+    _gauges = (
+        "busy_time",
+        "stall_time",
+        "queue_wait_total",
+    )
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 host: str = "") -> None:
+        super().__init__(registry, host=host)
+        self.chaos: Optional["ChaosTelemetry"] = None
+
+    def mean_wait(self) -> float:
+        """Mean queue wait; 0.0 on no jobs (``Summary.of([])`` style)."""
+        if self.jobs_served == 0:
+            return 0.0
+        return self.queue_wait_total / self.jobs_served
+
+    def __call__(self) -> StatsView:
+        values: dict[str, object] = dict(self._numbers())
+        values["mean_wait"] = self.mean_wait()
+        return StatsView(values)
+
+
+class ChaosTelemetry(_RegistryCounters):
+    """Everything the chaos injector did to a run, plus the outcome.
+
+    ``fault_log`` keeps its historical deterministic format: one
+    ``t=<sim time> <kind> <detail>`` line per injected fault,
+    byte-identical across same-seed runs (tests pin that).
+    """
+
+    _prefix = "chaos"
+    _counters = (
+        "messages_dropped",
+        "messages_corrupted",
+        "messages_duplicated",
+        "messages_delayed",
+        "partition_drops",
+        "partitions_started",
+        "partitions_healed",
+        "crashes",
+        "restarts",
+        "sync_timeouts",
+        "sync_retries",
+        "backoff_resets",
+    )
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        super().__init__(registry)
+        self._faults = self.registry.counter("chaos.faults_injected", "kind")
+        self.fault_log: list[str] = []
+        self.reconvergence_time: Optional[float] = None
+
+    @property
+    def faults_injected(self) -> dict[str, int]:
+        """Per-kind injected fault counts (a snapshot dict)."""
+        out: dict[str, int] = {}
+        for series, cell in self._faults.series():
+            kind = series[len("chaos.faults_injected{kind="):-1]
+            out[kind] = int(cell.value)
+        return out
+
+    def record_fault(self, kind: str, detail: str, now: float) -> None:
+        self._faults.labels(kind=kind).inc()
+        self.fault_log.append(f"t={now:.6f} {kind} {detail}")
+
+    @property
+    def total_faults(self) -> int:
+        return sum(self.faults_injected.values())
+
+    def __call__(self) -> StatsView:
+        values: dict[str, object] = dict(self._numbers())
+        values["total_faults"] = self.total_faults
+        for kind, count in self.faults_injected.items():
+            values[f"faults_injected.{kind}"] = count
+        if self.reconvergence_time is not None:
+            values["reconvergence_time"] = self.reconvergence_time
+        return StatsView(values)
+
+    stats = __call__
+
+
+@dataclass(frozen=True)
+class ValidationTelemetry:  # lint: allow(ad-hoc-telemetry) — frozen snapshot, not a live counter bag
+    """A frozen snapshot of one engine's validation counters."""
+
+    script_cache_hits: int = 0
+    script_cache_misses: int = 0
+    script_cache_evictions: int = 0
+    standardness_tx_checked: int = 0
+    standardness_tx_rejected: int = 0
+    spends_prechecked: int = 0
+    script_fast_rejects: int = 0
+    analyses: int = 0
+    analysis_cache_hits: int = 0
+    output_classes: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_engine(cls, engine: Any) -> "ValidationTelemetry":
+        cache = engine.cache_stats
+        policy = engine.policy.stats
+        return cls(
+            script_cache_hits=cache.hits,
+            script_cache_misses=cache.misses,
+            script_cache_evictions=cache.evictions,
+            standardness_tx_checked=policy.tx_checked,
+            standardness_tx_rejected=policy.tx_rejected,
+            spends_prechecked=policy.spends_prechecked,
+            script_fast_rejects=policy.fast_rejects,
+            analyses=policy.analyses,
+            analysis_cache_hits=policy.analysis_cache_hits,
+            output_classes=dict(policy.output_classes),
+        )
+
+    @property
+    def executions_avoided(self) -> int:
+        return self.script_cache_hits + self.script_fast_rejects
+
+    def record_to(self, registry: MetricsRegistry, host: str = "") -> None:
+        """Mirror this snapshot into ``registry`` gauges."""
+        for name in ("script_cache_hits", "script_cache_misses",
+                     "script_cache_evictions", "standardness_tx_checked",
+                     "standardness_tx_rejected", "spends_prechecked",
+                     "script_fast_rejects", "analyses",
+                     "analysis_cache_hits"):
+            gauge = registry.gauge(f"validation.{name}", "host")
+            gauge.labels(host=host).set(getattr(self, name))
+        classes = registry.gauge("validation.output_classes",
+                                 "host", "klass")
+        for klass, count in self.output_classes.items():
+            classes.labels(host=host, klass=klass).set(count)
+
+    def stats(self) -> StatsView:
+        values: dict[str, object] = {
+            name: getattr(self, name)
+            for name in ("script_cache_hits", "script_cache_misses",
+                         "script_cache_evictions", "standardness_tx_checked",
+                         "standardness_tx_rejected", "spends_prechecked",
+                         "script_fast_rejects", "analyses",
+                         "analysis_cache_hits")
+        }
+        values["executions_avoided"] = self.executions_avoided
+        for klass, count in self.output_classes.items():
+            values[f"output_classes.{klass}"] = count
+        return StatsView(values)
+
+
+class MetricsRecorder:
+    """Free-form experiment metrics, now stored in a registry.
+
+    The historical API — ``record``/``mark``/``count``/``summary`` —
+    is preserved; samples additionally feed registry histograms and
+    counts feed registry counters, so ad-hoc experiment numbers appear
+    in the same ``snapshot()`` as everything else.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.samples: dict[str, list[float]] = {}
+        self.events: list[tuple[float, str, dict]] = []
+        self.counters: dict[str, int] = {}
+
+    def record(self, metric: str, value: float) -> None:
+        self.samples.setdefault(metric, []).append(value)
+        self.registry.histogram(f"recorder.{metric}").observe(value)
+
+    def mark(self, time: float, label: str, **details: Any) -> None:
+        self.events.append((time, label, details))
+
+    def count(self, counter: str, delta: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + delta
+        self.registry.counter(f"recorder.{counter}").inc(delta)
+
+    def summary(self, metric: str) -> Summary:
+        series = self.samples.get(metric)
+        if not series:
+            raise KeyError(f"no samples recorded for metric {metric!r}")
+        return Summary.of(series)
+
+    def has(self, metric: str) -> bool:
+        return bool(self.samples.get(metric))
+
+    def stats(self) -> StatsView:
+        values: dict[str, object] = dict(self.counters)
+        for name, samples in self.samples.items():
+            values[f"{name}.count"] = len(samples)
+            values[f"{name}.mean"] = Summary.of(samples).mean
+        return StatsView(values)

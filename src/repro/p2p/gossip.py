@@ -21,9 +21,12 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable, Optional
 
+from typing import Any
+
 from repro.blockchain.block import Block
 from repro.blockchain.node import FullNode
 from repro.blockchain.transaction import Transaction
+from repro.obs.registry import StatsView
 from repro.p2p.dedup import LRUSet
 from repro.p2p.message import BlockMessage, Envelope, TxMessage
 from repro.p2p.network import WANetwork
@@ -101,10 +104,14 @@ class GossipNode:
             self._retry_orphans()
         return decision.accepted
 
-    def broadcast_block(self, block: Block) -> bool:
-        """Announce a locally-mined (already connected) block."""
+    def broadcast_block(self, block: Block, parent: Any = None) -> bool:
+        """Announce a locally-mined (already connected) block.
+
+        ``parent`` (a span) threads the block's trace into the relay
+        fan-out, so each peer's transit + validation hangs under it.
+        """
         self._known_blocks.add(block.hash)
-        self._relay(BlockMessage(block=block))
+        self._relay(BlockMessage(block=block), parent=parent)
         self._retry_orphans()
         return True
 
@@ -115,7 +122,8 @@ class GossipNode:
         if isinstance(payload, TxMessage):
             self.receive_transaction(payload.transaction, origin=envelope.source)
         elif isinstance(payload, BlockMessage):
-            self.receive_block(payload.block, origin=envelope.source)
+            self.receive_block(payload.block, origin=envelope.source,
+                               parent=envelope.trace)
 
     def receive_transaction(self, tx: Transaction, origin: str = "") -> None:
         if tx.txid in self._known_txids:
@@ -138,18 +146,25 @@ class GossipNode:
             # remember it so repeats are dropped cheaply.
             self._known_txids.add(tx.txid)
 
-    def receive_block(self, block: Block, origin: str = "") -> None:
+    def receive_block(self, block: Block, origin: str = "",
+                      parent: Any = None) -> None:
         if block.hash in self._known_blocks:
             return
         self._known_blocks.add(block.hash)
+        span = self.network.tracer.span("block.adopt", parent=parent,
+                                        host=self.name)
         decision, result = self.node.submit_block(block)
         if decision.accepted:
+            span.end("ok", outcome=result.status)
             if result.status in ("active", "side", "orphan"):
                 for listener in self.on_block:
                     listener(block)
             if decision.relay:
-                self._relay(BlockMessage(block=block), exclude=(origin,))
+                self._relay(BlockMessage(block=block), exclude=(origin,),
+                            parent=span)
             self._retry_orphans()
+        else:
+            span.end("rejected", reason=decision.reason)
 
     # -- orphan recovery --------------------------------------------------------
 
@@ -201,8 +216,18 @@ class GossipNode:
         finally:
             self._retrying_orphans = False
 
-    def _relay(self, message, exclude: tuple[str, ...] = ()) -> None:
+    def _relay(self, message, exclude: tuple[str, ...] = (),
+               parent: Any = None) -> None:
         for peer in self.peers:
             if peer in exclude:
                 continue
-            self.network.send(self.name, peer, message)
+            self.network.send(self.name, peer, message, parent=parent)
+
+    def stats(self) -> StatsView:
+        """The uniform observability accessor (same shape as daemons')."""
+        return StatsView({
+            "peers": len(self.peers),
+            "orphans_pooled": len(self._orphan_txs),
+            "orphans_resolved": self.orphans_resolved,
+            "orphans_evicted": self.orphans_evicted,
+        })

@@ -19,6 +19,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Callable, Optional
 
 from repro.errors import ConfigurationError
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.p2p.message import Envelope
 from repro.sim.core import Simulator
 from repro.sim.latency import LatencyModel, LogNormalLatency
@@ -97,6 +98,9 @@ class WANetwork:
         # sample, so injected faults compose with (rather than replace)
         # the WAN's own loss process.
         self.interceptor: Optional[Interceptor] = None
+        # Observability hook: a scenario that traces swaps in its Tracer;
+        # the default NULL_TRACER makes every span call a no-op.
+        self.tracer: Tracer = NULL_TRACER
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_lost = 0
@@ -144,7 +148,8 @@ class WANetwork:
 
     # -- sending ---------------------------------------------------------------
 
-    def send(self, source: str, destination: str, payload: Any) -> SendReceipt:
+    def send(self, source: str, destination: str, payload: Any,
+             parent: Any = None) -> SendReceipt:
         """Queue ``payload`` for delivery; returns the delivery verdict.
 
         Nothing is dropped invisibly: an unknown destination, a sampled
@@ -152,18 +157,29 @@ class WANetwork:
         bump a dedicated counter.  ``queued`` only promises the message
         entered the WAN — the destination can still crash before the
         latency elapses (counted as ``drops_offline`` at delivery time).
+
+        With tracing on, every send opens a ``wan.transit`` span (under
+        ``parent`` when given) that ends ``ok`` at handler dispatch or
+        ``lost`` on whichever drop consumed it — so chaos-injected drops
+        and delays are visible inside the span tree.
         """
+        span = self.tracer.span("wan.transit", parent=parent,
+                                source=source, destination=destination,
+                                payload=type(payload).__name__)
         envelope = Envelope(source=source, destination=destination,
-                            payload=payload, sent_at=self.sim.now)
+                            payload=payload, sent_at=self.sim.now,
+                            trace=span if span else None)
         self.messages_sent += 1
         if destination not in self._hosts:
             self.messages_lost += 1
             self.drops_unknown_destination += 1
+            span.end("lost", reason="no_route")
             return SendReceipt(envelope, "no_route",
                                reason=f"unknown destination: {destination}")
         if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
             self.messages_lost += 1
             self.drops_sampled_loss += 1
+            span.end("lost", reason="sampled loss")
             return SendReceipt(envelope, "lost", reason="sampled loss")
 
         decision = None
@@ -174,11 +190,15 @@ class WANetwork:
         if decision.drop:
             self.messages_lost += 1
             self.drops_injected += 1
+            span.end("lost", reason=decision.reason or "injected drop")
             return SendReceipt(envelope, "blocked",
                                reason=decision.reason or "injected drop")
         if decision.replace_payload is not None:
             envelope = replace(envelope, payload=decision.replace_payload)
             self.messages_corrupted += 1
+            span.annotate(corrupted=True)
+        if decision.extra_delay > 0.0:
+            span.annotate(extra_delay=decision.extra_delay)
 
         copies = 1 + max(0, decision.duplicates)
         self.messages_duplicated += copies - 1
@@ -193,22 +213,31 @@ class WANetwork:
         if host is None:
             self.messages_lost += 1
             self.drops_unknown_destination += 1
+            if envelope.trace is not None:
+                envelope.trace.end("lost", reason="unregistered")
             return
         if envelope.destination in self._down:
             self.messages_lost += 1
             self.drops_offline += 1
+            if envelope.trace is not None:
+                envelope.trace.end("lost", reason="host offline")
             return
         self.messages_delivered += 1
+        # Duplicated copies share one span; the first outcome wins
+        # (Span.end is idempotent), matching the receiver's dedup view.
+        if envelope.trace is not None:
+            envelope.trace.end("ok")
         host.handler(envelope)
 
     def broadcast(self, source: str, payload: Any,
-                  exclude: tuple[str, ...] = ()) -> int:
+                  exclude: tuple[str, ...] = (),
+                  parent: Any = None) -> int:
         """Send ``payload`` to every other host; returns the send count."""
         count = 0
         for name in self._hosts:
             if name == source or name in exclude:
                 continue
-            self.send(source, name, payload)
+            self.send(source, name, payload, parent=parent)
             count += 1
         return count
 

@@ -32,11 +32,14 @@ import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Optional
 
+from repro.obs.registry import StatsView
+from repro.obs.telemetry import ChaosTelemetry
 from repro.p2p.message import Envelope
 from repro.sim.core import Simulator
 
 if TYPE_CHECKING:  # imported lazily to avoid a p2p <-> core import cycle
     from repro.core.daemon import BlockchainDaemon
+    from repro.obs.profile import HotPathProfiler
 
 __all__ = [
     "SyncAgent",
@@ -84,7 +87,7 @@ class GetHeadersMessage:
 class HeadersMessage:
     """Active-chain header inventory: ascending ``(height, hash)`` pairs."""
 
-    headers: tuple  # of (int, bytes)
+    headers: tuple[tuple[int, bytes], ...]
     tip_height: int
 
 
@@ -97,7 +100,7 @@ class GetBlocksMessage:
 
 @dataclass(frozen=True)
 class BlocksMessage:
-    blocks: tuple  # of repro.blockchain.Block
+    blocks: tuple[Any, ...]  # of repro.blockchain.Block
 
 
 @dataclass(frozen=True)
@@ -107,7 +110,7 @@ class GetTxsMessage:
 
 @dataclass(frozen=True)
 class TxsMessage:
-    transactions: tuple  # of repro.blockchain.Transaction
+    transactions: tuple[Any, ...]  # of repro.blockchain.Transaction
 
 
 @dataclass
@@ -200,9 +203,11 @@ class SyncAgent:
         # Jitter stream: seeded from the daemon name only, so backoff
         # noise is reproducible and independent of every other stream.
         self._jitter_rng = random.Random(f"sync-agent:{daemon.name}")
-        # Optional shared repro.core.metrics.ChaosTelemetry (duck-typed
-        # to avoid a p2p -> core import).
-        self.telemetry: Optional[Any] = None
+        # Optional shared ChaosTelemetry, set by a managing injector.
+        self.telemetry: Optional[ChaosTelemetry] = None
+        # Optional wall-clock profiler for the batch-apply hot path; the
+        # default None keeps that path a single attribute test.
+        self.obs: Optional["HotPathProfiler"] = None
         daemon.sync_agent = self
         daemon.register_protocol(GetTipMessage, self._on_get_tip)
         daemon.register_protocol(TipMessage, self._on_tip)
@@ -467,8 +472,14 @@ class SyncAgent:
         blocks = envelope.payload.blocks
         self.batches_received += 1
         before = self.daemon.node.height
-        for block in blocks:
-            self.daemon.gossip.receive_block(block, origin=envelope.source)
+        if self.obs is None:
+            for block in blocks:
+                self.daemon.gossip.receive_block(block, origin=envelope.source)
+        else:
+            t0 = self.obs.clock()
+            for block in blocks:
+                self.daemon.gossip.receive_block(block, origin=envelope.source)
+            self.obs.observe("sync.apply_batch", self.obs.clock() - t0)
         self.blocks_recovered += max(0, self.daemon.node.height - before)
         session = self._session
         if (not solicited or session is None
@@ -488,3 +499,20 @@ class SyncAgent:
         for tx in envelope.payload.transactions:
             self.daemon.gossip.receive_transaction(tx, origin=envelope.source)
         self.txs_recovered += max(0, len(self.daemon.node.mempool) - before)
+
+    # -- observability ------------------------------------------------------------
+
+    def stats(self) -> StatsView:
+        """The uniform observability accessor (same shape as daemons')."""
+        return StatsView({
+            "rounds": self.rounds,
+            "skipped_rounds": self.skipped_rounds,
+            "blocks_recovered": self.blocks_recovered,
+            "txs_recovered": self.txs_recovered,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "backoff_resets": self.backoff_resets,
+            "catchup_sessions": self.catchup_sessions,
+            "batches_received": self.batches_received,
+            "headers_received": self.headers_received,
+        })

@@ -1,14 +1,18 @@
 """Metric collection for simulation runs.
 
-:class:`MetricsRecorder` accumulates named samples and timestamped events;
 :class:`Summary` computes the statistics the benchmark harness prints
 (mean, percentiles, histogram) — the numbers behind the paper's Figs. 5/6.
+
+``MetricsRecorder`` moved to :mod:`repro.obs.telemetry`, where it stores
+its series in the central metrics registry; this module re-exports it
+lazily (PEP 562) so the historical ``repro.sim.trace.MetricsRecorder``
+import path keeps working without importing :mod:`repro.obs` up front.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 __all__ = ["MetricsRecorder", "Summary", "histogram"]
@@ -100,28 +104,10 @@ def histogram(samples: list[float], bins: int = 20,
     return [(lo + i * width, lo + (i + 1) * width, counts[i]) for i in range(bins)]
 
 
-@dataclass
-class MetricsRecorder:
-    """Named sample series plus a timestamped event log."""
-
-    samples: dict[str, list[float]] = field(default_factory=dict)
-    events: list[tuple[float, str, dict]] = field(default_factory=list)
-    counters: dict[str, int] = field(default_factory=dict)
-
-    def record(self, metric: str, value: float) -> None:
-        self.samples.setdefault(metric, []).append(value)
-
-    def mark(self, time: float, label: str, **details) -> None:
-        self.events.append((time, label, details))
-
-    def count(self, counter: str, delta: int = 1) -> None:
-        self.counters[counter] = self.counters.get(counter, 0) + delta
-
-    def summary(self, metric: str) -> Summary:
-        series = self.samples.get(metric)
-        if not series:
-            raise KeyError(f"no samples recorded for metric {metric!r}")
-        return Summary.of(series)
-
-    def has(self, metric: str) -> bool:
-        return bool(self.samples.get(metric))
+def __getattr__(name: str):
+    # Deprecated alias: the recorder now lives in the observability
+    # layer.  Resolved lazily to avoid importing repro.obs at sim import.
+    if name == "MetricsRecorder":
+        from repro.obs.telemetry import MetricsRecorder
+        return MetricsRecorder
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -43,6 +43,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--stall-base", type=float, default=8.0)
         p.add_argument("--histogram", action="store_true",
                        help="print the latency histogram")
+        p.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="enable tracing and write the run's JSONL "
+                            "trace export to PATH")
+        p.add_argument("--breakdown", action="store_true",
+                       help="enable tracing and print the per-leg "
+                            "latency breakdown (Fig. 5/6 legs)")
 
     sub.add_parser("capacity", help="the 183 msgs/sensor/hour arithmetic")
 
@@ -60,6 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _run_latency_figure(args, verify_blocks: bool) -> int:
     from repro.core import BcWANNetwork, NetworkConfig
 
+    tracing = bool(args.trace_out) or args.breakdown
     config = NetworkConfig(
         num_gateways=args.gateways,
         sensors_per_gateway=args.sensors,
@@ -67,11 +74,20 @@ def _run_latency_figure(args, verify_blocks: bool) -> int:
         verify_blocks=verify_blocks,
         block_interval=args.block_interval,
         verification_stall_base=args.stall_base,
+        tracing=tracing,
     )
     print(f"running {args.exchanges} exchanges "
           f"(verify_blocks={verify_blocks}, seed={args.seed})...")
-    report = BcWANNetwork(config).run(num_exchanges=args.exchanges)
+    network = BcWANNetwork(config)
+    report = network.run(num_exchanges=args.exchanges)
     print(report.format())
+    if args.breakdown:
+        print()
+        print(network.format_breakdown())
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            fh.write(network.export_trace())
+        print(f"trace written to {args.trace_out}")
     paper = 30.241 if verify_blocks else 1.604
     if report.latencies:
         print(f"paper mean: {paper} s — measured mean: "

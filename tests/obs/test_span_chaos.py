@@ -1,0 +1,125 @@
+"""Span-tree integrity under faults: a dropped message or a crashed
+daemon must close its spans ``lost`` — never leak them open."""
+
+from __future__ import annotations
+
+import random
+
+from repro.chaos.scenario import build_federation
+from repro.obs.tracing import Tracer
+from repro.p2p.network import FaultDecision, WANetwork
+from repro.sim.core import Simulator
+
+
+def _wan_with_tracer():
+    sim = Simulator()
+    wan = WANetwork(sim, random.Random(3))
+    wan.tracer = Tracer(sim)
+    received: list[object] = []
+    wan.register("a", received.append)
+    wan.register("b", received.append)
+    return sim, wan, received
+
+
+def test_injected_drop_closes_span_lost():
+    sim, wan, received = _wan_with_tracer()
+    wan.interceptor = lambda envelope: FaultDecision(
+        drop=True, reason="injected drop")
+    receipt = wan.send("a", "b", "payload")
+    sim.run(until=10.0)
+    assert receipt.status == "blocked"
+    assert received == []
+    (span,) = wan.tracer.by_name("wan.transit")
+    assert span.status == "lost"
+    assert span.attrs["reason"] == "injected drop"
+    assert wan.tracer.open_spans() == []
+
+
+def test_no_route_closes_span_lost():
+    sim, wan, _received = _wan_with_tracer()
+    receipt = wan.send("a", "nowhere", "payload")
+    assert receipt.status == "no_route"
+    (span,) = wan.tracer.by_name("wan.transit")
+    assert span.status == "lost"
+    assert span.attrs["reason"] == "no_route"
+
+
+def test_delivery_to_downed_host_closes_span_lost():
+    sim, wan, received = _wan_with_tracer()
+    receipt = wan.send("a", "b", "payload")
+    wan.set_host_down("b")
+    sim.run(until=10.0)
+    assert receipt.status == "queued"  # the WAN accepted it...
+    assert received == []              # ...but the host was gone
+    (span,) = wan.tracer.by_name("wan.transit")
+    assert span.status == "lost"
+    assert span.attrs["reason"] == "host offline"
+    assert wan.tracer.open_spans() == []
+
+
+def test_duplicated_copies_share_one_span():
+    sim, wan, received = _wan_with_tracer()
+    wan.interceptor = lambda envelope: FaultDecision(duplicates=2)
+    wan.send("a", "b", "payload")
+    sim.run(until=10.0)
+    assert len(received) == 3
+    (span,) = wan.tracer.by_name("wan.transit")
+    assert span.status == "ok"
+    assert wan.tracer.open_spans() == []
+
+
+def test_chaos_delay_annotated_on_span():
+    sim, wan, received = _wan_with_tracer()
+    wan.interceptor = lambda envelope: FaultDecision(extra_delay=2.5)
+    wan.send("a", "b", "payload")
+    sim.run(until=10.0)
+    assert len(received) == 1
+    (span,) = wan.tracer.by_name("wan.transit")
+    assert span.attrs["extra_delay"] == 2.5
+    assert span.status == "ok"
+
+
+def test_daemon_crash_mid_validation_closes_span_lost():
+    """A block verifying on a daemon that crashes dies with its span."""
+    fed = build_federation(size=2, seed=9, sync_interval=120.0,
+                           verify_blocks=True, tracing=True)
+    miner = fed.make_miner("gw-0", key_seed=4)
+
+    def mine_and_broadcast():
+        block = miner.mine_and_connect(1.0)
+        fed.daemons["gw-0"].gossip.broadcast_block(block)
+
+    fed.sim.call_at(1.0, mine_and_broadcast)
+    # The verification stall is ~8 s; crash gw-1 while the block job is
+    # in service, so the epoch fence voids it.
+    fed.sim.call_at(2.0, fed.daemons["gw-1"].crash)
+    fed.sim.run(until=30.0)
+
+    validate_spans = fed.tracer.by_name("block.validate")
+    assert validate_spans, "gw-1 should have started validating the block"
+    assert all(span.status == "lost" for span in validate_spans)
+    assert fed.tracer.open_spans() == []
+
+
+def test_crash_sweeps_queued_job_spans():
+    """Jobs still *queued* at crash time close ``lost`` too."""
+    fed = build_federation(size=2, seed=9, sync_interval=120.0,
+                           verify_blocks=True, tracing=True)
+    miner = fed.make_miner("gw-0", key_seed=4)
+
+    def mine_two():
+        for timestamp in (1.0, 2.0):
+            block = miner.mine_and_connect(timestamp)
+            fed.daemons["gw-0"].gossip.broadcast_block(block)
+
+    fed.sim.call_at(1.0, mine_two)
+    # Both blocks reach gw-1 ~t=1.05; the first enters service (8 s
+    # stall), the second waits in queue.  The crash must sweep both.
+    fed.sim.call_at(3.0, fed.daemons["gw-1"].crash)
+    fed.sim.run(until=30.0)
+
+    validate_spans = fed.tracer.by_name("block.validate")
+    assert len(validate_spans) == 2
+    reasons = {span.attrs.get("reason") for span in validate_spans}
+    assert reasons == {"daemon crash mid-service", "daemon crash"}
+    assert fed.tracer.open_spans() == []

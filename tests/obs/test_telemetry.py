@@ -1,0 +1,150 @@
+"""Registry-backed telemetry behind the historical attribute APIs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, StatsView
+from repro.obs.telemetry import (
+    ChaosTelemetry,
+    DaemonStats,
+    MetricsRecorder,
+    ValidationTelemetry,
+)
+
+
+# -- deprecated import homes ---------------------------------------------------
+
+def test_old_import_paths_still_resolve():
+    from repro.core.daemon import DaemonStats as from_daemon
+    from repro.core.metrics import ChaosTelemetry as chaos_from_metrics
+    from repro.core.metrics import ValidationTelemetry as val_from_metrics
+    from repro.sim.trace import MetricsRecorder as recorder_from_trace
+
+    assert from_daemon is DaemonStats
+    assert chaos_from_metrics is ChaosTelemetry
+    assert val_from_metrics is ValidationTelemetry
+    assert recorder_from_trace is MetricsRecorder
+
+
+# -- DaemonStats ---------------------------------------------------------------
+
+def test_daemon_stats_attribute_arithmetic():
+    stats = DaemonStats(host="gw-0")
+    stats.jobs_served += 1
+    stats.jobs_served += 1
+    assert stats.jobs_served == 2
+    # Assignment style (the daemon mirrors engine counters by `=`).
+    stats.script_cache_hits = 17
+    stats.script_cache_hits = 21
+    assert stats.script_cache_hits == 21
+    stats.busy_time += 1.5
+    assert stats.busy_time == 1.5
+
+
+def test_daemon_stats_counters_are_ints():
+    stats = DaemonStats()
+    stats.jobs_served += 3
+    assert isinstance(stats.jobs_served, int)
+
+
+def test_daemon_stats_backed_by_shared_registry():
+    registry = MetricsRegistry()
+    a = DaemonStats(registry, host="gw-a")
+    b = DaemonStats(registry, host="gw-b")
+    a.jobs_served += 5
+    b.jobs_served += 7
+    counters = registry.snapshot()["counters"]
+    assert counters["daemon.jobs_served{host=gw-a}"] == 5
+    assert counters["daemon.jobs_served{host=gw-b}"] == 7
+
+
+def test_daemon_stats_mean_wait_zero_on_empty():
+    stats = DaemonStats()
+    assert stats.mean_wait() == 0.0
+    stats.queue_wait_total = 6.0
+    stats.jobs_served = 3
+    assert stats.mean_wait() == 2.0
+
+
+def test_daemon_stats_uniform_accessor():
+    stats = DaemonStats(host="gw-0")
+    stats.jobs_served += 2
+    view = stats()
+    assert isinstance(view, StatsView)
+    assert view["jobs_served"] == 2
+    assert view["mean_wait"] == 0.0
+
+
+# -- ChaosTelemetry ------------------------------------------------------------
+
+def test_chaos_telemetry_record_fault():
+    telemetry = ChaosTelemetry()
+    telemetry.record_fault("drop", "gw-0->gw-1 BlockMessage", now=1.25)
+    telemetry.record_fault("drop", "gw-1->gw-0 TxMessage", now=2.5)
+    telemetry.record_fault("delay", "gw-0->gw-1 +3.0s", now=3.0)
+    assert telemetry.faults_injected == {"drop": 2, "delay": 1}
+    assert telemetry.total_faults == 3
+    assert telemetry.fault_log[0] == "t=1.250000 drop gw-0->gw-1 BlockMessage"
+
+
+def test_chaos_telemetry_faults_injected_typed_snapshot():
+    telemetry = ChaosTelemetry()
+    assert telemetry.faults_injected == {}
+    telemetry.record_fault("crash", "gw-2", now=0.0)
+    snapshot = telemetry.faults_injected
+    assert isinstance(snapshot, dict)
+    assert all(isinstance(k, str) and isinstance(v, int)
+               for k, v in snapshot.items())
+
+
+def test_chaos_telemetry_stats_view():
+    telemetry = ChaosTelemetry()
+    telemetry.messages_dropped += 4
+    telemetry.record_fault("drop", "x", now=0.5)
+    telemetry.reconvergence_time = 12.5
+    view = telemetry.stats()
+    assert view["messages_dropped"] == 4
+    assert view["faults_injected.drop"] == 1
+    assert view["reconvergence_time"] == 12.5
+
+
+# -- MetricsRecorder -----------------------------------------------------------
+
+def test_recorder_record_and_summary():
+    recorder = MetricsRecorder()
+    recorder.record("latency", 1.0)
+    recorder.record("latency", 3.0)
+    assert recorder.has("latency")
+    assert recorder.summary("latency").mean == 2.0
+
+
+def test_recorder_summary_raises_on_missing():
+    recorder = MetricsRecorder()
+    with pytest.raises(KeyError):
+        recorder.summary("nothing")
+
+
+def test_recorder_feeds_registry():
+    registry = MetricsRegistry()
+    recorder = MetricsRecorder(registry)
+    recorder.record("latency", 2.0)
+    recorder.count("retries", 3)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["recorder.retries"] == 3
+    assert snapshot["histograms"]["recorder.latency"]["count"] == 1
+
+
+# -- ValidationTelemetry -------------------------------------------------------
+
+def test_validation_telemetry_record_to_registry():
+    registry = MetricsRegistry()
+    telemetry = ValidationTelemetry(script_cache_hits=9,
+                                    script_fast_rejects=2,
+                                    output_classes={"p2pkh": 5})
+    telemetry.record_to(registry, host="gw-0")
+    gauges = registry.snapshot()["gauges"]
+    assert gauges["validation.script_cache_hits{host=gw-0}"] == 9
+    assert gauges["validation.output_classes{host=gw-0,klass=p2pkh}"] == 5
+    assert telemetry.executions_avoided == 11
+    assert telemetry.stats()["executions_avoided"] == 11
