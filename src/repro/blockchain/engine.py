@@ -25,6 +25,7 @@ from repro.blockchain.params import ChainParams
 from repro.blockchain.transaction import OutPoint, Transaction
 from repro.blockchain.utxo import UTXOEntry, UTXOSet, UTXOView
 from repro.errors import ValidationError
+from repro.parallel.jobs import VerifyJob
 from repro.script.analysis import StandardnessPolicy
 from repro.script.interpreter import ScriptInterpreter
 
@@ -78,6 +79,113 @@ class ValidationReport:
     undo: tuple[dict[OutPoint, UTXOEntry], ...] = ()
 
 
+class _ScriptBatch:
+    """Deferred script verifications, replayed in serial order.
+
+    The pooled paths collect one :class:`VerifyJob` per cache-missing
+    input while the parent walks transactions in block order, then flush
+    the whole batch through the engine's :class:`VerifyPool` at the next
+    serialization point.  Determinism contract with the serial engine:
+
+    * cache lookups and static prechecks stay in the parent, in serial
+      order, so hit/fast-reject accounting is identical;
+    * a flush raises the exact :class:`ValidationError` the serial
+      engine's *first* failing input would have raised (workers return
+      verdicts; the parent rebuilds the message from the entry it kept);
+    * only successes that a serial run would have executed *before* that
+      first failure are cached and counted as misses.
+
+    ``barrier(exc)`` is the ordering glue for non-script errors: any
+    contextual or fast-reject failure discovered at position *p* must
+    lose to a script failure queued at a position before *p* — exactly
+    what a serial run, which executes scripts as it goes, would report.
+    """
+
+    def __init__(self, engine: "ValidationEngine") -> None:
+        self.engine = engine
+        self.jobs: list[VerifyJob] = []
+        # (tag, input_index) -> (tx, entry): what the parent needs to
+        # rebuild the serial error message and the cache key.
+        self._meta: dict[tuple[int, int], tuple[Transaction, UTXOEntry]] = {}
+        self._tx_bytes: dict[bytes, bytes] = {}
+
+    def add(self, tx: Transaction, index: int, entry: UTXOEntry,
+            tag: int) -> None:
+        """Queue one input, honouring cache and precheck in serial order."""
+        engine = self.engine
+        key = (tx.txid, index, entry.entry_hash)
+        if key in engine._script_cache:
+            engine.cache_stats.hits += 1
+            return
+        if engine.static_precheck:
+            reason = engine.policy.precheck_spend(
+                tx.inputs[index].script_sig, entry.output.script_pubkey
+            )
+            if reason is not None:
+                engine.policy.stats.fast_rejects += 1
+                # Every queued job precedes this input in serial order, so
+                # an earlier queued *failure* must win — barrier decides.
+                self.barrier(ValidationError(
+                    f"script fast-reject for input {index} of "
+                    f"{tx.txid.hex()[:16]}..: {reason}"
+                ))
+        tx_bytes = self._tx_bytes.get(tx.txid)
+        if tx_bytes is None:
+            tx_bytes = tx.serialize()
+            self._tx_bytes[tx.txid] = tx_bytes
+        self.jobs.append(VerifyJob(
+            txid=tx.txid,
+            input_index=index,
+            tx_bytes=tx_bytes,
+            locking_bytes=entry.output.script_pubkey.to_bytes(),
+            tag=tag,
+        ))
+        self._meta[(tag, index)] = (tx, entry)
+
+    def flush(self) -> int:
+        """Run queued jobs; cache pre-failure successes; raise the first
+        failure in serial ``(tag, input_index)`` order.  Returns how many
+        executions a serial run would have performed."""
+        if not self.jobs:
+            return 0
+        engine = self.engine
+        results = engine.verify_pool.run(self.jobs)
+        self.jobs = []
+        self._tx_bytes.clear()
+        results.sort(key=lambda result: (result.tag, result.input_index))
+        first_failure = None
+        executions = 0
+        for result in results:
+            if not result.ok:
+                first_failure = result
+                break
+            executions += 1
+            engine.cache_stats.misses += 1
+            tx, entry = self._meta[(result.tag, result.input_index)]
+            engine._cache_store((tx.txid, result.input_index,
+                                 entry.entry_hash))
+        if first_failure is not None:
+            tx, entry = self._meta[(first_failure.tag,
+                                    first_failure.input_index)]
+            self._meta.clear()
+            # The serial engine counts the miss before executing, so the
+            # failing run itself is a miss too (never cached).
+            engine.cache_stats.misses += 1
+            raise ValidationError(
+                f"script verification failed for input "
+                f"{first_failure.input_index} of {tx.txid.hex()[:16]}.. "
+                f"(locking: {entry.output.script_pubkey.disassemble()})"
+            )
+        self._meta.clear()
+        return executions
+
+    def barrier(self, exc: ValidationError) -> None:
+        """Flush, then raise ``exc`` — unless an already-queued script
+        failure precedes it in serial order (flush raises that instead)."""
+        self.flush()
+        raise exc
+
+
 class ValidationEngine:
     """Staged validation with a shared script-verification cache.
 
@@ -119,6 +227,11 @@ class ValidationEngine:
         # load and branch when profiling is off — the microbench guard in
         # benchmarks/test_obs_overhead.py pins that.
         self.obs = None
+        # Optional repro.parallel.VerifyPool.  None keeps every script
+        # path strictly serial; attach_pool() routes block connection and
+        # multi-input admission through batched (possibly multi-process)
+        # verification with serial-identical verdicts.
+        self.verify_pool = None
 
     # -- stage 1: syntax -------------------------------------------------------
 
@@ -245,11 +358,34 @@ class ValidationEngine:
                 f"{tx.txid.hex()[:16]}.. "
                 f"(locking: {entry.output.script_pubkey.disassemble()})"
             )
+        self._cache_store(key)
+        return False
+
+    def _cache_store(self, key: tuple[bytes, int, bytes]) -> None:
+        """Record a successful verdict, FIFO-evicting at capacity."""
         if len(self._script_cache) >= self.max_cache_entries:
             self._script_cache.pop(next(iter(self._script_cache)))
             self.cache_stats.evictions += 1
         self._script_cache[key] = True
-        return False
+
+    def verify_input_scripts(self, tx: Transaction,
+                             entries: list[UTXOEntry]) -> int:
+        """Verify every input against its resolved entry; returns executions.
+
+        The mempool's admission path: with a pool attached the inputs fan
+        out as one batch, otherwise they run serially in order.  Either
+        way the verdict, error message, and cache state are identical.
+        """
+        if self.verify_pool is None:
+            executions = 0
+            for index, entry in enumerate(entries):
+                if not self.verify_input_script(tx, index, entry):
+                    executions += 1
+            return executions
+        batch = _ScriptBatch(self)
+        for index, entry in enumerate(entries):
+            batch.add(tx, index, entry, 0)
+        return batch.flush()
 
     def verify_transaction_scripts(self, tx: Transaction,
                                    utxos: UTXOSource) -> int:
@@ -319,11 +455,31 @@ class ValidationEngine:
         undo: list[dict[OutPoint, UTXOEntry]] = []
         total_fees = 0
         executions = 0
-        for tx in block.transactions:
-            total_fees += self.check_transaction_inputs(tx, view, height)
-            if verify_scripts:
-                executions += self.verify_transaction_scripts(tx, view)
+        batch = (_ScriptBatch(self)
+                 if verify_scripts and self.verify_pool is not None else None)
+        for tag, tx in enumerate(block.transactions):
+            if batch is None:
+                total_fees += self.check_transaction_inputs(tx, view, height)
+                if verify_scripts:
+                    executions += self.verify_transaction_scripts(tx, view)
+            else:
+                # Pooled: collect jobs while walking transactions; defer
+                # execution to the flush below.  A contextual failure must
+                # still lose to a script failure queued before it (that is
+                # what a serial run reports first), hence the barrier.
+                try:
+                    total_fees += self.check_transaction_inputs(
+                        tx, view, height)
+                except ValidationError as exc:
+                    batch.barrier(exc)
+                if not tx.is_coinbase:
+                    for index, tx_input in enumerate(tx.inputs):
+                        entry = view.get(tx_input.outpoint)
+                        assert entry is not None  # checked just above
+                        batch.add(tx, index, entry, tag)
             undo.append(view.apply_transaction(tx, height))
+        if batch is not None:
+            executions = batch.flush()
         coinbase_value = block.coinbase.total_output_value
         max_coinbase = self.params.coinbase_reward + total_fees
         if coinbase_value > max_coinbase:
@@ -379,6 +535,21 @@ class ValidationEngine:
         except ValidationError:
             return True
         return False
+
+    # -- parallel backend ------------------------------------------------------
+
+    def attach_pool(self, pool) -> None:
+        """Route batched script verification through ``pool``.
+
+        The pool is borrowed, not owned: several engines may share one
+        (a federation shares its host's cores), so the engine never shuts
+        it down — :meth:`detach_pool` merely unhooks it.
+        """
+        self.verify_pool = pool
+
+    def detach_pool(self) -> None:
+        """Return to strictly serial script verification."""
+        self.verify_pool = None
 
     # -- cache management ------------------------------------------------------
 

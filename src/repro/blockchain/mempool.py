@@ -127,8 +127,10 @@ class Mempool:
                 f"height {next_height}"
             )
 
-        for index, entry in enumerate(resolved):
-            self._engine.verify_input_script(tx, index, entry)
+        # Script execution, through the engine so verdicts land in the
+        # shared cache — and through its VerifyPool when one is attached
+        # (multi-input transactions fan out across workers).
+        self._engine.verify_input_scripts(tx, resolved)
 
         self._transactions[tx.txid] = tx
         for tx_input in tx.inputs:

@@ -44,6 +44,11 @@ class Miner:
     mempool: Mempool
     reward_pubkey_hash: bytes
     obs: Optional[object] = None
+    # When True, every template is speculatively connected (scripts and
+    # all, commit=False) before mining.  With a VerifyPool attached to
+    # the engine the checks fan out across workers, and the verdicts they
+    # warm into the script cache make the real connect cache-hit clean.
+    validate_template: bool = False
 
     def __post_init__(self) -> None:
         if len(self.reward_pubkey_hash) != 20:
@@ -91,11 +96,22 @@ class Miner:
         except ValidationError as exc:
             raise ValidationError(f"template assembly failed: {exc}") from exc
         coinbase = self.build_coinbase(height, fees)
-        return Block.assemble(
+        template = Block.assemble(
             prev_hash=self.chain.tip.hash,
             timestamp=timestamp,
             transactions=[coinbase, *selected],
         )
+        if self.validate_template:
+            try:
+                self.chain.engine.connect_block(
+                    template, self.chain.utxos, height,
+                    verify_scripts=True, commit=False,
+                )
+            except ValidationError as exc:
+                raise ValidationError(
+                    f"template validation failed: {exc}"
+                ) from exc
+        return template
 
     def mine(self, timestamp: float) -> Block:
         """Produce a valid block at ``timestamp`` (grinding nonces if needed)."""

@@ -38,6 +38,8 @@ class NetworkConfig:
     :param verify_blocks: the Fig. 5 (False) / Fig. 6 (True) toggle.
     :param verification_stall_base / verification_stall_per_tx: the
         modeled Multichain daemon stall per verified block.
+    :param parallel_workers: script-verification worker processes shared
+        by all daemons (0 = serial; verdicts identical either way).
     :param price: satoshi-like units a gateway earns per delivery.
     :param funding_coins / funding_coin_value: how many spendable coins
         each actor is bootstrapped with, and their denomination.
@@ -72,6 +74,11 @@ class NetworkConfig:
     # proof-of-work anywhere).
     consensus: str = "master"
     verify_blocks: bool = False
+    # Worker processes for script verification (0 = strictly serial, the
+    # default).  When positive, one shared repro.parallel.VerifyPool fans
+    # block-connect and mempool-admission script checks across processes
+    # on every daemon; verdicts are bit-identical to the serial path.
+    parallel_workers: int = 0
     verification_stall_base: float = 8.0
     verification_stall_per_tx: float = 0.055
     coinbase_maturity: int = 1
@@ -166,6 +173,11 @@ class NetworkConfig:
         if self.sync_interval < 0:
             raise ConfigurationError(
                 f"sync interval cannot be negative: {self.sync_interval}"
+            )
+        if self.parallel_workers < 0:
+            raise ConfigurationError(
+                f"parallel worker count cannot be negative: "
+                f"{self.parallel_workers}"
             )
         # Surface chain-parameter violations (block size floor, etc.) at
         # configuration time rather than at network assembly.

@@ -148,6 +148,15 @@ class BcWANNetwork:
         cfg = self.config
         params = cfg.chain_params()
 
+        # One shared script-verification pool for the whole federation —
+        # the daemons all run on one host here, so one set of worker
+        # processes serves every engine.  None keeps everything serial.
+        self.verify_pool = None
+        if cfg.parallel_workers > 0:
+            from repro.parallel.pool import VerifyPool
+            self.verify_pool = VerifyPool(cfg.parallel_workers,
+                                          registry=self.registry)
+
         # Master (the AWS EC2 instance): bootstraps and mines.
         # Script re-verification on block connect is disabled on every
         # node for CPU economy — scripts are fully verified at mempool
@@ -179,7 +188,7 @@ class BcWANNetwork:
         self.master_daemon = BlockchainDaemon(
             self.sim, "master", self.wan, master_node, cfg.cost_model,
             self.rngs.stream("daemon-master"), verify_blocks=False,
-            registry=self.registry,
+            registry=self.registry, verify_pool=self.verify_pool,
         )
         if self.profiler is not None:
             self._attach_profiler(master_node)
@@ -195,7 +204,7 @@ class BcWANNetwork:
                 self.sim, name, self.wan, node, cfg.cost_model,
                 self.rngs.stream(f"daemon-{name}"),
                 verify_blocks=cfg.verify_blocks,
-                registry=self.registry,
+                registry=self.registry, verify_pool=self.verify_pool,
             )
             if self.profiler is not None:
                 self._attach_profiler(node)
@@ -530,6 +539,21 @@ class BcWANNetwork:
                             )
                     break
         return self.report()
+
+    def close(self) -> None:
+        """Release host resources (the verification worker processes).
+
+        Safe to call repeatedly; a closed network keeps simulating with
+        serial verification.  Simulation state is untouched.
+        """
+        if self.verify_pool is not None:
+            self.verify_pool.shutdown()
+
+    def __enter__(self) -> "BcWANNetwork":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def report(self) -> RunReport:
         records = self.tracker.records()

@@ -8,6 +8,13 @@ signing is reproducible in simulation and never reuses a nonce.
 Points are handled in Jacobian coordinates for speed; signatures are
 low-S normalized (BIP 62) and serialized as the compact 64-byte ``r || s``
 form, which keeps the script interpreter simple compared to DER.
+
+Verification computes ``u1*G + u2*Q`` with Shamir's trick: both scalars
+are recoded to width-w NAF and walked in one interleaved ladder, sharing
+the 256 doublings that the two separate multiplies each paid on their
+own.  The generator's odd multiples are built once at import; each public
+key's odd multiples are kept in a small bounded cache so a key that
+verifies many signatures (a busy gateway) pays its table once.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ __all__ = [
     "PublicKey",
     "Signature",
     "generate_private_key",
+    "verify_double_multiply",
 ]
 
 # secp256k1 domain parameters.
@@ -155,6 +163,95 @@ def _point_on_curve(x: int, y: int) -> bool:
 _G_JACOBIAN = (_GX, _GY, 1)
 
 
+# --- Shamir's trick: interleaved dual-scalar multiplication ----------------
+#
+# verify() needs u1*G + u2*Q.  Doing the multiplies separately costs two
+# full ladders (~512 doublings); recoding both scalars to width-w NAF and
+# walking them in one interleaved pass shares the ~256 doublings and adds
+# only a sparse stream of table lookups (~256/(w+1) per scalar).
+
+_G_NAF_WIDTH = 6       # generator table is built once, afford a wide window
+_PUBKEY_NAF_WIDTH = 5  # per-key tables are built on demand, keep them small
+
+# Bound on cached per-pubkey tables: FIFO, like the engine's script cache —
+# entries are immutable, so recency tracking buys nothing over FIFO.
+_PUBKEY_TABLE_LIMIT = 256
+
+
+def _wnaf(scalar: int, width: int) -> list[int]:
+    """Width-``w`` non-adjacent form, least-significant digit first.
+
+    Every non-zero digit is odd and within ``(-2**(w-1), 2**(w-1))``, and
+    any two non-zero digits are at least ``width`` positions apart.
+    """
+    digits: list[int] = []
+    while scalar:
+        if scalar & 1:
+            digit = scalar & ((1 << width) - 1)
+            if digit >= 1 << (width - 1):
+                digit -= 1 << width
+            scalar -= digit
+        else:
+            digit = 0
+        digits.append(digit)
+        scalar >>= 1
+    return digits
+
+
+def _odd_multiples(point: tuple[int, int, int],
+                   count: int) -> list[tuple[int, int, int]]:
+    """``[P, 3P, 5P, ..., (2*count - 1)P]`` in Jacobian coordinates."""
+    table = [point]
+    twice = _jacobian_double(point)
+    for _ in range(count - 1):
+        table.append(_jacobian_add(table[-1], twice))
+    return table
+
+
+_G_NAF_TABLE = _odd_multiples(_G_JACOBIAN, 1 << (_G_NAF_WIDTH - 2))
+
+_pubkey_naf_tables: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
+
+
+def _pubkey_naf_table(x: int, y: int) -> list[tuple[int, int, int]]:
+    table = _pubkey_naf_tables.get((x, y))
+    if table is None:
+        table = _odd_multiples((x, y, 1), 1 << (_PUBKEY_NAF_WIDTH - 2))
+        if len(_pubkey_naf_tables) >= _PUBKEY_TABLE_LIMIT:
+            _pubkey_naf_tables.pop(next(iter(_pubkey_naf_tables)))
+        _pubkey_naf_tables[(x, y)] = table
+    return table
+
+
+def _negate(point: tuple[int, int, int]) -> tuple[int, int, int]:
+    x, y, z = point
+    return (x, (-y) % _P, z)
+
+
+def _shamir_multiply(u1: int, u2: int,
+                     qx: int, qy: int) -> tuple[int, int, int]:
+    """``u1*G + u2*Q`` via one interleaved width-w NAF ladder."""
+    naf_g = _wnaf(u1 % CURVE_ORDER, _G_NAF_WIDTH)
+    naf_q = _wnaf(u2 % CURVE_ORDER, _PUBKEY_NAF_WIDTH)
+    table_q = _pubkey_naf_table(qx, qy) if naf_q else ()
+    result = _INFINITY
+    for i in range(max(len(naf_g), len(naf_q)) - 1, -1, -1):
+        result = _jacobian_double(result)
+        if i < len(naf_g):
+            digit = naf_g[i]
+            if digit > 0:
+                result = _jacobian_add(result, _G_NAF_TABLE[digit >> 1])
+            elif digit < 0:
+                result = _jacobian_add(result, _negate(_G_NAF_TABLE[-digit >> 1]))
+        if i < len(naf_q):
+            digit = naf_q[i]
+            if digit > 0:
+                result = _jacobian_add(result, table_q[digit >> 1])
+            elif digit < 0:
+                result = _jacobian_add(result, _negate(table_q[-digit >> 1]))
+    return result
+
+
 # --- Key and signature types ----------------------------------------------
 
 @dataclass(frozen=True)
@@ -163,6 +260,11 @@ class Signature:
 
     r: int
     s: int
+
+    @property
+    def is_low_s(self) -> bool:
+        """Whether ``s`` is in the canonical (BIP 62) lower half-range."""
+        return 0 < self.s <= CURVE_ORDER // 2
 
     def to_bytes(self) -> bytes:
         """Compact 64-byte ``r || s`` serialization."""
@@ -214,22 +316,27 @@ class PublicKey:
             y = _P - y
         return cls(x=x, y=y)
 
-    def verify(self, message_hash: bytes, signature: Signature) -> bool:
-        """Verify ``signature`` over a 32-byte ``message_hash``."""
+    def verify(self, message_hash: bytes, signature: Signature,
+               require_low_s: bool = False) -> bool:
+        """Verify ``signature`` over a 32-byte ``message_hash``.
+
+        ``require_low_s=True`` additionally rejects non-canonical high-S
+        encodings (the malleable twin of every valid signature).  That is
+        a *standardness* knob: consensus verification leaves it False so
+        historical blocks carrying either encoding stay valid.
+        """
         if len(message_hash) != 32:
             raise ECDSAError("message hash must be 32 bytes")
         r, s = signature.r, signature.s
         if not (0 < r < CURVE_ORDER and 0 < s < CURVE_ORDER):
             return False
+        if require_low_s and not signature.is_low_s:
+            return False
         z = int.from_bytes(message_hash, "big") % CURVE_ORDER
         s_inv = pow(s, -1, CURVE_ORDER)
         u1 = (z * s_inv) % CURVE_ORDER
         u2 = (r * s_inv) % CURVE_ORDER
-        point = _jacobian_add(
-            _generator_multiply(u1),
-            _jacobian_multiply((self.x, self.y, 1), u2),
-        )
-        affine = _to_affine(point)
+        affine = _to_affine(_shamir_multiply(u1, u2, self.x, self.y))
         if affine is None:
             return False
         return affine[0] % CURVE_ORDER == r
@@ -297,6 +404,33 @@ def _rfc6979_nonces(secret: int, message_hash: bytes):
             yield candidate
         k = hmac_sha256(k, v + b"\x00")
         v = hmac_sha256(k, v)
+
+
+def verify_double_multiply(public_key: PublicKey, message_hash: bytes,
+                           signature: Signature) -> bool:
+    """The pre-Shamir reference verifier: two independent multiplies.
+
+    Kept as a differential oracle — the edge-vector corpus runs every
+    input through both this and :meth:`PublicKey.verify` and demands
+    identical verdicts — and as the baseline for the Shamir microbench.
+    """
+    if len(message_hash) != 32:
+        raise ECDSAError("message hash must be 32 bytes")
+    r, s = signature.r, signature.s
+    if not (0 < r < CURVE_ORDER and 0 < s < CURVE_ORDER):
+        return False
+    z = int.from_bytes(message_hash, "big") % CURVE_ORDER
+    s_inv = pow(s, -1, CURVE_ORDER)
+    u1 = (z * s_inv) % CURVE_ORDER
+    u2 = (r * s_inv) % CURVE_ORDER
+    point = _jacobian_add(
+        _generator_multiply(u1),
+        _jacobian_multiply((public_key.x, public_key.y, 1), u2),
+    )
+    affine = _to_affine(point)
+    if affine is None:
+        return False
+    return affine[0] % CURVE_ORDER == r
 
 
 def generate_private_key(rng=None) -> PrivateKey:

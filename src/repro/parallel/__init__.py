@@ -1,0 +1,31 @@
+"""Process-pool verification backend.
+
+Input-script verifications inside a block (and across a transaction's
+inputs) are independent of each other, which makes them embarrassingly
+parallel — the standard scaling lever in comparative blockchain studies.
+This package is the only place in the repo allowed to touch
+``multiprocessing`` (a lint rule enforces that):
+
+* :mod:`repro.parallel.jobs` — picklable :class:`VerifyJob` /
+  :class:`VerifyResult` wire forms plus the worker entry point that
+  rebuilds the transaction and runs the interpreter;
+* :mod:`repro.parallel.pool` — :class:`VerifyPool`, the chunked
+  scheduler with deterministic ``(txid, input_index)`` aggregation,
+  serial fallback, restart-on-crash, and registry-backed metrics.
+
+The cache-coherence rule: workers return *verdicts only*.  The parent
+process owns the PR-1 script-verification cache and decides — in serial
+order — what gets cached, so pooled and serial runs leave identical
+cache state behind.
+"""
+
+from repro.parallel.jobs import VerifyJob, VerifyResult, execute_job, run_batch
+from repro.parallel.pool import VerifyPool
+
+__all__ = [
+    "VerifyJob",
+    "VerifyResult",
+    "VerifyPool",
+    "execute_job",
+    "run_batch",
+]

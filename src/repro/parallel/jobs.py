@@ -1,0 +1,107 @@
+"""Picklable verification jobs and the worker-side entry point.
+
+A :class:`VerifyJob` carries everything a worker needs in wire form —
+serialized transaction, serialized locking script — so the job pickles
+cheaply and never drags engine, chain, or UTXO state across the process
+boundary.  Workers are pure functions: they rebuild the transaction, run
+the interpreter, and return a verdict.  They never see the script cache
+(the parent owns it) and never raise on a failed script — a False
+verdict is data, not an exception, so result aggregation stays total.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+__all__ = ["VerifyJob", "VerifyResult", "execute_job", "run_batch"]
+
+#: The one error code a worker can produce: the interpreter ran and the
+#: script pair did not verify.  The parent maps it back to the engine's
+#: canonical ValidationError message (which needs the UTXO entry the
+#: worker never sees).
+ERROR_SCRIPT_FAILED = "script-failed"
+
+
+@dataclass(frozen=True)
+class VerifyJob:
+    """One input-script verification, in picklable wire form.
+
+    ``tag`` is the caller's serial-order key (position of the transaction
+    in its block; 0 for single-transaction batches) — it rides along so
+    the parent can reconstruct which failure a serial run would have hit
+    first.
+    """
+
+    txid: bytes
+    input_index: int
+    tx_bytes: bytes
+    locking_bytes: bytes
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class VerifyResult:
+    """A worker's verdict on one :class:`VerifyJob`."""
+
+    txid: bytes
+    input_index: int
+    ok: bool
+    error_code: Optional[str]
+    tag: int = 0
+    worker_pid: int = 0
+
+    @property
+    def order_key(self) -> tuple[bytes, int]:
+        """The deterministic aggregation order: ``(txid, input_index)``."""
+        return (self.txid, self.input_index)
+
+
+def execute_job(job: VerifyJob, tx=None) -> VerifyResult:
+    """Run one job's script pair; total — failures are False, not raises."""
+    # Imported here, not at module top: the engine imports VerifyJob from
+    # this module, so a blockchain import up top would be a cycle.  After
+    # the first call these are sys.modules lookups, dwarfed by the
+    # interpreter run they precede.
+    from repro.blockchain.context import TransactionContext
+    from repro.blockchain.transaction import Transaction
+    from repro.script.interpreter import ScriptInterpreter
+    from repro.script.script import Script
+
+    if tx is None:
+        tx = Transaction.deserialize(job.tx_bytes)
+    locking = Script.from_bytes(job.locking_bytes)
+    context = TransactionContext(
+        tx=tx, input_index=job.input_index, locking_script=locking,
+    )
+    ok = ScriptInterpreter(context=context).verify(
+        tx.inputs[job.input_index].script_sig, locking,
+    )
+    return VerifyResult(
+        txid=job.txid,
+        input_index=job.input_index,
+        ok=ok,
+        error_code=None if ok else ERROR_SCRIPT_FAILED,
+        tag=job.tag,
+        worker_pid=os.getpid(),
+    )
+
+
+def run_batch(jobs: Iterable[VerifyJob]) -> list[VerifyResult]:
+    """The pool's map target: execute a chunk of jobs in one worker.
+
+    Transactions are deserialized once per batch, not once per input —
+    a multi-input transaction chunked together costs one parse.
+    """
+    from repro.blockchain.transaction import Transaction
+
+    parsed: dict[bytes, "Transaction"] = {}
+    results: list[VerifyResult] = []
+    for job in jobs:
+        tx = parsed.get(job.txid)
+        if tx is None:
+            tx = Transaction.deserialize(job.tx_bytes)
+            parsed[job.txid] = tx
+        results.append(execute_job(job, tx=tx))
+    return results

@@ -1,0 +1,196 @@
+"""The process-pool verification scheduler.
+
+:class:`VerifyPool` fans :class:`~repro.parallel.jobs.VerifyJob` batches
+across ``multiprocessing`` workers and aggregates verdicts back into a
+deterministic order.  Its contract, in decreasing order of importance:
+
+1. **Determinism** — ``run()`` returns results sorted by
+   ``(txid, input_index)`` no matter which worker finished first, and a
+   broken pool degrades to in-process execution of the *same* jobs, so
+   callers see identical verdicts with or without worker processes.
+2. **Graceful degradation** — a failed spawn (sandboxes, fork limits),
+   ``workers=0``, or a crashed worker never surfaces as an error to
+   validation: the pool restarts once, then falls back to serial for
+   good.  Fallbacks are visible in the metrics, not in verdicts.
+3. **Observability** — jobs, batches, queue depth, fallbacks, restarts
+   and per-worker utilisation land in the PR-4 metrics registry.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry, StatsView
+from repro.parallel.jobs import VerifyJob, VerifyResult, run_batch
+
+__all__ = ["DEFAULT_CHUNK_SIZE", "VerifyPool"]
+
+#: Jobs per scheduling chunk.  Small enough that a block's inputs spread
+#: across workers, large enough that one pickle round-trip amortises over
+#: several interpreter runs.
+DEFAULT_CHUNK_SIZE = 8
+
+
+class VerifyPool:
+    """A pool of verification workers with deterministic aggregation.
+
+    :param workers: worker process count; ``0`` builds a pool that runs
+        every batch in-process (the explicit serial configuration).
+    :param chunk_size: jobs per scheduled batch.
+    :param registry: the deployment's metrics registry; a private one is
+        created when omitted so the pool is always observable.
+    :param start_method: ``multiprocessing`` start method override; the
+        default prefers ``fork`` (cheap on Linux) and falls back to
+        whatever the platform offers.
+    """
+
+    def __init__(self, workers: int, chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 registry: Optional[MetricsRegistry] = None,
+                 start_method: Optional[str] = None) -> None:
+        if workers < 0:
+            raise ConfigurationError(f"worker count cannot be negative: {workers}")
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk size must be positive: {chunk_size}")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._start_method = start_method
+        self._pool = None
+        self._broken = False  # permanent serial fallback after restart failed
+        self._worker_ordinals: dict[int, int] = {}  # pid -> stable label
+        reg = self.registry
+        self._m_jobs = reg.counter("parallel.jobs")
+        self._m_batches = reg.counter("parallel.batches")
+        self._m_serial_jobs = reg.counter("parallel.serial_jobs")
+        self._m_fallbacks = reg.counter("parallel.serial_fallbacks")
+        self._m_restarts = reg.counter("parallel.pool_restarts")
+        self._m_spawn_failures = reg.counter("parallel.spawn_failures")
+        self._m_workers = reg.gauge("parallel.workers")
+        self._m_queue_depth = reg.gauge("parallel.queue_depth")
+        self._m_worker_jobs = reg.counter("parallel.worker_jobs", "worker")
+        self._m_workers.set(workers)
+        if workers > 0:
+            self._spawn()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _spawn(self) -> None:
+        """Start the worker pool; a failure means serial fallback, not error."""
+        try:
+            method = self._start_method
+            if method is None:
+                available = multiprocessing.get_all_start_methods()
+                method = "fork" if "fork" in available else available[0]
+            context = multiprocessing.get_context(method)
+            self._pool = context.Pool(processes=self.workers)
+        except Exception:
+            self._pool = None
+            self._m_spawn_failures.inc()
+
+    def _teardown(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.terminate()
+                pool.join()
+            except Exception:
+                pass  # a half-dead pool must not block shutdown
+
+    def shutdown(self) -> None:
+        """Terminate workers; the pool keeps working, serially."""
+        self._teardown()
+
+    close = shutdown
+
+    def __enter__(self) -> "VerifyPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def __del__(self) -> None:
+        try:
+            self._teardown()
+        except Exception:
+            pass  # interpreter teardown: modules may already be gone
+
+    @property
+    def active(self) -> bool:
+        """Whether worker processes are currently serving batches."""
+        return self._pool is not None
+
+    # -- scheduling --------------------------------------------------------------
+
+    def run(self, jobs: Sequence[VerifyJob]) -> list[VerifyResult]:
+        """Execute ``jobs``; return verdicts sorted by ``(txid, input_index)``.
+
+        Never raises on worker failure: a crashed pool is restarted once,
+        and if that fails too every remaining call runs in-process.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        self._m_jobs.inc(len(jobs))
+        if self._pool is None:
+            results = run_batch(jobs)
+            self._m_serial_jobs.inc(len(jobs))
+        else:
+            chunks = [jobs[i:i + self.chunk_size]
+                      for i in range(0, len(jobs), self.chunk_size)]
+            self._m_batches.inc(len(chunks))
+            self._m_queue_depth.set(len(chunks))
+            try:
+                nested = self._dispatch(chunks)
+            finally:
+                self._m_queue_depth.set(0)
+            results = [result for chunk in nested for result in chunk]
+            self._observe_workers(results)
+        results.sort(key=lambda result: result.order_key)
+        return results
+
+    def _dispatch(self, chunks: list[list[VerifyJob]]) -> list[list[VerifyResult]]:
+        try:
+            return self._pool.map(run_batch, chunks)
+        except Exception:
+            # A worker died mid-batch (or the pool pipe broke).  Restart
+            # once; a second failure retires the pool permanently.
+            self._m_restarts.inc()
+            self._teardown()
+            if not self._broken:
+                self._spawn()
+            if self._pool is not None:
+                try:
+                    return self._pool.map(run_batch, chunks)
+                except Exception:
+                    self._teardown()
+            self._broken = True
+            self._m_fallbacks.inc()
+            return [run_batch(chunk) for chunk in chunks]
+
+    def _observe_workers(self, results: list[VerifyResult]) -> None:
+        """Worker utilisation: jobs per worker under stable ordinal labels."""
+        for result in results:
+            ordinal = self._worker_ordinals.get(result.worker_pid)
+            if ordinal is None:
+                ordinal = len(self._worker_ordinals)
+                self._worker_ordinals[result.worker_pid] = ordinal
+            self._m_worker_jobs.labels(worker=f"w{ordinal}").inc()
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def stats(self) -> StatsView:
+        """The uniform ``stats()`` accessor (registry-backed)."""
+        return StatsView({
+            "workers": self.workers,
+            "active": self.active,
+            "chunk_size": self.chunk_size,
+            "jobs": self._m_jobs.value,
+            "batches": self._m_batches.value,
+            "serial_jobs": self._m_serial_jobs.value,
+            "serial_fallbacks": self._m_fallbacks.value,
+            "pool_restarts": self._m_restarts.value,
+            "spawn_failures": self._m_spawn_failures.value,
+            "distinct_workers": len(self._worker_ordinals),
+        })

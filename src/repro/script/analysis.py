@@ -42,6 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.crypto.ecdsa import CURVE_ORDER
 from repro.script.builder import parse_ephemeral_key_release
 from repro.script.errors import ScriptError
 from repro.script.interpreter import MAX_OPS, MAX_STACK_SIZE
@@ -120,6 +121,21 @@ def is_push_only(script: Script) -> bool:
     unlocking scripts: no computation may live in a scriptSig)."""
     return all(_constant_value(element) is not None
                for element in script.elements)
+
+
+def _is_high_s_signature(element: ScriptElement) -> bool:
+    """Whether a pushed element is a well-formed but high-S signature.
+
+    Only 64-byte pushes whose halves both decode to in-range scalars
+    qualify — anything else is either not a signature or will fail
+    verification outright, which is the interpreter's business, not
+    standardness's.
+    """
+    if not isinstance(element, bytes) or len(element) != 64:
+        return False
+    r = int.from_bytes(element[:32], "big")
+    s = int.from_bytes(element[32:], "big")
+    return (0 < r < CURVE_ORDER) and (CURVE_ORDER // 2 < s < CURVE_ORDER)
 
 
 def _is_p2pkh(elements: tuple[ScriptElement, ...]) -> bool:
@@ -741,6 +757,15 @@ class StandardnessPolicy:
                 if issue is not None:
                     return (f"input {index} unlocking script provably "
                             f"fails: {issue.message}")
+                # Canonical-signature policy (the BIP 62 half of it): a
+                # high-S signature is the malleable twin of a low-S one
+                # the signer could have produced instead.  Consensus
+                # accepts both — this is standardness only, so the
+                # mempool stops malleated relays at the door.
+                for element in script_sig.elements:
+                    if _is_high_s_signature(element):
+                        return (f"input {index} carries a non-canonical "
+                                f"high-S signature")
         for index, output in enumerate(tx.outputs):
             reason = self.check_output(output.value, output.script_pubkey)
             if reason is not None:

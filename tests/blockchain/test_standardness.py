@@ -147,3 +147,51 @@ def test_validation_telemetry_snapshot(funded_chain):
     assert telemetry.executions_avoided == (
         node.engine.cache_stats.hits + node.engine.policy.stats.fast_rejects
     )
+
+
+# -- high-S malleability (policy-only rejection) -------------------------------
+
+def _malleate_high_s(tx):
+    """Replace input 0's signature with its non-canonical high-S twin."""
+    from repro.crypto.ecdsa import CURVE_ORDER, Signature
+    sig_bytes, pubkey = tx.inputs[0].script_sig.elements
+    sig = Signature.from_bytes(sig_bytes)
+    twin = Signature(r=sig.r, s=CURVE_ORDER - sig.s)
+    return tx.with_input_script(0, Script([twin.to_bytes(), pubkey]))
+
+
+def test_mempool_rejects_high_s_signature(funded_chain):
+    node, wallet, _miner = funded_chain
+    tx = _malleate_high_s(wallet.create_payment(wallet.pubkey_hash, 50))
+    misses_before = node.engine.cache_stats.misses
+    with pytest.raises(ValidationError, match="high-S"):
+        node.mempool.accept(tx)
+    # Rejected by the static policy scan — no script executed.
+    assert node.engine.cache_stats.misses == misses_before
+    assert node.engine.policy.stats.tx_rejected == 1
+
+
+def test_policy_reports_high_s_reason(funded_chain):
+    node, wallet, _miner = funded_chain
+    tx = _malleate_high_s(wallet.create_payment(wallet.pubkey_hash, 51))
+    reason = node.engine.policy.check_transaction(tx)
+    assert reason is not None and "high-S" in reason
+    # The canonical original is clean.
+    clean = wallet.create_payment(wallet.pubkey_hash, 52)
+    assert node.engine.policy.check_transaction(clean) is None
+
+
+def test_consensus_still_accepts_high_s_signature(funded_chain):
+    """High-S is policy, not consensus: the same tx connects in a block."""
+    from repro.blockchain.block import Block
+    node, wallet, miner = funded_chain
+    tx = _malleate_high_s(wallet.create_payment(wallet.pubkey_hash, 53))
+    height = node.chain.height + 1
+    block = Block.assemble(
+        prev_hash=node.chain.tip.hash,
+        timestamp=200.0,
+        transactions=[miner.build_coinbase(height, 0), tx],
+    )
+    node.chain.add_block(block)
+    assert node.chain.height == height
+    assert node.chain.utxos.get(tx.inputs[0].outpoint) is None

@@ -1,0 +1,378 @@
+"""Differential conformance suite: parallel vs serial verification.
+
+A module-scoped *bank* pre-signs a zoo of candidate spends — valid and
+invalid P2PKH, high-S malleated twins, RSA key-release claims (good and
+bad eSk), CLTV refunds (rightful and wrong-key), multi-input mixes,
+double-spends, and contextual overspends.  Property-based tests then
+assemble blocks from random subsets/orderings of those candidates and
+assert a serial :class:`ValidationEngine` and a pool-backed one return
+**byte-identical** outcomes: the same accept/reject verdict, the same
+error string, the same cache counters, and the same UTXO digest.
+
+The ``determinism``-named tests double as the CI flake guard (run under
+``pytest --count=3`` in the ``parallel`` job).
+"""
+
+from __future__ import annotations
+
+import random
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blockchain.block import Block
+from repro.blockchain.engine import ValidationEngine
+from repro.blockchain.miner import Miner
+from repro.blockchain.node import FullNode
+from repro.blockchain.params import ChainParams
+from repro.blockchain.transaction import Transaction, TxInput, TxOutput
+from repro.blockchain.utxo import UTXOSet
+from repro.blockchain.wallet import Wallet
+from repro.chaos.verify import utxo_digest
+from repro.crypto import rsa
+from repro.crypto.ecdsa import CURVE_ORDER, Signature
+from repro.crypto.keys import KeyPair
+from repro.errors import ValidationError
+from repro.parallel import VerifyPool
+from repro.script import builder
+from repro.script.script import Script
+
+# Candidate labels are documentation; the differential property only cares
+# that the two engines agree, whatever the verdict.
+Candidate = tuple[str, Transaction]
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with VerifyPool(2, chunk_size=3) as shared:
+        yield shared
+
+
+@pytest.fixture(scope="module")
+def bank():
+    """A funded chain plus ~15 pre-signed candidate spends."""
+    rng = random.Random(0xD1FF)
+    params = ChainParams(coinbase_maturity=1, locktime_grace=3)
+    node = FullNode(params, "diff-bank")
+    buyer = Wallet(node.chain, KeyPair.generate(rng))
+    gateway = Wallet(node.chain, KeyPair.generate(rng))
+    buyer.watch_chain()
+    gateway.watch_chain()
+    miner = Miner(chain=node.chain, mempool=node.mempool,
+                  reward_pubkey_hash=buyer.pubkey_hash)
+    for i in range(4):
+        miner.mine_and_connect(float(i))
+
+    # Give the buyer many small coins so every candidate spends a
+    # distinct outpoint.
+    node.mempool.accept(buyer.create_fanout(buyer.pubkey_hash, 1_000, 12))
+    miner.mine_and_connect(10.0)
+
+    rsa_key = rsa.generate_keypair(512, rng)
+    rsa_wrong = rsa.generate_keypair(512, rng)
+    offers = {
+        name: buyer.create_key_release_offer(
+            rsa_key.public_key.to_bytes(), gateway.pubkey_hash, 300)
+        for name in ("claim", "badclaim", "refund", "wrongkey")
+    }
+    for offer in offers.values():
+        node.mempool.accept(offer.transaction)
+    miner.mine_and_connect(11.0)
+    # Pass every refund locktime (offers default to height+grace).
+    while node.chain.height <= max(o.refund_locktime for o in offers.values()):
+        miner.mine_and_connect(float(node.chain.height) + 12.0)
+
+    locking = builder.p2pkh_locking(buyer.pubkey_hash)
+
+    def take_coin():
+        """Claim an unused buyer coin for a hand-rolled transaction."""
+        outpoint, value = buyer.spendable_coins()[0]
+        buyer._pending_spends.add(outpoint)
+        return outpoint, value
+
+    def corrupt_first_sig(tx, index=0):
+        elements = list(tx.inputs[index].script_sig.elements)
+        elements[0] = bytes([elements[0][0] ^ 0x01]) + elements[0][1:]
+        return tx.with_input_script(index, Script(elements))
+
+    candidates: list[Candidate] = []
+    for i in range(3):
+        candidates.append(
+            (f"p2pkh-valid-{i}",
+             buyer.create_payment(gateway.pubkey_hash, 150 + i)))
+
+    # A conflicting spend of the same outpoint as p2pkh-valid-0: a script
+    # success whose *contextual* fate depends on block composition.
+    conflict_outpoint = candidates[0][1].inputs[0].outpoint
+    conflict = Transaction(
+        inputs=[TxInput(outpoint=conflict_outpoint)],
+        outputs=[TxOutput(value=999,
+                          script_pubkey=builder.p2pkh_locking(
+                              gateway.pubkey_hash))],
+    )
+    signature = buyer.sign_input(conflict, 0, locking)
+    conflict = conflict.with_input_script(
+        0, builder.p2pkh_unlocking(signature, buyer.pubkey_bytes))
+    candidates.append(("p2pkh-conflict", conflict))
+
+    for i in range(2):
+        candidates.append(
+            (f"p2pkh-badsig-{i}",
+             corrupt_first_sig(
+                 buyer.create_payment(gateway.pubkey_hash, 170 + i))))
+
+    # Signed by the wrong key entirely: HASH160 mismatch in the locking
+    # script, not a bad signature.
+    outpoint, value = take_coin()
+    wrongkey = Transaction(
+        inputs=[TxInput(outpoint=outpoint)],
+        outputs=[TxOutput(value=value,
+                          script_pubkey=builder.p2pkh_locking(
+                              gateway.pubkey_hash))],
+    )
+    signature = gateway.sign_input(wrongkey, 0, locking)
+    wrongkey = wrongkey.with_input_script(
+        0, builder.p2pkh_unlocking(signature, gateway.pubkey_bytes))
+    candidates.append(("p2pkh-wrongkey", wrongkey))
+
+    # High-S malleated twin: consensus-valid everywhere, policy-invalid at
+    # the mempool (exercised in the mempool differential below).
+    highs = buyer.create_payment(gateway.pubkey_hash, 180)
+    sig_bytes, pubkey = highs.inputs[0].script_sig.elements
+    parsed = Signature.from_bytes(sig_bytes)
+    malleated = Signature(r=parsed.r, s=CURVE_ORDER - parsed.s)
+    candidates.append(
+        ("p2pkh-highs",
+         highs.with_input_script(0, Script([malleated.to_bytes(), pubkey]))))
+
+    candidates.append(
+        ("claim-valid",
+         gateway.claim_key_release(offers["claim"], rsa_key.to_bytes())))
+    # Wrong eSk: OP_CHECKRSA512PAIR fails, execution falls into the CLTV
+    # refund branch, which the claim tx (locktime 0, final sequence)
+    # cannot satisfy.
+    candidates.append(
+        ("claim-bad-esk",
+         gateway.claim_key_release(offers["badclaim"],
+                                   rsa_wrong.to_bytes())))
+    candidates.append(
+        ("refund-valid", buyer.refund_key_release(offers["refund"])))
+    # The gateway trying to take the refund branch: CLTV satisfied but the
+    # buyer-pubkey-hash check fails.
+    candidates.append(
+        ("refund-wrongkey", gateway.refund_key_release(offers["wrongkey"])))
+
+    def multi_input(amounts, corrupt_index=None):
+        coins = [take_coin() for _ in amounts]
+        tx = Transaction(
+            inputs=[TxInput(outpoint=op) for op, _ in coins],
+            outputs=[TxOutput(value=sum(v for _, v in coins) - 10,
+                              script_pubkey=builder.p2pkh_locking(
+                                  gateway.pubkey_hash))],
+        )
+        for index in range(len(coins)):
+            signature = buyer.sign_input(tx, index, locking)
+            tx = tx.with_input_script(
+                index, builder.p2pkh_unlocking(signature, buyer.pubkey_bytes))
+        if corrupt_index is not None:
+            tx = corrupt_first_sig(tx, corrupt_index)
+        return tx
+
+    candidates.append(("multi-valid", multi_input([0, 1])))
+    candidates.append(("multi-badsecond", multi_input([0, 1],
+                                                     corrupt_index=1)))
+
+    # Outputs exceed inputs: a *contextual* failure raised before any
+    # script runs for that transaction.
+    outpoint, value = take_coin()
+    overspend = Transaction(
+        inputs=[TxInput(outpoint=outpoint)],
+        outputs=[TxOutput(value=value + 12_345,
+                          script_pubkey=builder.p2pkh_locking(
+                              gateway.pubkey_hash))],
+    )
+    signature = buyer.sign_input(overspend, 0, locking)
+    overspend = overspend.with_input_script(
+        0, builder.p2pkh_unlocking(signature, buyer.pubkey_bytes))
+    candidates.append(("overspend", overspend))
+
+    return SimpleNamespace(params=params, node=node, miner=miner,
+                           buyer=buyer, gateway=gateway,
+                           candidates=candidates)
+
+
+# -- harness -----------------------------------------------------------------
+
+
+def _replica_utxos(bank) -> UTXOSet:
+    replica = UTXOSet()
+    for outpoint, entry in bank.node.chain.utxos.items():
+        replica.add(outpoint, entry)
+    return replica
+
+
+def _connect_outcome(bank, engine, txs) -> tuple:
+    """Run one block connect and flatten *everything* observable."""
+    height = bank.node.chain.height + 1
+    block = Block.assemble(
+        prev_hash=bank.node.chain.tip.hash,
+        timestamp=99.0,
+        transactions=[bank.miner.build_coinbase(height, 0), *txs],
+    )
+    utxos = _replica_utxos(bank)
+    stats = engine.cache_stats
+    try:
+        report = engine.connect_block(block, utxos, height,
+                                      verify_scripts=True, commit=True)
+    except ValidationError as exc:
+        return ("err", str(exc),
+                (stats.hits, stats.misses, stats.evictions),
+                engine.policy.stats.fast_rejects,
+                utxo_digest(SimpleNamespace(utxos=utxos)))
+    return ("ok", report.tx_count, report.total_fees,
+            report.script_executions, report.cache_hits,
+            (stats.hits, stats.misses, stats.evictions),
+            engine.policy.stats.fast_rejects,
+            utxo_digest(SimpleNamespace(utxos=utxos)))
+
+
+def _differential(bank, pool, txs) -> tuple:
+    serial_engine = ValidationEngine(bank.params)
+    pooled_engine = ValidationEngine(bank.params)
+    pooled_engine.attach_pool(pool)
+    serial = _connect_outcome(bank, serial_engine, txs)
+    pooled = _connect_outcome(bank, pooled_engine, txs)
+    assert serial == pooled, (
+        f"serial/parallel divergence for "
+        f"{[label for label, _ in bank.candidates]}: "
+        f"\n  serial: {serial}\n  pooled: {pooled}"
+    )
+    return serial
+
+
+# -- properties --------------------------------------------------------------
+
+
+@settings(max_examples=120, deadline=None)
+@given(data=st.data())
+def test_differential_random_blocks(bank, pool, data):
+    """Any subset, in any order: identical verdict, error, and digest."""
+    count = len(bank.candidates)
+    indices = data.draw(st.lists(st.sampled_from(range(count)),
+                                 unique=True, min_size=1, max_size=8))
+    txs = [bank.candidates[i][1] for i in indices]
+    _differential(bank, pool, txs)
+
+
+def test_differential_seeded_sweep(bank, pool):
+    """A further 100 seeded shuffles, pushing total coverage past 200."""
+    count = len(bank.candidates)
+    verdicts = set()
+    for seed in range(100):
+        rng = random.Random(seed)
+        size = rng.randint(1, count)
+        indices = rng.sample(range(count), size)
+        txs = [bank.candidates[i][1] for i in indices]
+        verdicts.add(_differential(bank, pool, txs)[0])
+    # The sweep must exercise both accepting and rejecting blocks.
+    assert verdicts == {"ok", "err"}
+
+
+def test_differential_named_singletons(bank, pool):
+    """Every candidate alone in a block: agreement per flavour."""
+    expected_ok = {
+        "p2pkh-valid-0", "p2pkh-valid-1", "p2pkh-valid-2",
+        "p2pkh-conflict", "p2pkh-highs", "claim-valid", "refund-valid",
+        "multi-valid",
+    }
+    for label, tx in bank.candidates:
+        outcome = _differential(bank, pool, [tx])
+        assert (outcome[0] == "ok") == (label in expected_ok), (
+            f"{label}: unexpected verdict {outcome}"
+        )
+
+
+def test_differential_script_error_beats_later_contextual(bank, pool):
+    """Orderings that race a script failure against a contextual one."""
+    by_label = dict(bank.candidates)
+    valid = by_label["p2pkh-valid-0"]
+    conflict = by_label["p2pkh-conflict"]
+    badsig = by_label["p2pkh-badsig-0"]
+    for txs in ([valid, badsig, conflict],
+                [valid, conflict, badsig],
+                [badsig, valid, conflict],
+                [conflict, valid, badsig]):
+        outcome = _differential(bank, pool, txs)
+        assert outcome[0] == "err"
+
+
+def test_differential_mempool_admission(bank, pool):
+    """Every candidate through serial vs pooled mempool admission."""
+    params = bank.params
+
+    def replay():
+        node = FullNode(params, "diff-replay")
+        for _height, block in bank.node.chain.iter_active_blocks(
+                start_height=1):
+            node.chain.add_block(block)
+        return node
+
+    serial_node = replay()
+    pooled_node = replay()
+    pooled_node.engine.attach_pool(pool)
+    try:
+        for label, tx in bank.candidates:
+            outcomes = []
+            for node in (serial_node, pooled_node):
+                try:
+                    node.mempool.accept(tx)
+                    outcomes.append(("ok", tx.txid in node.mempool))
+                    node.mempool.remove(tx.txid)
+                except ValidationError as exc:
+                    outcomes.append(("err", str(exc)))
+            assert outcomes[0] == outcomes[1], (
+                f"{label}: mempool divergence {outcomes}"
+            )
+            if label == "p2pkh-highs":
+                assert outcomes[0][0] == "err"
+                assert "high-S" in outcomes[0][1]
+    finally:
+        pooled_node.engine.detach_pool()
+
+
+# -- determinism guards (run under --count=3 in CI) --------------------------
+
+
+def test_determinism_pooled_repeat(bank, pool):
+    """The same mixed block, pooled, three times: identical outcomes."""
+    txs = [tx for _label, tx in bank.candidates[:6]]
+    outcomes = set()
+    for _ in range(3):
+        engine = ValidationEngine(bank.params)
+        engine.attach_pool(pool)
+        outcomes.add(_connect_outcome(bank, engine, txs))
+    assert len(outcomes) == 1
+
+
+def test_determinism_full_chain_replay(bank, pool):
+    """Replaying the whole bank chain serial vs pooled: equal digests."""
+    from repro.chaos.verify import chain_digest
+
+    def replay(attach):
+        node = FullNode(bank.params, f"replay-{attach}")
+        if attach:
+            node.engine.attach_pool(pool)
+        for _height, block in bank.node.chain.iter_active_blocks(
+                start_height=1):
+            node.chain.add_block(block)
+        if attach:
+            node.engine.detach_pool()
+        return node
+
+    serial_node = replay(False)
+    pooled_node = replay(True)
+    assert chain_digest(serial_node.chain) == chain_digest(pooled_node.chain)
+    assert utxo_digest(serial_node.chain) == utxo_digest(pooled_node.chain)
+    assert utxo_digest(pooled_node.chain) == utxo_digest(bank.node.chain)

@@ -1,0 +1,55 @@
+"""End-to-end: ``NetworkConfig.parallel_workers`` through a full run.
+
+Two identically-seeded BcWAN networks — one serial, one with a two-worker
+pool — must settle the same exchanges and finish on byte-identical master
+chains.  This is the config-level counterpart of the engine-level
+differential suite: it proves the wiring (config -> network -> daemon ->
+engine) preserves the determinism contract, not just the engine itself.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.verify import chain_digest, utxo_digest
+from repro.core import BcWANNetwork, NetworkConfig
+
+
+def _run(parallel_workers: int):
+    config = NetworkConfig(
+        num_gateways=2, sensors_per_gateway=2, exchange_interval=15.0,
+        verify_blocks=True, parallel_workers=parallel_workers, seed=77,
+    )
+    with BcWANNetwork(config) as network:
+        report = network.run(num_exchanges=6, max_duration=900.0)
+        master = network.master_daemon.node.chain
+        digests = (chain_digest(master), utxo_digest(master))
+        pool = network.verify_pool
+        stats = pool.stats() if pool is not None else None
+    return report, digests, stats
+
+
+def test_determinism_network_serial_vs_pooled():
+    serial_report, serial_digests, serial_stats = _run(0)
+    pooled_report, pooled_digests, pooled_stats = _run(2)
+
+    assert serial_stats is None  # workers=0 builds no pool at all
+    assert pooled_stats is not None
+
+    assert serial_report.completed == pooled_report.completed
+    assert serial_report.failed == pooled_report.failed
+    assert serial_digests == pooled_digests
+    assert serial_report.completed > 0
+
+
+def test_pool_metrics_surface_in_network_registry():
+    config = NetworkConfig(
+        num_gateways=2, sensors_per_gateway=1, exchange_interval=15.0,
+        verify_blocks=True, parallel_workers=1, seed=78,
+    )
+    with BcWANNetwork(config) as network:
+        network.run(num_exchanges=3, max_duration=900.0)
+        snap = network.registry.snapshot()
+    assert snap["gauges"]["parallel.workers"] == 1
+    assert snap["counters"].get("parallel.jobs", 0) > 0
+    # close() is idempotent and retires the pool.
+    network.close()
+    assert not network.verify_pool.active

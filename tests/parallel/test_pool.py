@@ -1,0 +1,265 @@
+"""Unit tests for the VerifyPool backend: scheduling, aggregation order,
+fallback, restart, shutdown, and the daemon attach/detach lifecycle."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.blockchain.params import ChainParams
+from repro.blockchain.node import FullNode
+from repro.blockchain.miner import Miner
+from repro.blockchain.wallet import Wallet
+from repro.crypto.keys import KeyPair
+from repro.errors import ConfigurationError, ValidationError
+from repro.obs.registry import MetricsRegistry
+from repro.parallel import VerifyJob, VerifyPool, run_batch
+from repro.parallel.jobs import ERROR_SCRIPT_FAILED
+from repro.script.script import Script
+
+
+@pytest.fixture(scope="module")
+def stack():
+    """A funded node plus a handful of prebuilt verification jobs."""
+    rng = random.Random(0xBC_05)
+    params = ChainParams(coinbase_maturity=1)
+    node = FullNode(params, "pool-test")
+    wallet = Wallet(node.chain, KeyPair.generate(rng))
+    wallet.watch_chain()
+    miner = Miner(chain=node.chain, mempool=node.mempool,
+                  reward_pubkey_hash=wallet.pubkey_hash)
+    for i in range(8):
+        miner.mine_and_connect(float(i))
+
+    def job_for(tx, index=0, tag=0):
+        entry = node.chain.utxos.get(tx.inputs[index].outpoint)
+        return VerifyJob(
+            txid=tx.txid, input_index=index, tx_bytes=tx.serialize(),
+            locking_bytes=entry.output.script_pubkey.to_bytes(), tag=tag,
+        )
+
+    good_jobs = []
+    for i in range(6):
+        tx = wallet.create_payment(wallet.pubkey_hash, 100 + i)
+        good_jobs.append(job_for(tx, tag=i))
+
+    bad_tx = wallet.create_payment(wallet.pubkey_hash, 777)
+    sig, pub = bad_tx.inputs[0].script_sig.elements
+    corrupt = bytes([sig[0] ^ 0x01]) + sig[1:]
+    bad_tx = bad_tx.with_input_script(0, Script([corrupt, pub]))
+    bad_job = job_for(bad_tx, tag=99)
+    return node, wallet, good_jobs, bad_job
+
+
+def test_run_batch_verdicts(stack):
+    _node, _wallet, good_jobs, bad_job = stack
+    results = run_batch([*good_jobs, bad_job])
+    assert [r.ok for r in results] == [True] * len(good_jobs) + [False]
+    assert results[-1].error_code == ERROR_SCRIPT_FAILED
+    assert all(r.error_code is None for r in results[:-1])
+
+
+def test_pool_runs_jobs_and_orders_results(stack):
+    _node, _wallet, good_jobs, bad_job = stack
+    jobs = [*good_jobs, bad_job]
+    with VerifyPool(2, chunk_size=2) as pool:
+        shuffled = list(jobs)
+        random.Random(3).shuffle(shuffled)
+        results = pool.run(shuffled)
+        assert pool.active
+    assert [r.order_key for r in results] == sorted(
+        r.order_key for r in results
+    )
+    verdicts = {r.order_key: r.ok for r in results}
+    assert verdicts[(bad_job.txid, bad_job.input_index)] is False
+    assert sum(verdicts.values()) == len(good_jobs)
+
+
+def test_pool_empty_run(stack):
+    with VerifyPool(0) as pool:
+        assert pool.run([]) == []
+
+
+def test_workers_zero_is_explicit_serial(stack):
+    _node, _wallet, good_jobs, _bad = stack
+    pool = VerifyPool(0)
+    assert not pool.active
+    results = pool.run(good_jobs)
+    assert all(r.ok for r in results)
+    stats = pool.stats()
+    assert stats["serial_jobs"] == len(good_jobs)
+    assert stats["batches"] == 0
+
+
+def test_negative_workers_and_chunk_rejected():
+    with pytest.raises(ConfigurationError):
+        VerifyPool(-1)
+    with pytest.raises(ConfigurationError):
+        VerifyPool(1, chunk_size=0)
+
+
+def test_spawn_failure_falls_back_to_serial(stack, monkeypatch):
+    _node, _wallet, good_jobs, _bad = stack
+    import repro.parallel.pool as pool_mod
+
+    def broken_get_context(method):
+        raise OSError("no processes for you")
+
+    monkeypatch.setattr(pool_mod.multiprocessing, "get_context",
+                        broken_get_context)
+    pool = VerifyPool(2)
+    assert not pool.active
+    assert pool.stats()["spawn_failures"] == 1
+    results = pool.run(good_jobs)
+    assert all(r.ok for r in results)
+    assert pool.stats()["serial_jobs"] == len(good_jobs)
+
+
+def test_worker_crash_restarts_pool_once(stack):
+    _node, _wallet, good_jobs, _bad = stack
+    pool = VerifyPool(1, chunk_size=2)
+    assert pool.active
+
+    class _Exploding:
+        def map(self, fn, chunks):
+            raise RuntimeError("worker died")
+
+        def terminate(self):
+            pass
+
+        def join(self):
+            pass
+
+    pool._pool = _Exploding()
+    results = pool.run(good_jobs)  # restart succeeds, results still correct
+    assert all(r.ok for r in results)
+    assert pool.stats()["pool_restarts"] == 1
+    assert pool.active
+    pool.shutdown()
+
+
+def test_double_crash_retires_pool_permanently(stack, monkeypatch):
+    _node, _wallet, good_jobs, _bad = stack
+    import repro.parallel.pool as pool_mod
+
+    pool = VerifyPool(1)
+
+    class _Exploding:
+        def map(self, fn, chunks):
+            raise RuntimeError("worker died")
+
+        def terminate(self):
+            pass
+
+        def join(self):
+            pass
+
+    pool._teardown()
+    pool._pool = _Exploding()
+    # The respawned pool explodes too.
+    monkeypatch.setattr(pool, "_spawn",
+                        lambda: setattr(pool, "_pool", _Exploding()))
+    results = pool.run(good_jobs)
+    assert all(r.ok for r in results)
+    stats = pool.stats()
+    assert stats["serial_fallbacks"] == 1
+    assert not pool.active
+    # Permanently serial from here on: no further restart attempts.
+    results = pool.run(good_jobs)
+    assert all(r.ok for r in results)
+    assert pool.stats()["pool_restarts"] == 1
+
+
+def test_shutdown_degrades_to_serial(stack):
+    _node, _wallet, good_jobs, bad_job = stack
+    pool = VerifyPool(2)
+    pool.shutdown()
+    assert not pool.active
+    results = pool.run([*good_jobs, bad_job])
+    assert [r.ok for r in results].count(False) == 1
+    pool.shutdown()  # idempotent
+
+
+def test_pool_metrics_reach_registry(stack):
+    _node, _wallet, good_jobs, _bad = stack
+    registry = MetricsRegistry()
+    with VerifyPool(2, chunk_size=3, registry=registry) as pool:
+        pool.run(good_jobs)
+    snap = registry.snapshot()
+    assert snap["counters"]["parallel.jobs"] == len(good_jobs)
+    assert snap["counters"]["parallel.batches"] == 2
+    assert snap["gauges"]["parallel.workers"] == 2
+    assert snap["gauges"]["parallel.queue_depth"] == 0
+    worker_jobs = {name: value for name, value in snap["counters"].items()
+                   if name.startswith("parallel.worker_jobs")}
+    assert sum(worker_jobs.values()) == len(good_jobs)
+
+
+def test_engine_attach_detach(stack):
+    node, _wallet, _good, _bad = stack
+    engine = node.engine
+    pool = VerifyPool(0)
+    engine.attach_pool(pool)
+    assert engine.verify_pool is pool
+    engine.detach_pool()
+    assert engine.verify_pool is None
+
+
+def test_daemon_crash_detaches_and_restart_reattaches(stack):
+    from repro.core.costmodel import CostModel
+    from repro.core.daemon import BlockchainDaemon
+    from repro.p2p.network import WANetwork
+    from repro.sim.core import Simulator
+    from repro.sim.latency import ConstantLatency
+
+    params = ChainParams(coinbase_maturity=1)
+    sim = Simulator()
+    wan = WANetwork(sim, random.Random(1),
+                    latency=ConstantLatency(delay=0.01))
+    node = FullNode(params, "host")
+    pool = VerifyPool(0)
+    daemon = BlockchainDaemon(sim, "host", wan, node, CostModel(),
+                              random.Random(2), verify_pool=pool)
+    assert node.engine.verify_pool is pool
+    daemon.crash()
+    assert node.engine.verify_pool is None
+    replacement = FullNode(params, "host")
+    daemon.restart(replacement)
+    assert replacement.engine.verify_pool is pool
+
+
+def test_mempool_admission_through_pool(stack):
+    """Pool-backed admission accepts valid and rejects invalid identically."""
+    rng = random.Random(0xFACE)
+    params = ChainParams(coinbase_maturity=1)
+
+    def build(workers):
+        node = FullNode(params, f"adm-{workers}")
+        wallet = Wallet(node.chain, KeyPair.generate(random.Random(7)))
+        wallet.watch_chain()
+        miner = Miner(chain=node.chain, mempool=node.mempool,
+                      reward_pubkey_hash=wallet.pubkey_hash)
+        for i in range(4):
+            miner.mine_and_connect(float(i))
+        return node, wallet
+
+    serial_node, serial_wallet = build(0)
+    pooled_node, pooled_wallet = build(2)
+    pool = VerifyPool(2)
+    pooled_node.engine.attach_pool(pool)
+    try:
+        for node, wallet in ((serial_node, serial_wallet),
+                             (pooled_node, pooled_wallet)):
+            tx = wallet.create_payment(wallet.pubkey_hash, 250)
+            node.mempool.accept(tx)
+            assert tx.txid in node.mempool
+            bad = wallet.create_payment(wallet.pubkey_hash, 260)
+            sig, pub = bad.inputs[0].script_sig.elements
+            bad = bad.with_input_script(
+                0, Script([bytes([sig[0] ^ 1]) + sig[1:], pub]))
+            with pytest.raises(ValidationError,
+                               match="script verification failed"):
+                node.mempool.accept(bad)
+    finally:
+        pool.shutdown()

@@ -19,6 +19,7 @@ Scoping notes (why each rule covers what it covers):
 from __future__ import annotations
 
 import ast
+from typing import Optional
 
 from tools.checks import Checker
 
@@ -30,6 +31,7 @@ __all__ = [
     "UnorderedSetIterationChecker",
     "DeprecatedValidationImportChecker",
     "AdHocTelemetryChecker",
+    "MultiprocessingOutsideParallelChecker",
 ]
 
 _CONSENSUS_PACKAGES = (
@@ -274,6 +276,41 @@ class AdHocTelemetryChecker(Checker):
         self.generic_visit(node)
 
 
+class MultiprocessingOutsideParallelChecker(Checker):
+    """Process-level parallelism lives in ``repro.parallel`` only.
+
+    The pool's determinism guarantees (ordered aggregation, serial
+    fallback, parent-owned cache) hold because every fan-out goes through
+    :class:`~repro.parallel.pool.VerifyPool`.  A stray ``multiprocessing``
+    import elsewhere in ``repro`` would bypass all of them — and would
+    silently break on platforms whose spawn method can't pickle the
+    object graph.  Tests and benchmarks may orchestrate processes freely.
+    """
+
+    rule = "multiprocessing-outside-parallel"
+
+    _MODULE = "multiprocessing"
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        return (path.startswith("src/repro/")
+                and not path.startswith("src/repro/parallel/"))
+
+    def _check_module(self, node: ast.AST, name: Optional[str]) -> None:
+        if name == self._MODULE or (name or "").startswith(self._MODULE + "."):
+            self.report(node, f"'{name}' import outside repro.parallel — "
+                              f"go through VerifyPool")
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check_module(node, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self._check_module(node, node.module)
+        self.generic_visit(node)
+
+
 ALL_CHECKERS: tuple[type[Checker], ...] = (
     BareExceptChecker,
     ConsensusWallClockChecker,
@@ -281,4 +318,5 @@ ALL_CHECKERS: tuple[type[Checker], ...] = (
     UnorderedSetIterationChecker,
     DeprecatedValidationImportChecker,
     AdHocTelemetryChecker,
+    MultiprocessingOutsideParallelChecker,
 )
