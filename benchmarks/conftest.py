@@ -58,7 +58,7 @@ def print_row(label: str, *values) -> None:
 
 def print_histogram(samples, bins=16, width=40) -> None:
     """ASCII histogram, the shape the paper's Figs. 5/6 plot."""
-    from repro.sim.trace import histogram
+    from repro.obs.stats import histogram
     rows = histogram(samples, bins=bins)
     peak = max(count for _lo, _hi, count in rows) or 1
     for lo, hi, count in rows:

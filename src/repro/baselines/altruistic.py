@@ -21,7 +21,7 @@ from typing import Optional
 
 from repro.baselines.lorawan import BaselineReport
 from repro.core.config import NetworkConfig
-from repro.core.metrics import ExchangeTracker
+from repro.obs.exchange import ExchangeTracker
 from repro.errors import ConfigurationError
 from repro.lora.channel import Position, RadioChannel
 from repro.lora.device import EU868_DOWNLINK_CHANNEL, LoRaRadio

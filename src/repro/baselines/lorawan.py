@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.config import NetworkConfig
-from repro.core.metrics import ExchangeTracker
+from repro.obs.exchange import ExchangeTracker
 from repro.lora.channel import Position, RadioChannel
 from repro.lora.device import EU868_DOWNLINK_CHANNEL, LoRaRadio
 from repro.lora.frames import DataFrame
@@ -31,7 +31,7 @@ from repro.p2p.network import WANetwork
 from repro.sim.core import Simulator
 from repro.sim.latency import PlanetLabLatencyMatrix
 from repro.sim.rng import RngRegistry
-from repro.sim.trace import Summary
+from repro.obs.stats import Summary
 
 __all__ = ["LoRaWANBaseline", "BaselineReport"]
 

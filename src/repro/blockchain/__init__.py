@@ -15,6 +15,8 @@ implements the equivalent substrate:
   the deprecated free-function shims);
 * :mod:`repro.blockchain.mempool`, :mod:`repro.blockchain.miner` —
   unconfirmed pool and block production;
+* :mod:`repro.blockchain.checkpoint` — sub-chain digests anchored on the
+  global settlement chain of a hierarchical federation;
 * :mod:`repro.blockchain.wallet` — keys, coins, and the BcWAN transaction
   shapes (OP_RETURN announcements, Listing-1 key-release offers);
 * :mod:`repro.blockchain.node` — the assembled full node.
@@ -22,6 +24,17 @@ implements the equivalent substrate:
 
 from repro.blockchain.block import Block, BlockHeader
 from repro.blockchain.chain import AddBlockResult, BlockRecord, Chain, create_genesis_block
+from repro.blockchain.checkpoint import (
+    CHECKPOINT_MAGIC,
+    Checkpoint,
+    CheckpointRules,
+    build_checkpoint_payload,
+    iter_checkpoints,
+    latest_checkpoints,
+    parse_checkpoint_payload,
+    settlement_proof,
+    verify_settlement,
+)
 from repro.blockchain.context import TransactionContext
 from repro.blockchain.engine import (
     MAX_MONEY,
@@ -58,10 +71,13 @@ __all__ = [
     "Block",
     "BlockHeader",
     "BlockRecord",
+    "CHECKPOINT_MAGIC",
     "COIN",
     "COINBASE_OUTPOINT",
     "Chain",
     "ChainParams",
+    "Checkpoint",
+    "CheckpointRules",
     "FullNode",
     "KeyReleaseOffer",
     "MAX_MONEY",
@@ -84,13 +100,19 @@ __all__ = [
     "UTXOSet",
     "UTXOView",
     "Wallet",
+    "build_checkpoint_payload",
     "create_genesis_block",
     "deserialize_block",
+    "iter_checkpoints",
+    "latest_checkpoints",
     "load_chain",
     "merkle_branch",
     "merkle_root",
+    "parse_checkpoint_payload",
     "save_chain",
     "serialize_block",
+    "settlement_proof",
     "slot_of",
     "verify_branch",
+    "verify_settlement",
 ]

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro.blockchain.block import Block
+from repro.blockchain.checkpoint import Checkpoint, iter_checkpoints
 from repro.blockchain.context import TransactionContext
 from repro.blockchain.params import ChainParams
 from repro.blockchain.transaction import OutPoint, Transaction
@@ -232,6 +233,10 @@ class ValidationEngine:
         # multi-input admission through batched (possibly multi-process)
         # verification with serial-identical verdicts.
         self.verify_pool = None
+        # Optional repro.blockchain.checkpoint.CheckpointRules.  Set only
+        # on a settlement-chain engine; gateway sub-chains leave it None
+        # and pay a single attribute load per transaction.
+        self.checkpoint_rules = None
 
     # -- stage 1: syntax -------------------------------------------------------
 
@@ -403,6 +408,33 @@ class ValidationEngine:
                 executions += 1
         return executions
 
+    # -- anchor-chain checkpoint rules -----------------------------------------
+
+    def check_checkpoints(self, tx: Transaction,
+                          pending: Optional[dict[int, "Checkpoint"]] = None,
+                          ) -> None:
+        """Validate any checkpoint commitments ``tx`` carries.
+
+        A no-op unless :class:`CheckpointRules` are attached (i.e. this
+        engine validates the settlement chain).  ``pending`` overlays
+        checkpoints staged earlier in the same block.
+        """
+        if self.checkpoint_rules is None:
+            return
+        for checkpoint in iter_checkpoints(tx):
+            self.checkpoint_rules.check(checkpoint, tx.txid, pending)
+
+    def _stage_checkpoints(self, tx: Transaction,
+                           pending: dict[int, "Checkpoint"],
+                           txids: list[bytes]) -> None:
+        """Stage ``tx``'s checkpoints against committed + staged state."""
+        staged = False
+        for checkpoint in iter_checkpoints(tx):
+            self.checkpoint_rules.stage(checkpoint, tx.txid, pending)
+            staged = True
+        if staged:
+            txids.append(tx.txid)
+
     # -- block stages ----------------------------------------------------------
 
     def check_block(self, block: Block, prev_height: int) -> None:
@@ -457,7 +489,20 @@ class ValidationEngine:
         executions = 0
         batch = (_ScriptBatch(self)
                  if verify_scripts and self.verify_pool is not None else None)
+        # Block-scoped checkpoint staging: applied to the rules only when
+        # the block commits, so speculative and failed connects leave the
+        # anchored state untouched.
+        pending_checkpoints: dict[int, Checkpoint] = {}
+        checkpoint_txids: list[bytes] = []
         for tag, tx in enumerate(block.transactions):
+            if self.checkpoint_rules is not None:
+                try:
+                    self._stage_checkpoints(
+                        tx, pending_checkpoints, checkpoint_txids)
+                except ValidationError as exc:
+                    if batch is not None:
+                        batch.barrier(exc)
+                    raise
             if batch is None:
                 total_fees += self.check_transaction_inputs(tx, view, height)
                 if verify_scripts:
@@ -488,6 +533,9 @@ class ValidationEngine:
             )
         if commit:
             view.commit()
+            if self.checkpoint_rules is not None:
+                self.checkpoint_rules.apply(pending_checkpoints,
+                                            checkpoint_txids)
         report = ValidationReport(
             block_hash=block.hash,
             height=height,

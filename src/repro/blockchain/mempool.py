@@ -80,6 +80,9 @@ class Mempool:
         if tx.is_coinbase:
             raise ValidationError("coinbase transactions cannot enter the pool")
         self._engine.check_transaction_syntax(tx)
+        # Anchor-chain only (no-op elsewhere): stale checkpoints are
+        # turned away at admission, before input resolution.
+        self._engine.check_checkpoints(tx)
 
         conflicts = self.conflicts_with(tx)
         if conflicts:

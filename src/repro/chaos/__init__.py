@@ -29,10 +29,11 @@ from repro.chaos.faults import (
     PeerStall,
 )
 from repro.chaos.injector import ChaosInjector
-from repro.chaos.scenario import Federation, build_federation
+from repro.chaos.scenario import Federation, build_federation, topology_mesh
 from repro.chaos.verify import (
     ConvergenceReport,
     assert_converged,
+    assert_hierarchy_converged,
     chain_digest,
     utxo_digest,
 )
@@ -48,8 +49,10 @@ __all__ = [
     "ChaosInjector",
     "Federation",
     "build_federation",
+    "topology_mesh",
     "ConvergenceReport",
     "assert_converged",
+    "assert_hierarchy_converged",
     "chain_digest",
     "utxo_digest",
 ]

@@ -14,7 +14,7 @@ import hashlib
 from dataclasses import dataclass
 
 __all__ = ["ConvergenceReport", "chain_digest", "utxo_digest",
-           "assert_converged"]
+           "assert_converged", "assert_hierarchy_converged"]
 
 
 def chain_digest(chain) -> str:
@@ -97,3 +97,28 @@ def assert_converged(daemons, require_online: bool = True) -> ConvergenceReport:
         utxo_digest=reference[4],
         participants=tuple(row[0] for row in rows),
     )
+
+
+def assert_hierarchy_converged(groups, require_online: bool = True
+                               ) -> dict[str, ConvergenceReport]:
+    """Per-chain convergence for a hierarchical federation.
+
+    ``groups`` maps a chain label (``"region-0"``, ``"anchor"``, …) to
+    the daemons following that chain — exactly the shape
+    :meth:`repro.core.network.BcWANNetwork.convergence_groups` returns.
+    Each group must converge *internally*; different groups follow
+    different chains and are never compared to each other.  Returns the
+    per-group reports; the failing group's name prefixes any assertion
+    message so a cross-shard chaos failure points at the right chain.
+    """
+    if not groups:
+        raise AssertionError(
+            "assert_hierarchy_converged needs at least one group")
+    reports: dict[str, ConvergenceReport] = {}
+    for label, daemons in groups.items():
+        try:
+            reports[label] = assert_converged(
+                daemons, require_online=require_online)
+        except AssertionError as exc:
+            raise AssertionError(f"[{label}] {exc}") from None
+    return reports

@@ -10,11 +10,13 @@
   :mod:`repro.core.recipient` — the three protocol roles of Fig. 3;
 * :mod:`repro.core.network` — the full-testbed assembly;
 * :mod:`repro.core.costmodel` — calibrated processing times;
-* :mod:`repro.core.metrics` — per-exchange instrumentation.
+* :mod:`repro.core.settlement` — regional checkpoint anchoring onto the
+  global settlement chain (per-exchange instrumentation moved to
+  :mod:`repro.obs.exchange`).
 """
 
 from repro.core.analysis import LegBreakdown, decompose, format_breakdown
-from repro.core.config import NetworkConfig
+from repro.core.config import NetworkConfig, RegionTopology
 from repro.core.costmodel import CostModel
 from repro.core.election import MasterElection
 from repro.core.rewards import (
@@ -44,8 +46,9 @@ from repro.core.messages import (
     sign_payload,
     verify_payload,
 )
-from repro.core.metrics import ExchangeRecord, ExchangeTracker
-from repro.core.network import BcWANNetwork, RunReport, Site
+from repro.obs.exchange import ExchangeRecord, ExchangeTracker
+from repro.core.network import BcWANNetwork, Region, RunReport, Site
+from repro.core.settlement import CheckpointAgent
 from repro.core.node_agent import NodeAgent
 from repro.core.provisioning import (
     DeviceCredentials,
@@ -59,6 +62,7 @@ __all__ = [
     "BUNDLE_SIZE",
     "BcWANNetwork",
     "BlockchainDaemon",
+    "CheckpointAgent",
     "CongestionPricing",
     "CostModel",
     "FixedPricing",
@@ -81,6 +85,8 @@ __all__ = [
     "NodeAgent",
     "RecipientAgent",
     "RecipientRegistry",
+    "Region",
+    "RegionTopology",
     "RunReport",
     "SealedBundle",
     "Site",

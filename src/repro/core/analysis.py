@@ -18,8 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.metrics import ExchangeRecord, ExchangeTracker
-from repro.sim.trace import Summary
+from repro.obs.exchange import ExchangeRecord, ExchangeTracker
+from repro.obs.stats import Summary
 
 __all__ = ["LegBreakdown", "decompose", "format_breakdown"]
 

@@ -15,7 +15,59 @@ from repro.blockchain.params import COIN, ChainParams
 from repro.core.costmodel import CostModel
 from repro.errors import ConfigurationError
 
-__all__ = ["NetworkConfig"]
+__all__ = ["NetworkConfig", "RegionTopology"]
+
+
+@dataclass(frozen=True)
+class RegionTopology:
+    """How a federation is carved into regions.
+
+    The default — one region — is the paper's flat deployment: a single
+    gateway chain mined by one master, a global gossip mesh.  With
+    ``regions > 1`` the network becomes hierarchical: each region runs
+    its own gateway sub-chain (own master or PoS schedule, own mempool,
+    region-scoped gossip mesh) and a global *settlement chain* anchors
+    every sub-chain through periodic checkpoint transactions.
+
+    :param regions: how many regional sub-chains the federation runs.
+    :param roaming: where a roaming sensor's recipient gateway lives —
+        ``"region"`` keeps ``roaming_offset`` rotations inside the home
+        region (every delivery stays intra-region), ``"global"`` rotates
+        across the whole federation (deliveries whose home and recipient
+        gateways land in different regions settle cross-region through
+        the anchor).
+    :param checkpoint_interval: sim-seconds between a region's checkpoint
+        commits onto the settlement chain.
+    :param border_peers: cross-region gossip links per region pair on the
+        settlement mesh (and in :func:`repro.chaos.scenario.\
+build_federation`'s topology-aware mesh).
+    """
+
+    regions: int = 1
+    roaming: str = "region"
+    checkpoint_interval: float = 60.0
+    border_peers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.regions < 1:
+            raise ConfigurationError(
+                f"need at least one region, got {self.regions}"
+            )
+        if self.roaming not in ("region", "global"):
+            raise ConfigurationError(
+                f"unknown roaming policy: {self.roaming!r} "
+                f"(expected 'region' or 'global')"
+            )
+        if self.checkpoint_interval <= 0:
+            raise ConfigurationError(
+                f"checkpoint interval must be positive: "
+                f"{self.checkpoint_interval}"
+            )
+        if self.border_peers < 1:
+            raise ConfigurationError(
+                f"need at least one border peer per region pair, got "
+                f"{self.border_peers}"
+            )
 
 
 @dataclass(frozen=True)
@@ -65,6 +117,10 @@ class NetworkConfig:
     sensors_per_gateway: int = 30
     roaming_offset: int = 1
     seed: int = 0
+    # Hierarchical federation: regions=1 (the default) is the paper's
+    # flat deployment and is guaranteed to reproduce it exactly; see
+    # RegionTopology for the sharded mode.
+    topology: RegionTopology = field(default_factory=RegionTopology)
 
     block_interval: float = 15.0
     # "master": the paper's PoC — a dedicated master node mines on a
@@ -179,6 +235,18 @@ class NetworkConfig:
                 f"parallel worker count cannot be negative: "
                 f"{self.parallel_workers}"
             )
+        if self.num_gateways % self.topology.regions != 0:
+            raise ConfigurationError(
+                f"{self.num_gateways} gateways do not divide evenly into "
+                f"{self.topology.regions} regions"
+            )
+        if (self.topology.regions > 1
+                and self.topology.roaming == "region"
+                and self.roaming_offset >= self.gateways_per_region):
+            raise ConfigurationError(
+                f"roaming offset {self.roaming_offset} out of range for "
+                f"{self.gateways_per_region} gateways per region"
+            )
         # Surface chain-parameter violations (block size floor, etc.) at
         # configuration time rather than at network assembly.
         self.chain_params()
@@ -203,3 +271,32 @@ class NetworkConfig:
     @property
     def total_sensors(self) -> int:
         return self.num_gateways * self.sensors_per_gateway
+
+    # -- region helpers (trivially flat when topology.regions == 1) ------------
+
+    @property
+    def gateways_per_region(self) -> int:
+        return self.num_gateways // self.topology.regions
+
+    def region_of_site(self, site_index: int) -> int:
+        """Which region the ``site_index``-th gateway site belongs to."""
+        return site_index // self.gateways_per_region
+
+    def region_site_indices(self, region: int) -> range:
+        """The global site indices making up ``region``."""
+        start = region * self.gateways_per_region
+        return range(start, start + self.gateways_per_region)
+
+    def recipient_site(self, actor_index: int) -> int:
+        """Where actor ``i``'s recipient gateway lives, after roaming.
+
+        Flat (or ``roaming == "global"``): the classic
+        ``(i + roaming_offset) % num_gateways`` rotation.  With
+        ``roaming == "region"`` the rotation wraps inside the actor's
+        home region, so every delivery stays intra-region.
+        """
+        if self.topology.regions == 1 or self.topology.roaming == "global":
+            return (actor_index + self.roaming_offset) % self.num_gateways
+        per = self.gateways_per_region
+        region_start = (actor_index // per) * per
+        return region_start + (actor_index % per + self.roaming_offset) % per

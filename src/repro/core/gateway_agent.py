@@ -23,19 +23,20 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.blockchain.transaction import OutPoint
+from repro.blockchain.transaction import OutPoint, Transaction
 from repro.blockchain.wallet import KeyReleaseOffer, Wallet
 from repro.core.costmodel import CostModel
 from repro.core.daemon import BlockchainDaemon
 from repro.core.directory import DirectoryView
-from repro.core.metrics import ExchangeTracker
+from repro.obs.exchange import ExchangeTracker
 from repro.core.rewards import FixedPricing, PricingPolicy
 from repro.crypto import rsa
 from repro.errors import ValidationError
 from repro.lora.class_a import RX1_DELAY, RX2_DELAY, ClassAWindows
 from repro.lora.device import LoRaRadio
 from repro.lora.frames import DataFrame, KeyRequestFrame, KeyResponseFrame
-from repro.p2p.message import DeliveryAck, DeliveryMessage, Envelope
+from repro.p2p.message import (ClaimMessage, DeliveryAck, DeliveryMessage,
+                               Envelope)
 from repro.p2p.network import WANetwork
 from repro.script.builder import parse_ephemeral_key_release
 from repro.sim.core import Simulator
@@ -67,7 +68,8 @@ class GatewayAgent:
                  claim_fee: int = 0,
                  wait_for_confirmation: bool = False,
                  rsa_bits: int = 512,
-                 class_a: bool = False) -> None:
+                 class_a: bool = False,
+                 chain_id: str = "") -> None:
         self.sim = sim
         self.name = name
         self.radio = radio
@@ -91,9 +93,15 @@ class GatewayAgent:
         # scheduled into a window rather than fired immediately.
         self.class_a = class_a
         self.downlinks_unschedulable = 0
+        # Which sub-chain this gateway's daemon follows.  Empty in a flat
+        # federation; in a hierarchical one it is the region's chain id,
+        # and an ack from a recipient on a different sub-chain switches
+        # the claim to the cross-region path.
+        self.chain_id = chain_id
 
         self.deliveries_forwarded = 0
         self.claims_made = 0
+        self.cross_region_claims = 0
         self.rewards_claimed = 0
 
         self._ephemeral: dict[int, _PendingDelivery] = {}
@@ -200,6 +208,7 @@ class GatewayAgent:
             node_id=frame.sender,
             gateway_pubkey_hash=self.wallet.pubkey_hash,
             price=pending.quoted_price,
+            chain_id=self.chain_id,
         ), parent=parent)
 
     # -- blockchain side ----------------------------------------------------------
@@ -216,6 +225,12 @@ class GatewayAgent:
             return
         pending = self._ephemeral.get(ack.delivery_id)
         if pending is None:
+            return
+        if ack.chain_id != self.chain_id and ack.offer_tx_bytes:
+            # The recipient settles on a different sub-chain: the offer
+            # will never reach this daemon's mempool, so it travelled
+            # serialized inside the ack instead.
+            self.sim.process(self._claim_remote(ack, envelope.source))
             return
         pending.offer_txid = ack.offer_txid
         self._awaiting_offer[ack.offer_txid] = ack.delivery_id
@@ -273,6 +288,48 @@ class GatewayAgent:
         if accepted:
             self.claims_made += 1
             self.rewards_claimed += offer.amount - self.claim_fee
+
+    def _claim_remote(self, ack: DeliveryAck, source: str):
+        """Cross-region step 10: audit the serialized offer, relay the claim.
+
+        The escrow lives on the recipient's sub-chain, which this daemon
+        does not follow, so the usual mempool watch cannot work.  Both
+        the audit and the claim construction are chain-state-free; the
+        signed claim goes back over the WAN and the *recipient* broadcasts
+        it where the coin lives.  ``wait_for_confirmation`` is necessarily
+        skipped — this gateway has no view of the foreign chain to poll.
+        """
+        pending = self._ephemeral.pop(ack.delivery_id, None)
+        record = self.tracker.get(ack.delivery_id)
+        if pending is None:
+            return
+        try:
+            offer_tx = Transaction.deserialize(ack.offer_tx_bytes)
+        except (ValidationError, ValueError, IndexError):
+            if record is not None:
+                self.tracker.fail(record, "undecodable cross-region offer")
+            return
+        if offer_tx.txid != ack.offer_txid:
+            if record is not None:
+                self.tracker.fail(record, "cross-region offer txid mismatch")
+            return
+        offer = self._audit_offer(offer_tx, pending)
+        if offer is None:
+            if record is not None:
+                self.tracker.fail(record, "offer failed gateway audit")
+            return
+        claim_tx = yield self.daemon.rpc(
+            lambda: self.wallet.claim_key_release(
+                offer, pending.ephemeral_key.to_bytes(), fee=self.claim_fee,
+            )
+        )
+        self.wan.send(self.name, source, ClaimMessage(
+            delivery_id=ack.delivery_id,
+            claim_tx_bytes=claim_tx.serialize(),
+        ))
+        self.claims_made += 1
+        self.cross_region_claims += 1
+        self.rewards_claimed += offer.amount - self.claim_fee
 
     def _audit_offer(self, offer_tx, pending: _PendingDelivery
                      ) -> Optional[KeyReleaseOffer]:

@@ -15,6 +15,18 @@
 
 ``run(num_exchanges=2000)`` drives the workload of section 5.2 and
 returns a :class:`RunReport` with the latency distribution of Fig. 5/6.
+
+**Hierarchical mode** (``config.topology.regions > 1``): the federation
+is carved into regions, each running its *own* gateway sub-chain — own
+master (or PoS schedule), own mempool, region-scoped gossip mesh — so
+intra-region fair exchanges never leave the region.  A global
+*settlement chain* ("anchor"), mined by a dedicated anchor master,
+receives periodic checkpoint transactions from each region's
+:class:`~repro.core.settlement.CheckpointAgent`; cross-region deliveries
+escrow on the recipient's sub-chain and the claim travels back over the
+WAN (see :mod:`repro.core.recipient`).  ``topology.regions == 1`` (the
+default) takes the exact flat assembly path above and reproduces the
+paper's results bit-for-bit.
 """
 
 from __future__ import annotations
@@ -23,14 +35,16 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.blockchain.checkpoint import CheckpointRules
 from repro.blockchain.miner import Miner
 from repro.blockchain.node import FullNode
 from repro.blockchain.wallet import Wallet
 from repro.core.config import NetworkConfig
+from repro.core.settlement import CheckpointAgent
 from repro.core.daemon import BlockchainDaemon, DaemonStats
 from repro.core.directory import DirectoryView, build_announcement_payload
 from repro.core.gateway_agent import GatewayAgent
-from repro.core.metrics import ExchangeTracker
+from repro.obs.exchange import ExchangeTracker
 from repro.core.node_agent import NodeAgent
 from repro.core.provisioning import RecipientRegistry, provision_device
 from repro.core.recipient import RecipientAgent
@@ -48,9 +62,9 @@ from repro.p2p.network import WANetwork
 from repro.sim.core import Simulator
 from repro.sim.latency import PlanetLabLatencyMatrix
 from repro.sim.rng import RngRegistry
-from repro.sim.trace import Summary, histogram
+from repro.obs.stats import Summary, histogram
 
-__all__ = ["BcWANNetwork", "Site", "RunReport"]
+__all__ = ["BcWANNetwork", "Region", "Site", "RunReport"]
 
 
 @dataclass
@@ -67,6 +81,27 @@ class Site:
     gateway: GatewayAgent
     recipient: RecipientAgent
     registry: RecipientRegistry
+    # Hierarchical mode: which region (and sub-chain) this site belongs
+    # to.  Flat deployments leave the defaults.
+    region: int = 0
+    chain_id: str = ""
+
+
+@dataclass
+class Region:
+    """One regional sub-chain of a hierarchical federation."""
+
+    index: int
+    chain_id: str
+    master_node: FullNode
+    master_daemon: BlockchainDaemon
+    master_wallet: Wallet
+    miner: Miner
+    sites: list[Site]
+    # This region's presence on the global settlement chain.
+    anchor_daemon: BlockchainDaemon
+    anchor_wallet: Wallet
+    checkpoint_agent: CheckpointAgent
 
 
 @dataclass
@@ -138,6 +173,7 @@ class BcWANNetwork:
                          if self.config.profile_hot_paths else None)
         self.tracker = ExchangeTracker(self.tracer)
         self.sites: list[Site] = []
+        self.regions: list[Region] = []
         self.sensors: list[NodeAgent] = []
         self._exchanges_launched = 0
         self._build()
@@ -156,6 +192,14 @@ class BcWANNetwork:
             from repro.parallel.pool import VerifyPool
             self.verify_pool = VerifyPool(cfg.parallel_workers,
                                           registry=self.registry)
+
+        if cfg.topology.regions == 1:
+            self._build_flat(params)
+        else:
+            self._build_hierarchical(params)
+
+    def _build_flat(self, params) -> None:
+        cfg = self.config
 
         # Master (the AWS EC2 instance): bootstraps and mines.
         # Script re-verification on block connect is disabled on every
@@ -198,52 +242,14 @@ class BcWANNetwork:
         registries = [RecipientRegistry() for _ in range(cfg.num_gateways)]
 
         for i, name in enumerate(cfg.site_names):
-            node = FullNode(params, name, verify_scripts=False)
-            self._replay_chain(master_node, node)
-            daemon = BlockchainDaemon(
-                self.sim, name, self.wan, node, cfg.cost_model,
-                self.rngs.stream(f"daemon-{name}"),
-                verify_blocks=cfg.verify_blocks,
-                registry=self.registry, verify_pool=self.verify_pool,
-            )
-            if self.profiler is not None:
-                self._attach_profiler(node)
-            wallet = Wallet(node.chain, actor_keys[i])
-            wallet.watch_chain()
-            directory = DirectoryView(node.chain)
-            directory.follow()
-            channel = RadioChannel(self.sim, self.rngs.stream(f"radio-{name}"))
-            gateway_radio = LoRaRadio(
-                f"gw-{i}", channel, position=Position(0.0, 0.0),
-                modulation=modulation, duty_cycle=cfg.gateway_duty_cycle,
-                frequencies=(EU868_DOWNLINK_CHANNEL,), power_dbm=27.0,
-            )
-            gateway = GatewayAgent(
-                self.sim, name, gateway_radio, daemon, wallet, directory,
-                self.wan, cfg.cost_model, self.tracker,
-                self.rngs.stream(f"gateway-{name}"), price=cfg.price,
-                wait_for_confirmation=cfg.wait_for_confirmation,
-                rsa_bits=cfg.rsa_bits,
-                class_a=cfg.class_a_windows,
-            )
-            recipient = RecipientAgent(
-                self.sim, name, daemon, wallet, registries[i], self.wan,
-                cfg.cost_model, self.tracker,
-                self.rngs.stream(f"recipient-{name}"),
-                offer_fee=cfg.offer_fee,
-            )
-            self.sites.append(Site(
-                index=i, name=name, node=node, daemon=daemon, wallet=wallet,
-                directory=directory, channel=channel, gateway=gateway,
-                recipient=recipient, registry=registries[i],
+            self.sites.append(self._build_site(
+                i, name, params, master_node, actor_keys[i], registries[i],
+                modulation,
             ))
 
         # Full-mesh gossip.
         daemons = [self.master_daemon] + [site.daemon for site in self.sites]
-        for daemon in daemons:
-            for other in daemons:
-                if other is not daemon:
-                    daemon.gossip.connect(other.name)
+        self._connect_full_mesh(daemons)
 
         self._deploy_sensors(modulation)
         self._funding_baseline = {
@@ -253,6 +259,72 @@ class BcWANNetwork:
             self._setup_pos()
         else:
             self.sim.process(self._mining_loop())
+        self._start_common_loops()
+
+    def _build_site(self, i: int, name: str, params, source_node: FullNode,
+                    actor_key: KeyPair, registry: RecipientRegistry,
+                    modulation: LoRaModulation, chain_id: str = "",
+                    region: int = 0) -> Site:
+        """One gateway site: node, daemon, wallet, radio, both agents.
+
+        ``source_node`` holds the bootstrap chain the site's node replays
+        (the flat master's, or the site's region master's); ``chain_id``
+        tags the agents with the sub-chain they settle on.
+        """
+        cfg = self.config
+        node = FullNode(params, name, verify_scripts=False)
+        self._replay_chain(source_node, node)
+        daemon = BlockchainDaemon(
+            self.sim, name, self.wan, node, cfg.cost_model,
+            self.rngs.stream(f"daemon-{name}"),
+            verify_blocks=cfg.verify_blocks,
+            registry=self.registry, verify_pool=self.verify_pool,
+        )
+        if self.profiler is not None:
+            self._attach_profiler(node)
+        wallet = Wallet(node.chain, actor_key)
+        wallet.watch_chain()
+        directory = DirectoryView(node.chain)
+        directory.follow()
+        channel = RadioChannel(self.sim, self.rngs.stream(f"radio-{name}"))
+        gateway_radio = LoRaRadio(
+            f"gw-{i}", channel, position=Position(0.0, 0.0),
+            modulation=modulation, duty_cycle=cfg.gateway_duty_cycle,
+            frequencies=(EU868_DOWNLINK_CHANNEL,), power_dbm=27.0,
+        )
+        gateway = GatewayAgent(
+            self.sim, name, gateway_radio, daemon, wallet, directory,
+            self.wan, cfg.cost_model, self.tracker,
+            self.rngs.stream(f"gateway-{name}"), price=cfg.price,
+            wait_for_confirmation=cfg.wait_for_confirmation,
+            rsa_bits=cfg.rsa_bits,
+            class_a=cfg.class_a_windows,
+            chain_id=chain_id,
+        )
+        recipient = RecipientAgent(
+            self.sim, name, daemon, wallet, registry, self.wan,
+            cfg.cost_model, self.tracker,
+            self.rngs.stream(f"recipient-{name}"),
+            offer_fee=cfg.offer_fee,
+            chain_id=chain_id,
+        )
+        return Site(
+            index=i, name=name, node=node, daemon=daemon, wallet=wallet,
+            directory=directory, channel=channel, gateway=gateway,
+            recipient=recipient, registry=registry,
+            region=region, chain_id=chain_id,
+        )
+
+    @staticmethod
+    def _connect_full_mesh(daemons: list[BlockchainDaemon]) -> None:
+        for daemon in daemons:
+            for other in daemons:
+                if other is not daemon:
+                    daemon.gossip.connect(other.name)
+
+    def _start_common_loops(self) -> None:
+        """Reclaim sweeps and anti-entropy sync, over every daemon."""
+        cfg = self.config
         if cfg.reclaim_interval > 0:
             for site in self.sites:
                 self.sim.process(self._reclaim_loop(site))
@@ -260,8 +332,7 @@ class BcWANNetwork:
             from repro.p2p.sync import SyncAgent
             self.sync_agents = [
                 SyncAgent(self.sim, daemon, interval=cfg.sync_interval)
-                for daemon in [self.master_daemon]
-                + [site.daemon for site in self.sites]
+                for daemon in self.all_daemons().values()
             ]
             if self.profiler is not None:
                 for agent in self.sync_agents:
@@ -303,16 +374,19 @@ class BcWANNetwork:
                 )
         self._mine_until_mempool_empty(master_node)
 
-    def _mine_until_mempool_empty(self, master_node: FullNode) -> None:
+    def _mine_until_mempool_empty(self, master_node: FullNode,
+                                  miner: Optional[Miner] = None) -> None:
         """Mine bootstrap blocks until every pending tx confirms.
 
         With small ``max_block_size`` values a single block cannot carry
         all the funding fan-outs, so the bootstrap keeps mining.
         """
-        self.miner.mine_and_connect(0.0)
+        if miner is None:
+            miner = self.miner
+        miner.mine_and_connect(0.0)
         guard = 0
         while len(master_node.mempool):
-            self.miner.mine_and_connect(0.0)
+            miner.mine_and_connect(0.0)
             guard += 1
             if guard > 10_000:
                 raise ConfigurationError(
@@ -326,13 +400,243 @@ class BcWANNetwork:
         for _height, block in source.chain.iter_active_blocks(start_height=1):
             target.chain.add_block(block)
 
+    # -- hierarchical assembly ---------------------------------------------------
+
+    def _build_hierarchical(self, params) -> None:
+        """Regional sub-chains anchored to a global settlement chain."""
+        cfg = self.config
+        topo = cfg.topology
+
+        actor_keys = [
+            KeyPair.generate(self.rngs.stream(f"actor-key-{i}"))
+            for i in range(cfg.num_gateways)
+        ]
+
+        # WAN: every host — gateway sites, region masters, the anchor
+        # master and each region's settlement node — on one latency
+        # matrix; partitions can therefore cut region or anchor links
+        # independently.
+        master_names = [f"master-r{r}" for r in range(topo.regions)]
+        anchor_names = [f"anchor-r{r}" for r in range(topo.regions)]
+        hosts = cfg.site_names + master_names + ["anchor"] + anchor_names
+        latency = PlanetLabLatencyMatrix(
+            hosts, seed=cfg.seed ^ 0x5EED,
+            median_range=cfg.wan_median_range, sigma=cfg.wan_sigma,
+        )
+        self.wan = WANetwork(self.sim, self.rngs.stream("wan"), latency,
+                             loss_rate=cfg.wan_loss_rate)
+        self.wan.tracer = self.tracer
+
+        # Global settlement chain.  Every settlement engine carries its
+        # own CheckpointRules, so each anchor node independently rejects
+        # stale or regressing region digests.
+        anchor_node = FullNode(params, "anchor", verify_scripts=False)
+        anchor_node.engine.checkpoint_rules = CheckpointRules()
+        anchor_key = KeyPair.generate(self.rngs.stream("anchor-master-key"))
+        self.anchor_wallet = Wallet(anchor_node.chain, anchor_key)
+        self.anchor_wallet.watch_chain()
+        self.anchor_miner = Miner(
+            chain=anchor_node.chain, mempool=anchor_node.mempool,
+            reward_pubkey_hash=self.anchor_wallet.pubkey_hash,
+        )
+        settlement_keys = [
+            KeyPair.generate(self.rngs.stream(f"anchor-key-{r}"))
+            for r in range(topo.regions)
+        ]
+        self._bootstrap_settlement(anchor_node, settlement_keys)
+        self.anchor_daemon = BlockchainDaemon(
+            self.sim, "anchor", self.wan, anchor_node, cfg.cost_model,
+            self.rngs.stream("daemon-anchor"), verify_blocks=False,
+            registry=self.registry, verify_pool=self.verify_pool,
+        )
+        if self.profiler is not None:
+            self._attach_profiler(anchor_node)
+            self.anchor_miner.obs = self.profiler
+        self.master_daemon = None  # hierarchical: no single flat master
+
+        modulation = LoRaModulation(spreading_factor=cfg.spreading_factor)
+        registries = [RecipientRegistry() for _ in range(cfg.num_gateways)]
+        height_gauge = self.registry.gauge("federation.subchain_height",
+                                           "region")
+
+        for r in range(topo.regions):
+            chain_id = f"region-{r}"
+            region_indices = list(cfg.region_site_indices(r))
+
+            # The region's own master: bootstraps and mines the sub-chain.
+            master_name = master_names[r]
+            master_node = FullNode(params, master_name, verify_scripts=False)
+            master_key = KeyPair.generate(
+                self.rngs.stream(f"master-key-r{r}"))
+            master_wallet = Wallet(master_node.chain, master_key)
+            master_wallet.watch_chain()
+            miner = Miner(chain=master_node.chain,
+                          mempool=master_node.mempool,
+                          reward_pubkey_hash=master_wallet.pubkey_hash)
+            self._bootstrap_region_chain(master_node, miner, master_wallet,
+                                         actor_keys, region_indices)
+            master_daemon = BlockchainDaemon(
+                self.sim, master_name, self.wan, master_node, cfg.cost_model,
+                self.rngs.stream(f"daemon-{master_name}"),
+                verify_blocks=False,
+                registry=self.registry, verify_pool=self.verify_pool,
+            )
+            if self.profiler is not None:
+                self._attach_profiler(master_node)
+                miner.obs = self.profiler
+
+            region_sites = [
+                self._build_site(i, cfg.site_names[i], params, master_node,
+                                 actor_keys[i], registries[i], modulation,
+                                 chain_id=chain_id, region=r)
+                for i in region_indices
+            ]
+            self.sites.extend(region_sites)
+
+            # Region-scoped gossip: full mesh inside the region only.
+            self._connect_full_mesh(
+                [master_daemon] + [site.daemon for site in region_sites])
+
+            # The region's settlement node + checkpoint agent.
+            anchor_r_node = FullNode(params, anchor_names[r],
+                                     verify_scripts=False)
+            anchor_r_node.engine.checkpoint_rules = CheckpointRules()
+            self._replay_chain(anchor_node, anchor_r_node)
+            anchor_r_daemon = BlockchainDaemon(
+                self.sim, anchor_names[r], self.wan, anchor_r_node,
+                cfg.cost_model, self.rngs.stream(f"daemon-{anchor_names[r]}"),
+                verify_blocks=cfg.verify_blocks,
+                registry=self.registry, verify_pool=self.verify_pool,
+            )
+            if self.profiler is not None:
+                self._attach_profiler(anchor_r_node)
+            anchor_r_wallet = Wallet(anchor_r_node.chain, settlement_keys[r])
+            anchor_r_wallet.watch_chain()
+            checkpoint_agent = CheckpointAgent(
+                self.sim, r, master_daemon, anchor_r_daemon, anchor_r_wallet,
+                cfg.cost_model, self.rngs.stream(f"checkpoint-r{r}"),
+                interval=topo.checkpoint_interval, registry=self.registry,
+            )
+            checkpoint_agent.start()
+            height_gauge.labels(region=str(r)).set(master_node.height)
+
+            self.regions.append(Region(
+                index=r, chain_id=chain_id, master_node=master_node,
+                master_daemon=master_daemon, master_wallet=master_wallet,
+                miner=miner, sites=region_sites,
+                anchor_daemon=anchor_r_daemon, anchor_wallet=anchor_r_wallet,
+                checkpoint_agent=checkpoint_agent,
+            ))
+
+        # Settlement mesh: the anchor master and every region's
+        # settlement node, fully meshed (small by construction — one node
+        # per region).
+        self._connect_full_mesh(
+            [self.anchor_daemon]
+            + [region.anchor_daemon for region in self.regions])
+
+        self._deploy_sensors(modulation)
+        self._funding_baseline = {
+            site.name: site.wallet.balance for site in self.sites
+        }
+        for region in self.regions:
+            if cfg.consensus == "pos":
+                self._setup_pos_region(region)
+            else:
+                self.sim.process(self._master_mining_loop(
+                    region.master_daemon, region.miner, region.chain_id))
+        self.sim.process(self._master_mining_loop(
+            self.anchor_daemon, self.anchor_miner, "anchor"))
+        self._start_common_loops()
+
+    def _bootstrap_settlement(self, anchor_node: FullNode,
+                              settlement_keys: list[KeyPair]) -> None:
+        """Mine the settlement chain's genesis era; fund region wallets."""
+        cfg = self.config
+        for _ in range(len(settlement_keys) + cfg.coinbase_maturity + 1):
+            self.anchor_miner.mine_and_connect(0.0)
+        for key in settlement_keys:
+            funding = self.anchor_wallet.create_fanout(
+                key.pubkey_hash, cfg.funding_coin_value, cfg.funding_coins,
+            )
+            decision = anchor_node.submit_transaction(funding)
+            if not decision.accepted:
+                raise ConfigurationError(
+                    f"settlement funding rejected: {decision.reason}"
+                )
+        self._mine_until_mempool_empty(anchor_node, self.anchor_miner)
+
+    def _bootstrap_region_chain(self, master_node: FullNode, miner: Miner,
+                                master_wallet: Wallet,
+                                actor_keys: list[KeyPair],
+                                region_indices: list[int]) -> None:
+        """Mine a region sub-chain's genesis era.
+
+        Funds the region's *own* actors, then publishes the IP
+        announcements of **every** actor in the federation: a gateway
+        resolving ``@R`` for a globally-roaming sensor looks the foreign
+        recipient up on its *own* sub-chain.  Announcement payloads are
+        actor-signed, so the region master's wallet can carry foreign
+        actors' announcements — those actors hold no coins here.
+        """
+        cfg = self.config
+        foreign = len(actor_keys) - len(region_indices)
+        # Mature coins: one per funding fan-out + one per foreign
+        # announcement the master carries, plus headroom.
+        for _ in range(len(region_indices) + foreign
+                       + cfg.coinbase_maturity + 1):
+            miner.mine_and_connect(0.0)
+        own = set(region_indices)
+        for i in region_indices:
+            funding = master_wallet.create_fanout(
+                actor_keys[i].pubkey_hash, cfg.funding_coin_value,
+                cfg.funding_coins,
+            )
+            decision = master_node.submit_transaction(funding)
+            if not decision.accepted:
+                raise ConfigurationError(
+                    f"region funding rejected: {decision.reason}"
+                )
+        self._mine_until_mempool_empty(master_node, miner)
+        for i, key in enumerate(actor_keys):
+            payload = build_announcement_payload(key, cfg.site_names[i])
+            if i in own:
+                carrier = Wallet(master_node.chain, key)
+                carrier.refresh_from_utxo_set()
+            else:
+                carrier = master_wallet
+            announcement = carrier.create_announcement(payload)
+            decision = master_node.submit_transaction(announcement)
+            if not decision.accepted:
+                raise ConfigurationError(
+                    f"region announcement rejected: {decision.reason}"
+                )
+        self._mine_until_mempool_empty(master_node, miner)
+
+    def _master_mining_loop(self, daemon: BlockchainDaemon, miner: Miner,
+                            chain_id: str):
+        """A dedicated master mines one chain every ``block_interval``."""
+        while True:
+            yield self.sim.timeout(self.config.block_interval)
+            span = self.tracer.span("block.mine", host=daemon.name,
+                                    region=chain_id)
+            block = yield daemon.rpc(
+                lambda: miner.mine_and_connect(self.sim.now)
+            )
+            span.end("ok", height=daemon.node.height,
+                     txs=len(block.transactions))
+            daemon.gossip.broadcast_block(block, parent=span)
+
     def _deploy_sensors(self, modulation: LoRaModulation) -> None:
         """Provision and place every end device in a foreign cell."""
         cfg = self.config
         placement_rng = self.rngs.stream("placement")
         for i in range(cfg.num_gateways):
             home = self.sites[i]
-            host_site = self.sites[(i + cfg.roaming_offset) % cfg.num_gateways]
+            # Flat: the classic (i + offset) % n rotation.  Hierarchical:
+            # the topology's roaming policy decides whether the rotation
+            # wraps inside the home region or across the federation.
+            host_site = self.sites[cfg.recipient_site(i)]
             for j in range(cfg.sensors_per_gateway):
                 device_id = f"dev-{i}-{j}"
                 credentials = provision_device(
@@ -455,6 +759,56 @@ class BcWANNetwork:
                      txs=len(block.transactions))
             site.daemon.gossip.broadcast_block(block, parent=span)
 
+    def _setup_pos_region(self, region: Region) -> None:
+        """Per-region stake lottery: the region's sites take turns.
+
+        Each region runs its *own* election (own epoch seed, own slot
+        schedule) over its own sub-chain; the settlement chain stays
+        master-mined by the anchor regardless.
+        """
+        from repro.blockchain.pos import PoSProducer, StakeRegistry, slot_of
+
+        registry = StakeRegistry(
+            epoch_seed=(f"bcwan-pos-{self.config.seed}-r{region.index}"
+                        .encode("utf-8")),
+            slot_duration=self.config.block_interval,
+        )
+        leader_reward_hash: dict[str, bytes] = {}
+        for site in region.sites:
+            registry.register(site.name, site.wallet.keypair.public_key,
+                              stake=100)
+            leader_reward_hash[site.name] = site.wallet.pubkey_hash
+
+        def pos_block_valid(block) -> bool:
+            if block.header.timestamp <= 0.0:
+                return True  # bootstrap era
+            leader = registry.leader_for_slot(
+                slot_of(block.header.timestamp, registry.slot_duration)
+            )
+            expected = leader_reward_hash[leader]
+            coinbase_script = block.coinbase.outputs[0].script_pubkey
+            elements = coinbase_script.elements
+            return (len(elements) == 5 and isinstance(elements[2], bytes)
+                    and elements[2] == expected)
+
+        daemons = [region.master_daemon] + [s.daemon for s in region.sites]
+        for daemon in daemons:
+            daemon.block_validator = pos_block_valid
+
+        if not hasattr(self, "pos_producers"):
+            self.pos_producers = []
+        for site in region.sites:
+            producer = PoSProducer(
+                name=site.name,
+                registry=registry,
+                chain=site.node.chain,
+                mempool=site.node.mempool,
+                private_key=site.wallet.keypair.private_key,
+                reward_pubkey_hash=site.wallet.pubkey_hash,
+            )
+            self.pos_producers.append(producer)
+            self.sim.process(self._pos_production_loop(site, producer))
+
     def _reclaim_loop(self, site: Site):
         """Periodic sweep of expired, unclaimed key-release offers."""
         while True:
@@ -555,6 +909,43 @@ class BcWANNetwork:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    def all_daemons(self) -> dict[str, BlockchainDaemon]:
+        """Every daemon in the deployment, by host name."""
+        if not self.regions:
+            mapping = {"master": self.master_daemon}
+            mapping.update((site.name, site.daemon) for site in self.sites)
+            return mapping
+        mapping = {}
+        for region in self.regions:
+            mapping[region.master_daemon.name] = region.master_daemon
+            mapping.update(
+                (site.name, site.daemon) for site in region.sites)
+        mapping["anchor"] = self.anchor_daemon
+        for region in self.regions:
+            mapping[region.anchor_daemon.name] = region.anchor_daemon
+        return mapping
+
+    def convergence_groups(self) -> dict[str, dict[str, BlockchainDaemon]]:
+        """Daemons grouped by the chain they follow.
+
+        Flat: one ``"chain"`` group.  Hierarchical: one group per region
+        sub-chain plus the ``"anchor"`` settlement group — the shape
+        :func:`repro.chaos.assert_hierarchy_converged` consumes.
+        """
+        if not self.regions:
+            return {"chain": self.all_daemons()}
+        groups: dict[str, dict[str, BlockchainDaemon]] = {}
+        for region in self.regions:
+            group = {region.master_daemon.name: region.master_daemon}
+            group.update((site.name, site.daemon) for site in region.sites)
+            groups[region.chain_id] = group
+        anchor_group = {"anchor": self.anchor_daemon}
+        anchor_group.update(
+            (region.anchor_daemon.name, region.anchor_daemon)
+            for region in self.regions)
+        groups["anchor"] = anchor_group
+        return groups
+
     def report(self) -> RunReport:
         records = self.tracker.records()
         completed = [r for r in records if r.completed]
@@ -566,20 +957,25 @@ class BcWANNetwork:
             site.name: site.recipient.payments_made * self.config.price
             for site in self.sites
         }
+        # Flat: the single chain's height.  Hierarchical: the settlement
+        # chain's height — per-region heights live on region.master_node.
+        if not self.regions:
+            chain_height = self.master_daemon.node.height
+        else:
+            chain_height = self.anchor_daemon.node.height
         return RunReport(
             exchanges_launched=self._exchanges_launched,
             completed=len(completed),
             failed=len(failed),
             pending=len(records) - len(completed) - len(failed),
             duration=self.sim.now,
-            chain_height=self.master_daemon.node.height,
+            chain_height=chain_height,
             latencies=self.tracker.latencies(),
             gateway_rewards=rewards,
             recipient_spend=spend,
             daemon_stats={
-                name: daemon.stats for name, daemon in
-                [("master", self.master_daemon)]
-                + [(site.name, site.daemon) for site in self.sites]
+                name: daemon.stats
+                for name, daemon in self.all_daemons().items()
             },
             frames_lost_collision=sum(
                 site.channel.frames_lost_collision for site in self.sites

@@ -21,7 +21,7 @@ from typing import Optional
 
 from repro.core.costmodel import CostModel
 from repro.core.messages import seal_message, sign_payload
-from repro.core.metrics import ExchangeRecord, ExchangeTracker
+from repro.obs.exchange import ExchangeRecord, ExchangeTracker
 from repro.core.provisioning import DeviceCredentials
 from repro.crypto import rsa
 from repro.lora.class_a import ClassAWindows

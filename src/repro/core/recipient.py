@@ -20,18 +20,19 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.blockchain.transaction import OutPoint
+from repro.blockchain.transaction import OutPoint, Transaction
 from repro.blockchain.wallet import KeyReleaseOffer, Wallet
 from repro.core.costmodel import CostModel
 from repro.core.daemon import BlockchainDaemon
 from repro.core.messages import open_message, verify_payload
-from repro.core.metrics import ExchangeTracker
+from repro.obs.exchange import ExchangeTracker
 from repro.core.provisioning import RecipientRegistry
 from repro.core.rewards import RecipientBudget
 from repro.core import directory as directory_mod
 from repro.crypto import rsa
 from repro.errors import ProtocolError, ValidationError
-from repro.p2p.message import DeliveryAck, DeliveryMessage, Envelope
+from repro.p2p.message import (ClaimMessage, DeliveryAck, DeliveryMessage,
+                               Envelope)
 from repro.p2p.network import WANetwork
 from repro.sim.core import Simulator
 
@@ -55,7 +56,8 @@ class RecipientAgent:
                  registry: RecipientRegistry, wan: WANetwork,
                  cost_model: CostModel, tracker: ExchangeTracker,
                  rng: random.Random, offer_fee: int = 0,
-                 budget: Optional[RecipientBudget] = None) -> None:
+                 budget: Optional[RecipientBudget] = None,
+                 chain_id: str = "") -> None:
         self.sim = sim
         self.name = name
         self.daemon = daemon
@@ -69,15 +71,19 @@ class RecipientAgent:
         # Negotiation guard: quotes above the budget are refused before
         # any money is locked (the gateway keeps an undecryptable blob).
         self.budget = budget or RecipientBudget(max_price=10**9)
+        # Which sub-chain this recipient's daemon follows (empty = flat).
+        self.chain_id = chain_id
 
         self.messages_received = 0
         self.quotes_refused = 0
         self.messages_decrypted = 0
         self.payments_made = 0
         self.refunds_taken = 0
+        self.claims_relayed = 0
 
         self._pending: dict[OutPoint, _PendingSettlement] = {}
         daemon.register_protocol(DeliveryMessage, self._on_delivery)
+        daemon.register_protocol(ClaimMessage, self._on_claim)
         daemon.gossip.on_transaction.append(self._on_transaction)
 
     @property
@@ -167,10 +173,17 @@ class RecipientAgent:
         )
         parent = (self.tracker.leg(record, "payment")
                   if record is not None else None)
+        # Cross-region: the gateway's daemon follows a different
+        # sub-chain, so the offer rides along serialized — it is the only
+        # way the gateway will ever see it.
+        cross_region = message.chain_id != self.chain_id
         self.wan.send(self.name, envelope.source, DeliveryAck(
             delivery_id=message.delivery_id,
             accepted=True,
             offer_txid=offer.transaction.txid,
+            chain_id=self.chain_id,
+            offer_tx_bytes=(offer.transaction.serialize()
+                            if cross_region else b""),
         ), parent=parent)
 
     def _refuse(self, envelope: Envelope, record, reason: str) -> None:
@@ -180,7 +193,39 @@ class RecipientAgent:
             delivery_id=envelope.payload.delivery_id,
             accepted=False,
             reason=reason,
+            chain_id=self.chain_id,
         ))
+
+    # -- cross-region claims ---------------------------------------------------
+
+    def _on_claim(self, envelope: Envelope) -> None:
+        message = envelope.payload
+        if isinstance(message, ClaimMessage):
+            self.sim.process(self._broadcast_claim(message))
+
+    def _broadcast_claim(self, message: ClaimMessage):
+        """Broadcast a foreign gateway's claim on *our* sub-chain.
+
+        The escrow output lives here, so the reveal must happen here; the
+        gateway only signed the claim, it cannot reach this mempool.  The
+        broadcast fires the usual spend watch (:meth:`_on_transaction`),
+        which decrypts exactly as in the intra-region flow.
+        """
+        record = self.tracker.get(message.delivery_id)
+        try:
+            claim_tx = Transaction.deserialize(message.claim_tx_bytes)
+        except ValidationError:
+            if record is not None:
+                self.tracker.fail(record, "undecodable cross-region claim")
+            return
+        accepted = yield self.daemon.call(
+            self.cost_model.daemon_tx_process,
+            lambda: self.daemon.gossip.broadcast_transaction(claim_tx),
+        )
+        if accepted:
+            self.claims_relayed += 1
+        elif record is not None and record.status == "pending":
+            self.tracker.fail(record, "cross-region claim rejected")
 
     # -- claim detection -------------------------------------------------------------
 

@@ -21,10 +21,12 @@ the scenario seed.  In particular spans never record process-global
 identifiers such as ``Envelope.message_id``.
 """
 
+from repro.obs.exchange import ExchangeRecord, ExchangeTracker
 from repro.obs.export import (export_trace_jsonl, format_breakdown,
                               leg_breakdown)
 from repro.obs.profile import HotPathProfiler
 from repro.obs.registry import Instrument, MetricsRegistry, StatsView
+from repro.obs.stats import Summary, histogram
 from repro.obs.telemetry import (ChaosTelemetry, DaemonStats,
                                  MetricsRecorder, ValidationTelemetry)
 from repro.obs.tracing import NULL_SPAN, NULL_TRACER, Span, Tracer
@@ -32,6 +34,8 @@ from repro.obs.tracing import NULL_SPAN, NULL_TRACER, Span, Tracer
 __all__ = [
     "ChaosTelemetry",
     "DaemonStats",
+    "ExchangeRecord",
+    "ExchangeTracker",
     "HotPathProfiler",
     "Instrument",
     "MetricsRecorder",
@@ -40,9 +44,11 @@ __all__ = [
     "NULL_TRACER",
     "Span",
     "StatsView",
+    "Summary",
     "Tracer",
     "ValidationTelemetry",
     "export_trace_jsonl",
     "format_breakdown",
+    "histogram",
     "leg_breakdown",
 ]

@@ -26,7 +26,7 @@ from typing import Any, Optional
 
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import Tracer
-from repro.sim.trace import Summary
+from repro.obs.stats import Summary
 
 __all__ = ["LEGS", "export_trace_jsonl", "format_breakdown",
            "leg_breakdown"]

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.obs.registry import MetricsRegistry, StatsView
-from repro.sim.trace import Summary
+from repro.obs.stats import Summary
 
 __all__ = ["ChaosTelemetry", "DaemonStats", "MetricsRecorder",
            "ValidationTelemetry"]

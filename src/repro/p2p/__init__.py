@@ -17,6 +17,7 @@ from repro.p2p.sync import (
 )
 from repro.p2p.message import (
     BlockMessage,
+    ClaimMessage,
     DeliveryAck,
     DeliveryMessage,
     Envelope,
@@ -35,6 +36,7 @@ __all__ = [
     "SyncAgent",
     "TipMessage",
     "TxsMessage",
+    "ClaimMessage",
     "DeliveryAck",
     "DeliveryMessage",
     "Envelope",

@@ -20,6 +20,7 @@ __all__ = [
     "BlockMessage",
     "DeliveryMessage",
     "DeliveryAck",
+    "ClaimMessage",
 ]
 
 _sequence = itertools.count(1)
@@ -89,6 +90,11 @@ class DeliveryMessage:
     node_id: str
     gateway_pubkey_hash: bytes
     price: int
+    # Which sub-chain the sending gateway settles on.  Empty in a flat
+    # federation; when it differs from the recipient's chain id, the
+    # exchange settles cross-region (escrow on the recipient's sub-chain,
+    # claim relayed back via ClaimMessage, audit via the anchor).
+    chain_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -99,3 +105,24 @@ class DeliveryAck:
     accepted: bool
     offer_txid: bytes = b""
     reason: str = ""
+    # The recipient's sub-chain id, plus — for cross-region exchanges
+    # only — the full serialized key-release offer, since the gateway's
+    # own daemon follows a different chain and can never look the offer
+    # up from local mempool or chain state.
+    chain_id: str = ""
+    offer_tx_bytes: bytes = b""
+
+
+@dataclass(frozen=True)
+class ClaimMessage:
+    """Gateway → recipient: the signed claim for a cross-region offer.
+
+    The gateway audits the serialized offer, builds the eSk-revealing
+    claim transaction with its chain-state-free wallet, and hands it to
+    the recipient, who broadcasts it on *its* sub-chain — where the
+    escrow lives.  The reveal still happens on-chain; only the transport
+    of the claim crosses regions.
+    """
+
+    delivery_id: int
+    claim_tx_bytes: bytes

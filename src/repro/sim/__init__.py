@@ -3,7 +3,9 @@
 * :mod:`repro.sim.core` — the event loop, processes (generators), timeouts;
 * :mod:`repro.sim.rng` — named seeded random streams;
 * :mod:`repro.sim.latency` — wide-area latency models (PlanetLab-like);
-* :mod:`repro.sim.trace` — metric recording and summaries.
+The statistics helpers (``Summary``, ``histogram``) and the
+``MetricsRecorder`` moved to :mod:`repro.obs`; they are re-exported here
+for compatibility.
 """
 
 from repro.sim.core import (
@@ -23,7 +25,8 @@ from repro.sim.latency import (
     PlanetLabLatencyMatrix,
 )
 from repro.sim.rng import RngRegistry
-from repro.sim.trace import MetricsRecorder, Summary, histogram
+from repro.obs.stats import Summary, histogram
+from repro.obs.telemetry import MetricsRecorder
 
 __all__ = [
     "AllOf",

@@ -1,112 +1,21 @@
-"""Metric collection for simulation runs.
+"""Deprecated re-export shim — the real home is :mod:`repro.obs`.
 
-:class:`Summary` computes the statistics the benchmark harness prints
-(mean, percentiles, histogram) — the numbers behind the paper's Figs. 5/6.
-
-``MetricsRecorder`` moved to :mod:`repro.obs.telemetry`, where it stores
-its series in the central metrics registry; this module re-exports it
-lazily (PEP 562) so the historical ``repro.sim.trace.MetricsRecorder``
-import path keeps working without importing :mod:`repro.obs` up front.
+:class:`Summary` and :func:`histogram` live in :mod:`repro.obs.stats`;
+``MetricsRecorder`` lives in :mod:`repro.obs.telemetry`.  This module
+only keeps the historical ``repro.sim.trace`` import path importable;
+the ``deprecated-shim`` lint rule forbids new in-repo imports of it.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Optional
+from repro.obs.stats import Summary, histogram
 
 __all__ = ["MetricsRecorder", "Summary", "histogram"]
 
 
-@dataclass(frozen=True)
-class Summary:
-    """Descriptive statistics over one metric's samples."""
-
-    count: int
-    mean: float
-    stdev: float
-    minimum: float
-    p25: float
-    median: float
-    p75: float
-    p95: float
-    p99: float
-    maximum: float
-
-    @classmethod
-    def empty(cls) -> "Summary":
-        """The zero-sample summary: count 0, every statistic 0.0.
-
-        A run with no completed exchanges is a legitimate outcome (e.g. a
-        fully partitioned network ablation); reports must render it as a
-        0% completion rate, not crash.
-        """
-        return cls(count=0, mean=0.0, stdev=0.0, minimum=0.0, p25=0.0,
-                   median=0.0, p75=0.0, p95=0.0, p99=0.0, maximum=0.0)
-
-    @classmethod
-    def of(cls, samples: list[float]) -> "Summary":
-        if not samples:
-            return cls.empty()
-        ordered = sorted(samples)
-        n = len(ordered)
-        mean = sum(ordered) / n
-        variance = sum((x - mean) ** 2 for x in ordered) / n if n > 1 else 0.0
-        return cls(
-            count=n,
-            mean=mean,
-            stdev=math.sqrt(variance),
-            minimum=ordered[0],
-            p25=_quantile(ordered, 0.25),
-            median=_quantile(ordered, 0.50),
-            p75=_quantile(ordered, 0.75),
-            p95=_quantile(ordered, 0.95),
-            p99=_quantile(ordered, 0.99),
-            maximum=ordered[-1],
-        )
-
-    def format(self, unit: str = "s") -> str:
-        if self.count == 0:
-            return "n=0 (no samples)"
-        return (
-            f"n={self.count} mean={self.mean:.3f}{unit} "
-            f"median={self.median:.3f}{unit} p95={self.p95:.3f}{unit} "
-            f"p99={self.p99:.3f}{unit} max={self.maximum:.3f}{unit}"
-        )
-
-
-def _quantile(ordered: list[float], q: float) -> float:
-    """Linear-interpolation quantile of pre-sorted data."""
-    if len(ordered) == 1:
-        return ordered[0]
-    position = q * (len(ordered) - 1)
-    lower = int(position)
-    upper = min(lower + 1, len(ordered) - 1)
-    weight = position - lower
-    return ordered[lower] * (1 - weight) + ordered[upper] * weight
-
-
-def histogram(samples: list[float], bins: int = 20,
-              lo: Optional[float] = None,
-              hi: Optional[float] = None) -> list[tuple[float, float, int]]:
-    """Fixed-width histogram as ``(bin_lo, bin_hi, count)`` triples."""
-    if not samples:
-        return []
-    lo = min(samples) if lo is None else lo
-    hi = max(samples) if hi is None else hi
-    if hi <= lo:
-        return [(lo, hi, len(samples))]
-    width = (hi - lo) / bins
-    counts = [0] * bins
-    for sample in samples:
-        index = int((sample - lo) / width)
-        counts[min(max(index, 0), bins - 1)] += 1
-    return [(lo + i * width, lo + (i + 1) * width, counts[i]) for i in range(bins)]
-
-
 def __getattr__(name: str):
-    # Deprecated alias: the recorder now lives in the observability
-    # layer.  Resolved lazily to avoid importing repro.obs at sim import.
+    # Resolved lazily (PEP 562) to avoid importing the full telemetry
+    # surface just to touch the statistics helpers.
     if name == "MetricsRecorder":
         from repro.obs.telemetry import MetricsRecorder
         return MetricsRecorder

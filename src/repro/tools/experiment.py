@@ -18,7 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.sim.trace import histogram
+from repro.obs.stats import histogram
 
 __all__ = ["main", "build_parser"]
 

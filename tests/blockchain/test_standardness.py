@@ -13,7 +13,7 @@ import pytest
 from repro.blockchain.engine import ValidationEngine
 from repro.blockchain.transaction import TxOutput
 from repro.blockchain.utxo import UTXOEntry
-from repro.core.metrics import ValidationTelemetry
+from repro.obs.telemetry import ValidationTelemetry
 from repro.errors import ValidationError
 from repro.script.builder import op_return
 from repro.script.opcodes import OP

@@ -19,7 +19,7 @@ from repro.core.costmodel import CostModel
 from repro.core.daemon import BlockchainDaemon
 from repro.core.directory import DirectoryView, build_announcement_payload
 from repro.core.gateway_agent import GatewayAgent
-from repro.core.metrics import ExchangeTracker
+from repro.obs.exchange import ExchangeTracker
 from repro.core.node_agent import NodeAgent
 from repro.core.provisioning import RecipientRegistry, provision_device
 from repro.core.recipient import RecipientAgent

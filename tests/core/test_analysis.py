@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.analysis import decompose, format_breakdown
-from repro.core.metrics import ExchangeTracker
+from repro.obs.exchange import ExchangeTracker
 
 
 def synthetic_tracker(n=5):

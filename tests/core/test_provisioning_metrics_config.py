@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.config import NetworkConfig
-from repro.core.metrics import ExchangeTracker
+from repro.obs.exchange import ExchangeTracker
 from repro.core.provisioning import (
     RecipientRegistry,
     provision_device,

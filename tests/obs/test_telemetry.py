@@ -17,14 +17,20 @@ from repro.obs.telemetry import (
 
 def test_old_import_paths_still_resolve():
     from repro.core.daemon import DaemonStats as from_daemon
-    from repro.core.metrics import ChaosTelemetry as chaos_from_metrics
-    from repro.core.metrics import ValidationTelemetry as val_from_metrics
-    from repro.sim.trace import MetricsRecorder as recorder_from_trace
+    from repro.core.metrics import ChaosTelemetry as chaos_from_metrics  # lint: allow(deprecated-shim)
+    from repro.core.metrics import ValidationTelemetry as val_from_metrics  # lint: allow(deprecated-shim)
+    from repro.core.metrics import ExchangeTracker as tracker_from_metrics  # lint: allow(deprecated-shim)
+    from repro.sim.trace import MetricsRecorder as recorder_from_trace  # lint: allow(deprecated-shim)
+    from repro.sim.trace import Summary as summary_from_trace  # lint: allow(deprecated-shim)
+    from repro.obs.exchange import ExchangeTracker
+    from repro.obs.stats import Summary
 
     assert from_daemon is DaemonStats
     assert chaos_from_metrics is ChaosTelemetry
     assert val_from_metrics is ValidationTelemetry
+    assert tracker_from_metrics is ExchangeTracker
     assert recorder_from_trace is MetricsRecorder
+    assert summary_from_trace is Summary
 
 
 # -- DaemonStats ---------------------------------------------------------------

@@ -13,7 +13,7 @@ from repro.sim.latency import (
     PlanetLabLatencyMatrix,
 )
 from repro.sim.rng import RngRegistry
-from repro.sim.trace import MetricsRecorder, Summary, histogram
+from repro.sim import MetricsRecorder, Summary, histogram
 
 
 # -- RNG --------------------------------------------------------------------

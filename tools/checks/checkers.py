@@ -30,6 +30,7 @@ __all__ = [
     "ConsensusFloatChecker",
     "UnorderedSetIterationChecker",
     "DeprecatedValidationImportChecker",
+    "DeprecatedShimImportChecker",
     "AdHocTelemetryChecker",
     "MultiprocessingOutsideParallelChecker",
 ]
@@ -210,6 +211,51 @@ class DeprecatedValidationImportChecker(Checker):
         self.generic_visit(node)
 
 
+class DeprecatedShimImportChecker(Checker):
+    """No new imports of the deprecated telemetry/stats shim modules.
+
+    ``repro.core.metrics`` and ``repro.sim.trace`` are pure re-export
+    stubs: the exchange tracker lives in :mod:`repro.obs.exchange`, the
+    statistics helpers in :mod:`repro.obs.stats`, the recorder in
+    :mod:`repro.obs.telemetry`.  The shim modules themselves (and their
+    dedicated compatibility test, via pragma) are the only importers
+    allowed.
+    """
+
+    rule = "deprecated-shim"
+
+    # old module -> (parent package, attribute, replacement hint)
+    _SHIMS = {
+        "repro.core.metrics": ("repro.core", "metrics", "repro.obs.exchange"),
+        "repro.sim.trace": ("repro.sim", "trace", "repro.obs.stats"),
+    }
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        return not path.endswith(("repro/core/metrics.py",
+                                  "repro/sim/trace.py"))
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            for module, (_, _, home) in self._SHIMS.items():
+                if alias.name == module or \
+                        alias.name.startswith(module + "."):
+                    self.report(node, f"import of deprecated shim module "
+                                      f"'{alias.name}' — use {home}")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for module, (parent, attribute, home) in self._SHIMS.items():
+            if node.module == module:
+                self.report(node, f"import from deprecated shim module "
+                                  f"'{node.module}' — use {home}")
+            elif node.module == parent and any(
+                    alias.name == attribute for alias in node.names):
+                self.report(node, f"import of deprecated shim module "
+                                  f"'{module}' — use {home}")
+        self.generic_visit(node)
+
+
 class AdHocTelemetryChecker(Checker):
     """Telemetry lives in ``repro.obs``, not in scattered counter bags.
 
@@ -317,6 +363,7 @@ ALL_CHECKERS: tuple[type[Checker], ...] = (
     ConsensusFloatChecker,
     UnorderedSetIterationChecker,
     DeprecatedValidationImportChecker,
+    DeprecatedShimImportChecker,
     AdHocTelemetryChecker,
     MultiprocessingOutsideParallelChecker,
 )
