@@ -85,7 +85,10 @@ class VerifyPool:
                 method = "fork" if "fork" in available else available[0]
             context = multiprocessing.get_context(method)
             self._pool = context.Pool(processes=self.workers)
-        except Exception:
+        except (OSError, ValueError, RuntimeError):
+            # The documented spawn failure modes: fork/pipe limits and
+            # sandbox denials (OSError), an unknown start method
+            # (ValueError), and spawn-without-main-guard (RuntimeError).
             self._pool = None
             self._m_spawn_failures.inc()
 
@@ -95,8 +98,11 @@ class VerifyPool:
             try:
                 pool.terminate()
                 pool.join()
-            except Exception:
-                pass  # a half-dead pool must not block shutdown
+            except (OSError, ValueError, RuntimeError, AssertionError):
+                # A half-dead pool must not block shutdown: broken pipes
+                # (OSError), double-close (ValueError), and the state
+                # assertions inside multiprocessing.Pool.join.
+                pass
 
     def shutdown(self) -> None:
         """Terminate workers; the pool keeps working, serially."""
@@ -113,8 +119,10 @@ class VerifyPool:
     def __del__(self) -> None:
         try:
             self._teardown()
-        except Exception:
-            pass  # interpreter teardown: modules may already be gone
+        except (AttributeError, TypeError, RuntimeError):
+            # Interpreter teardown: module globals and the pool's own
+            # attributes may already be None'd out under us.
+            pass
 
     @property
     def active(self) -> bool:
@@ -153,7 +161,7 @@ class VerifyPool:
     def _dispatch(self, chunks: list[list[VerifyJob]]) -> list[list[VerifyResult]]:
         try:
             return self._pool.map(run_batch, chunks)
-        except Exception:
+        except Exception:  # lint: allow(exception-flow) — worker failures re-raise with arbitrary types; a genuine ValidationError re-raises in the serial fallback below
             # A worker died mid-batch (or the pool pipe broke).  Restart
             # once; a second failure retires the pool permanently.
             self._m_restarts.inc()
@@ -163,7 +171,7 @@ class VerifyPool:
             if self._pool is not None:
                 try:
                     return self._pool.map(run_batch, chunks)
-                except Exception:
+                except Exception:  # lint: allow(exception-flow) — same contract as the first attempt: the serial re-run below surfaces real validation errors
                     self._teardown()
             self._broken = True
             self._m_fallbacks.inc()

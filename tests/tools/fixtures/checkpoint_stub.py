@@ -1,0 +1,6 @@
+"""Fixture stub of the BCWCP1 checkpoint codec (a seed sink)."""
+
+
+def build_checkpoint_payload(region_id, epoch, height, tip_hash,
+                             settled_root, tx_count):
+    return b""

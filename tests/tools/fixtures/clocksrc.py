@@ -1,0 +1,16 @@
+"""Fixture: wall-clock source in a non-consensus module.
+
+The per-file wall-clock rule is scoped to the consensus packages, so it
+never looks at this module — which is exactly the gap the
+interprocedural pass closes when another module hashes the value.
+"""
+
+import time
+
+
+def jitter_stamp():
+    return time.time()
+
+
+def stamp_with_offset(offset):
+    return jitter_stamp() + offset

@@ -1,0 +1,51 @@
+"""Fixture: broad handlers around consensus-error raisers."""
+
+from repro.errors import ValidationError
+
+
+def strict_check(value):
+    if value < 0:
+        raise ValidationError("negative")
+    return value
+
+
+def swallowing(value):
+    try:
+        return strict_check(value)
+    except Exception:
+        return None
+
+
+def rethrowing(value):
+    try:
+        return strict_check(value)
+    except Exception:
+        raise
+
+
+def narrow(value):
+    try:
+        return strict_check(value)
+    except ValueError:
+        return None
+
+
+def guarded(value):
+    try:
+        return strict_check(value)
+    except ValidationError:
+        return None
+
+
+def wrapper_swallow(value):
+    try:
+        return guarded(value)
+    except Exception:
+        return None
+
+
+def pragma_ok(value):
+    try:
+        return strict_check(value)
+    except Exception:  # lint: allow(exception-flow) — fixture: intentional swallow
+        return None

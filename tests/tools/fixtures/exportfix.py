@@ -1,0 +1,12 @@
+"""Fixture: wall-clock reaching the deterministic JSONL export."""
+
+import json
+import time
+
+
+def export_line(payload):
+    return json.dumps({"at": time.time(), "payload": payload})
+
+
+def export_line_clean(payload, sim_now):
+    return json.dumps({"at": sim_now, "payload": payload})

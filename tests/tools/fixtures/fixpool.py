@@ -1,0 +1,39 @@
+"""Fixture: payloads crossing the multiprocessing boundary."""
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+def run_chunk(jobs):
+    return [job * 2 for job in jobs]
+
+
+@dataclass(frozen=True)
+class GoodJob:
+    txid: bytes
+    index: int
+
+
+@dataclass(frozen=True)
+class BadJob:
+    txid: bytes
+    hook: Callable
+
+
+class Scheduler:
+    def __init__(self, pool):
+        self._pool = pool
+
+    def dispatch_ok(self, chunks):
+        return self._pool.map(run_chunk, chunks)
+
+    def dispatch_lambda(self, chunks):
+        return self._pool.map(lambda chunk: chunk, chunks)
+
+    def dispatch_closure(self, chunks):
+        def local_run(chunk):
+            return chunk
+        return self._pool.map(local_run, chunks)
+
+    def dispatch_method(self, chunks):
+        return self._pool.map(self.dispatch_ok, chunks)

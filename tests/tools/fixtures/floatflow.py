@@ -1,0 +1,13 @@
+"""Fixture: float arithmetic reaching the checkpoint codec."""
+
+from repro.blockchain.checkpoint import build_checkpoint_payload
+
+
+def commit_epoch(height_ratio, tip_hash, root):
+    height = height_ratio * 1.5
+    return build_checkpoint_payload(0, 1, height, tip_hash, root, 0)
+
+
+def commit_epoch_clean(height_ratio, tip_hash, root):
+    height = int(height_ratio * 1.5)
+    return build_checkpoint_payload(0, 1, height, tip_hash, root, 0)

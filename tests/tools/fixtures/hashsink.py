@@ -1,0 +1,20 @@
+"""Fixture: a blockchain-layer module hashing a cross-module value.
+
+No call in this file matches the per-file wall-clock banlist — the
+nondeterminism arrives through ``stamp_with_offset``, defined in another
+module.  Only the whole-program taint pass can see the path.
+"""
+
+import hashlib
+import struct
+
+from repro.core.clocksrc import stamp_with_offset
+
+
+def digest_header(nonce):
+    stamp = stamp_with_offset(5)
+    return hashlib.sha256(struct.pack("<dI", stamp, nonce)).digest()
+
+
+def digest_header_clean(nonce, sim_now):
+    return hashlib.sha256(struct.pack("<dI", sim_now, nonce)).digest()

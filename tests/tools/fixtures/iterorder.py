@@ -1,0 +1,27 @@
+"""Fixture: iteration-order true positives and the known-clean shapes."""
+
+import hashlib
+
+
+def bad_digest(peers):
+    seen = set(peers)
+    blob = ",".join(seen)
+    return hashlib.sha256(blob.encode()).digest()
+
+
+def bad_loop_digest(peers):
+    blob = ""
+    for peer in set(peers):
+        blob += peer
+    return hashlib.sha256(blob.encode()).digest()
+
+
+def good_digest(peers):
+    ordered = sorted(set(peers))
+    return hashlib.sha256(",".join(ordered).encode()).digest()
+
+
+def good_dict_digest(fees):
+    keys = sorted(fees)
+    blob = ",".join(f"{key}:{fees[key]}" for key in keys)
+    return hashlib.sha256(blob.encode()).digest()

@@ -1,0 +1,14 @@
+"""Fixture: a pragma at the taint origin suppresses the finding."""
+
+import hashlib
+import time
+
+
+def stamped_digest_flagged(data):
+    stamp = int(time.time())
+    return hashlib.sha256(data + stamp.to_bytes(8, "big")).digest()
+
+
+def stamped_digest_suppressed(data):
+    stamp = int(time.time())  # lint: allow(taint-wall-clock) — fixture: intentional stamp
+    return hashlib.sha256(data + stamp.to_bytes(8, "big")).digest()

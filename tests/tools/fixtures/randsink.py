@@ -1,0 +1,23 @@
+"""Fixture: unseeded module-level randomness reaching mempool admission."""
+
+import random
+
+
+def tx_with_salt(template):
+    salt = random.getrandbits(32)
+    return template + salt.to_bytes(4, "big")
+
+
+def tx_with_seeded_salt(template, rng):
+    salt = rng.getrandbits(32)
+    return template + salt.to_bytes(4, "big")
+
+
+def submit(mempool, template):
+    tx = tx_with_salt(template)
+    mempool.accept(tx)
+
+
+def submit_seeded(mempool, template, rng):
+    tx = tx_with_seeded_salt(template, rng)
+    mempool.accept(tx)

@@ -1,0 +1,92 @@
+"""The exception-flow and pickle-boundary whole-program rules."""
+
+from tests.tools.conftest import load_fixture_project
+from tools.analysis.callgraph import CallGraph
+from tools.analysis.rules import ExceptionFlowRule, PickleBoundaryRule
+
+
+def run_rule(rule_cls, *names):
+    project = load_fixture_project(*names)
+    return rule_cls(project, CallGraph(project)).run()
+
+
+# -- exception-flow ------------------------------------------------------------
+
+def test_broad_handler_swallowing_validation_error_is_flagged():
+    violations = run_rule(ExceptionFlowRule, "exflow.py")
+    flagged = {violation.qualname.rpartition(".")[2]
+               for violation in violations}
+    assert flagged == {"swallowing"}
+
+
+def test_exception_flow_trace_names_the_raise_site():
+    violations = run_rule(ExceptionFlowRule, "exflow.py")
+    violation = violations[0]
+    assert violation.rule == "exception-flow"
+    assert "ValidationError" in violation.message
+    assert any("strict_check" in hop for hop in violation.trace)
+
+
+def test_rethrowing_handler_not_flagged():
+    violations = run_rule(ExceptionFlowRule, "exflow.py")
+    names = {violation.qualname.rpartition(".")[2]
+             for violation in violations}
+    assert "rethrowing" not in names
+
+
+def test_narrow_handler_not_flagged():
+    violations = run_rule(ExceptionFlowRule, "exflow.py")
+    names = {violation.qualname.rpartition(".")[2]
+             for violation in violations}
+    assert "narrow" not in names
+
+
+def test_guarded_wrapper_does_not_propagate_may_raise():
+    # guarded() catches ValidationError itself, so wrapper_swallow's
+    # broad handler has nothing consensus-shaped to swallow.
+    violations = run_rule(ExceptionFlowRule, "exflow.py")
+    names = {violation.qualname.rpartition(".")[2]
+             for violation in violations}
+    assert "wrapper_swallow" not in names
+
+
+def test_exception_flow_pragma_suppresses():
+    violations = run_rule(ExceptionFlowRule, "exflow.py")
+    names = {violation.qualname.rpartition(".")[2]
+             for violation in violations}
+    assert "pragma_ok" not in names
+
+
+# -- pickle-boundary -----------------------------------------------------------
+
+def test_lambda_closure_and_bound_method_are_flagged():
+    violations = run_rule(PickleBoundaryRule, "fixpool.py")
+    methods = {violation.qualname.rpartition(".")[2]
+               for violation in violations
+               if "dispatch" in violation.qualname}
+    assert methods == {"dispatch_lambda", "dispatch_closure",
+                       "dispatch_method"}
+
+
+def test_module_level_function_is_clean():
+    violations = run_rule(PickleBoundaryRule, "fixpool.py")
+    assert not any("dispatch_ok" in violation.qualname
+                   for violation in violations)
+
+
+def test_unpicklable_dataclass_field_is_flagged():
+    violations = run_rule(PickleBoundaryRule, "fixpool.py")
+    classes = {violation.qualname.rpartition(".")[2]
+               for violation in violations
+               if "Job" in violation.qualname}
+    assert classes == {"BadJob"}
+    bad = [violation for violation in violations
+           if violation.qualname.endswith("BadJob")][0]
+    assert "Callable" in bad.message
+
+
+def test_pickle_rule_scoped_to_parallel_package():
+    # The same shapes outside src/repro/parallel/ are out of scope.
+    violations = run_rule(PickleBoundaryRule, "exflow.py", "hashsink.py",
+                          "clocksrc.py")
+    assert violations == []

@@ -1,0 +1,73 @@
+"""Project model and call-graph resolution over the fixture corpus."""
+
+from tests.tools.conftest import load_fixture_project
+from tools.analysis.callgraph import CallGraph
+
+
+def test_functions_indexed_by_qualname():
+    project = load_fixture_project("clocksrc.py", "fixpool.py")
+    fn = project.function("repro.core.clocksrc.stamp_with_offset")
+    assert fn is not None
+    assert fn.params == ("offset",)
+    assert fn.is_module_level
+
+    method = project.function("repro.parallel.fixpool.Scheduler.dispatch_ok")
+    assert method is not None
+    assert method.class_name == "Scheduler"
+    assert not method.is_module_level
+
+
+def test_nested_function_marked_nested():
+    project = load_fixture_project("fixpool.py")
+    inner = project.function(
+        "repro.parallel.fixpool.Scheduler.dispatch_closure.local_run")
+    assert inner is not None
+    assert inner.nested
+    assert not inner.is_module_level
+
+
+def test_import_map_resolves_from_import():
+    project = load_fixture_project("clocksrc.py", "hashsink.py")
+    module = project.modules["repro.blockchain.hashsink"]
+    assert module.imports["stamp_with_offset"] == \
+        "repro.core.clocksrc.stamp_with_offset"
+    assert module.imports["hashlib"] == "hashlib"
+
+
+def test_callgraph_internal_edge_across_modules():
+    project = load_fixture_project("clocksrc.py", "hashsink.py")
+    graph = CallGraph(project)
+    targets = [call.target for call in
+               graph.calls_from("repro.blockchain.hashsink.digest_header")
+               if call.internal]
+    assert "repro.core.clocksrc.stamp_with_offset" in targets
+
+    callers = [site.caller for site in
+               graph.calls_to("repro.core.clocksrc.stamp_with_offset")]
+    assert "repro.blockchain.hashsink.digest_header" in callers
+
+
+def test_callgraph_resolves_self_method():
+    project = load_fixture_project("fixpool.py")
+    graph = CallGraph(project)
+    targets = {call.target for call in graph.calls_from(
+        "repro.parallel.fixpool.Scheduler.dispatch_method")}
+    # self._pool.map(...) stays external; the bound-method *argument*
+    # is not a call edge (the pickle rule handles it separately).
+    assert "repro.parallel.fixpool.Scheduler.dispatch_method" not in targets
+
+
+def test_external_call_keeps_dotted_target():
+    project = load_fixture_project("clocksrc.py")
+    graph = CallGraph(project)
+    calls = graph.calls_from("repro.core.clocksrc.jitter_stamp")
+    assert any(call.target == "time.time" and not call.internal
+               for call in calls)
+
+
+def test_line_has_pragma():
+    project = load_fixture_project("pragma_taint.py")
+    path = "src/repro/crypto/pragma_taint.py"
+    assert project.line_has_pragma(path, 13, "taint-wall-clock")
+    assert not project.line_has_pragma(path, 8, "taint-wall-clock")
+    assert not project.line_has_pragma(path, 13, "exception-flow")

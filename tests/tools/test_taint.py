@@ -1,0 +1,83 @@
+"""Interprocedural taint: true positives, known-clean shapes, pragmas."""
+
+from tests.tools.conftest import load_fixture_project
+from tools.analysis.callgraph import CallGraph
+from tools.analysis.taint import TaintAnalyzer
+
+
+def run_taint(*names):
+    project = load_fixture_project(*names)
+    return TaintAnalyzer(project, CallGraph(project)).run()
+
+
+def by_function(violations):
+    out = {}
+    for violation in violations:
+        out.setdefault(violation.qualname.rpartition(".")[2], []).append(
+            violation)
+    return out
+
+
+def test_cross_module_wall_clock_into_hash():
+    found = by_function(run_taint("clocksrc.py", "hashsink.py"))
+    assert "digest_header" in found
+    violation = found["digest_header"][0]
+    assert violation.rule == "taint-wall-clock"
+    assert violation.path == "src/repro/blockchain/hashsink.py"
+    # The trace walks back to the source module.
+    joined = " ".join(violation.trace)
+    assert "src/repro/core/clocksrc.py" in joined
+    assert "digest_header_clean" not in found
+
+
+def test_iteration_order_true_positives():
+    found = by_function(run_taint("iterorder.py"))
+    assert "bad_digest" in found
+    assert found["bad_digest"][0].rule == "taint-iteration-order"
+    assert "bad_loop_digest" in found
+
+
+def test_iteration_order_known_clean_shapes():
+    found = by_function(run_taint("iterorder.py"))
+    # sorted(set(...)) launders the order; a dict walked via sorted keys
+    # is deterministic.  Both are the classic false-positive shapes.
+    assert "good_digest" not in found
+    assert "good_dict_digest" not in found
+
+
+def test_unseeded_random_into_mempool_admission():
+    found = by_function(run_taint("randsink.py"))
+    assert "submit" in found
+    violation = found["submit"][0]
+    assert violation.rule == "taint-unseeded-random"
+    assert "consensus" in violation.message
+    assert "submit_seeded" not in found
+
+
+def test_float_into_checkpoint_codec():
+    found = by_function(run_taint("checkpoint_stub.py", "floatflow.py"))
+    assert "commit_epoch" in found
+    assert found["commit_epoch"][0].rule == "taint-float"
+    # int(...) launders the float representation.
+    assert "commit_epoch_clean" not in found
+
+
+def test_wall_clock_into_jsonl_export():
+    found = by_function(run_taint("exportfix.py"))
+    assert "export_line" in found
+    assert found["export_line"][0].rule == "taint-wall-clock"
+    assert "export_line_clean" not in found
+
+
+def test_pragma_at_origin_suppresses():
+    found = by_function(run_taint("pragma_taint.py"))
+    assert "stamped_digest_flagged" in found
+    assert "stamped_digest_suppressed" not in found
+
+
+def test_finding_carries_trace_and_snippet():
+    found = by_function(run_taint("clocksrc.py", "hashsink.py"))
+    violation = found["digest_header"][0]
+    assert violation.trace, "whole-program findings must carry a trace"
+    assert violation.snippet
+    assert violation.qualname == "repro.blockchain.hashsink.digest_header"

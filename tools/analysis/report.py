@@ -1,0 +1,161 @@
+"""Finding fingerprints, output formats, and the baseline workflow.
+
+A fingerprint identifies a finding across line drift: it hashes the rule
+id, the repo-relative path, the enclosing qualified name, and the
+whitespace-normalized source snippet — never the line number.  Moving a
+function within a file (or editing unrelated lines above it) keeps the
+fingerprint stable; changing the offending line itself produces a new
+finding, which is exactly when a human should look again.
+
+The baseline file is a checked-in JSON object mapping fingerprints to a
+human-readable locator.  ``--baseline`` makes the run fail only on
+findings *not* in the baseline; ``--update-baseline`` rewrites the file
+from the current findings (sorted, so diffs review cleanly).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from pathlib import Path
+from typing import Sequence
+
+from tools.checks import Violation
+
+__all__ = [
+    "fingerprint", "normalize_snippet", "render_json", "render_sarif",
+    "render_text", "load_baseline", "write_baseline", "split_by_baseline",
+    "TOOL_NAME",
+]
+
+TOOL_NAME = "bcwan-checks"
+_WS = re.compile(r"\s+")
+
+
+def normalize_snippet(snippet: str) -> str:
+    """Collapse all whitespace runs so reformatting keeps fingerprints."""
+    return _WS.sub(" ", snippet.strip())
+
+
+def fingerprint(violation: Violation) -> str:
+    """16-hex-char stable id: rule + path + qualname + normalized snippet."""
+    basis = "\x00".join((
+        violation.rule,
+        violation.path,
+        violation.qualname,
+        normalize_snippet(violation.snippet),
+    ))
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+
+def render_text(violations: Sequence[Violation]) -> str:
+    lines = []
+    for violation in violations:
+        lines.append(f"{violation}  [{fingerprint(violation)}]")
+        for hop in violation.trace:
+            lines.append(f"    via {hop}")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[Violation], checked: int,
+                baselined: int) -> str:
+    findings = [{
+        "rule": violation.rule,
+        "path": violation.path,
+        "line": violation.line,
+        "qualname": violation.qualname,
+        "message": violation.message,
+        "snippet": violation.snippet,
+        "trace": list(violation.trace),
+        "fingerprint": fingerprint(violation),
+    } for violation in violations]
+    return json.dumps({
+        "version": 1,
+        "tool": TOOL_NAME,
+        "files_checked": checked,
+        "baselined": baselined,
+        "new": len(findings),
+        "findings": findings,
+    }, indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(violations: Sequence[Violation], checked: int,
+                 baselined: int) -> str:
+    """Minimal SARIF 2.1.0 — one run, one result per finding."""
+    rule_ids = sorted({violation.rule for violation in violations})
+    results = []
+    for violation in violations:
+        message = violation.message
+        if violation.trace:
+            message += "\npath: " + " -> ".join(violation.trace)
+        results.append({
+            "ruleId": violation.rule,
+            "level": "error",
+            "message": {"text": message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": violation.path},
+                    "region": {"startLine": max(violation.line, 1)},
+                },
+                "logicalLocations": [
+                    {"fullyQualifiedName": violation.qualname}
+                ] if violation.qualname else [],
+            }],
+            "partialFingerprints": {"primary": fingerprint(violation)},
+        })
+    sarif = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": TOOL_NAME,
+                "informationUri": "https://example.invalid/bcwan",
+                "rules": [{"id": rule_id} for rule_id in rule_ids],
+            }},
+            "properties": {
+                "filesChecked": checked,
+                "baselinedFindings": baselined,
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(sarif, indent=2, sort_keys=True) + "\n"
+
+
+def load_baseline(path: Path) -> dict[str, str]:
+    """fingerprint -> locator; tolerant of a missing file (empty baseline)."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    return dict(data.get("fingerprints", {}))
+
+
+def write_baseline(path: Path, violations: Sequence[Violation]) -> None:
+    fingerprints = {
+        fingerprint(violation):
+            f"{violation.rule} @ {violation.path} :: "
+            f"{violation.qualname or '<module>'}"
+        for violation in violations
+    }
+    payload = {
+        "version": 1,
+        "tool": TOOL_NAME,
+        "fingerprints": dict(sorted(fingerprints.items())),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def split_by_baseline(violations: Sequence[Violation],
+                      baseline: dict[str, str]
+                      ) -> tuple[list[Violation], list[Violation]]:
+    """(new, baselined) partition of ``violations``."""
+    new: list[Violation] = []
+    known: list[Violation] = []
+    for violation in violations:
+        if fingerprint(violation) in baseline:
+            known.append(violation)
+        else:
+            new.append(violation)
+    return new, known

@@ -1,0 +1,351 @@
+"""Whole-program structural rules the call graph makes possible.
+
+* ``exception-flow`` — an ``except Exception:`` (or broader) handler
+  that can swallow a consensus error.  The pass computes, bottom-up over
+  the call graph, which functions may raise :class:`ValidationError` /
+  :class:`ProtocolError` / :class:`BcWANError`; a broad handler whose
+  try-body reaches one of them and that never re-raises turns a
+  consensus fault into silence — exactly the divergence class the
+  per-file ``bare-except`` rule cannot see across calls.
+
+* ``pickle-boundary`` — everything submitted to the multiprocessing
+  pool inside ``repro/parallel`` must survive a pickle round-trip:
+  the mapped callable has to be a module-level function (lambdas,
+  closures, and bound methods break under the ``spawn`` start method
+  even when ``fork`` happens to work), and the dataclasses that cross
+  the boundary must not carry unpicklable-typed fields.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Optional
+
+from tools.analysis.callgraph import CallGraph
+from tools.analysis.project import FunctionInfo, Project, dotted_name
+from tools.analysis.taint import _own_nodes
+from tools.checks import Violation
+
+__all__ = ["ExceptionFlowRule", "PickleBoundaryRule"]
+
+_CONSENSUS_ERRORS = frozenset({
+    "ValidationError", "ProtocolError", "BcWANError",
+})
+_BROAD_HANDLERS = frozenset({"Exception", "BaseException"})
+
+EXCEPTION_FLOW_RULE = "exception-flow"
+PICKLE_BOUNDARY_RULE = "pickle-boundary"
+
+
+@dataclass(frozen=True)
+class _RaiseInfo:
+    """Why a function may raise a consensus error (first site found)."""
+
+    error: str
+    chain: tuple[str, ...]
+
+
+def _terminal_name(node: ast.AST) -> str:
+    """Last identifier of a name/attribute/call expression."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    dotted = dotted_name(node)
+    return dotted.rpartition(".")[2]
+
+
+class ExceptionFlowRule:
+    """Flag broad handlers that can swallow consensus errors."""
+
+    rule = EXCEPTION_FLOW_RULE
+
+    def __init__(self, project: Project, graph: Optional[CallGraph] = None,
+                 max_passes: int = 12) -> None:
+        self.project = project
+        self.graph = graph or CallGraph(project)
+        self.max_passes = max_passes
+        self.may_raise: dict[str, _RaiseInfo] = {}
+
+    def _direct_raise(self, fn: FunctionInfo) -> Optional[_RaiseInfo]:
+        for node in _own_nodes(fn.node):
+            if isinstance(node, ast.Raise) and node.exc is not None:
+                name = _terminal_name(node.exc)
+                if name in _CONSENSUS_ERRORS:
+                    return _RaiseInfo(
+                        error=name,
+                        chain=(f"raise {name} "
+                               f"({fn.path}:{node.lineno} in "
+                               f"{fn.qualname.rpartition('.')[2]})",))
+        return None
+
+    def _compute_summaries(self) -> None:
+        for qualname, fn in self.project.functions.items():
+            info = self._direct_raise(fn)
+            if info is not None:
+                self.may_raise[qualname] = info
+        for _ in range(self.max_passes):
+            changed = False
+            for qualname, fn in self.project.functions.items():
+                if qualname in self.may_raise:
+                    continue
+                for call in self.graph.calls_from(qualname):
+                    if not call.internal or call.target not in self.may_raise:
+                        continue
+                    # A call inside a try that already handles the error
+                    # family does not propagate it out of this function.
+                    if self._call_is_guarded(fn, call.node):
+                        continue
+                    inner = self.may_raise[call.target]
+                    if len(inner.chain) >= 8:
+                        chain = inner.chain
+                    else:
+                        chain = ((f"{call.target.rpartition('.')[2]}() "
+                                  f"({fn.path}:{call.node.lineno} in "
+                                  f"{fn.qualname.rpartition('.')[2]})",)
+                                 + inner.chain)
+                    self.may_raise[qualname] = _RaiseInfo(
+                        error=inner.error, chain=chain)
+                    changed = True
+                    break
+            if not changed:
+                break
+
+    @staticmethod
+    def _handler_names(handler: ast.ExceptHandler) -> list[str]:
+        if handler.type is None:
+            return []
+        nodes = handler.type.elts \
+            if isinstance(handler.type, ast.Tuple) else [handler.type]
+        return [_terminal_name(node) for node in nodes]
+
+    def _call_is_guarded(self, fn: FunctionInfo, call: ast.Call) -> bool:
+        """Whether ``call`` sits in a try whose handlers catch the family."""
+        for node in _own_nodes(fn.node):
+            if not isinstance(node, ast.Try):
+                continue
+            covers = any(call is inner for stmt in node.body
+                         for inner in ast.walk(stmt))
+            if not covers:
+                continue
+            for handler in node.handlers:
+                names = self._handler_names(handler)
+                if handler.type is None \
+                        or set(names) & (_CONSENSUS_ERRORS | _BROAD_HANDLERS):
+                    return True
+        return False
+
+    def run(self) -> list[Violation]:
+        self._compute_summaries()
+        violations: list[Violation] = []
+        for qualname, fn in self.project.functions.items():
+            if not fn.path.startswith("src/repro/"):
+                continue
+            module = self.project.module_for(fn)
+            for node in _own_nodes(fn.node):
+                if not isinstance(node, ast.Try):
+                    continue
+                for handler in node.handlers:
+                    names = self._handler_names(handler)
+                    if not set(names) & _BROAD_HANDLERS:
+                        continue
+                    if any(isinstance(inner, ast.Raise)
+                           for stmt in handler.body
+                           for inner in ast.walk(stmt)):
+                        continue  # the handler re-raises; nothing swallowed
+                    reached = self._reachable_raise(node, fn)
+                    if reached is None:
+                        continue
+                    line = handler.lineno
+                    if 0 < line <= len(module.source_lines) and \
+                            f"lint: allow({self.rule})" in \
+                            module.source_lines[line - 1]:
+                        continue
+                    snippet = module.source_lines[line - 1].strip() \
+                        if 0 < line <= len(module.source_lines) else ""
+                    violations.append(Violation(
+                        path=fn.path, line=line, rule=self.rule,
+                        message=(f"'except {'/'.join(names)}' can swallow "
+                                 f"{reached.error}: "
+                                 + " -> ".join(reached.chain)),
+                        qualname=fn.qualname, snippet=snippet,
+                        trace=reached.chain))
+        return violations
+
+    def _argument_callables(self, node: ast.Call,
+                            fn: FunctionInfo) -> list[str]:
+        """Internal functions passed *as arguments* (higher-order calls).
+
+        ``pool.map(run_batch, chunks)`` never calls ``run_batch``
+        syntactically, but whatever it raises in a worker re-raises at
+        the ``map`` call site — so for exception flow, a callable
+        argument counts as a call.
+        """
+        from tools.analysis.callgraph import resolve_call
+        module = self.project.module_for(fn)
+        targets: list[str] = []
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if not isinstance(arg, (ast.Name, ast.Attribute)):
+                continue
+            fake = ast.Call(func=arg, args=[], keywords=[])
+            ast.copy_location(fake, arg)
+            resolved = resolve_call(fake, fn, module, self.project)
+            if resolved.internal and resolved.target:
+                targets.append(resolved.target)
+        return targets
+
+    def _reachable_raise(self, try_node: ast.Try,
+                         fn: FunctionInfo) -> Optional[_RaiseInfo]:
+        """First consensus raise reachable from the try body, if any."""
+        for stmt in try_node.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Raise) and node.exc is not None:
+                    name = _terminal_name(node.exc)
+                    if name in _CONSENSUS_ERRORS:
+                        return _RaiseInfo(
+                            error=name,
+                            chain=(f"raise {name} "
+                                   f"({fn.path}:{node.lineno})",))
+                if isinstance(node, ast.Call):
+                    from tools.analysis.callgraph import resolve_call
+                    module = self.project.module_for(fn)
+                    call = resolve_call(node, fn, module, self.project)
+                    candidates: list[str] = []
+                    if call.internal and call.target:
+                        candidates.append(call.target)
+                    candidates.extend(self._argument_callables(node, fn))
+                    for target in candidates:
+                        if target not in self.may_raise:
+                            continue
+                        inner = self.may_raise[target]
+                        chain = ((f"{target.rpartition('.')[2]}() "
+                                  f"({fn.path}:{node.lineno})",)
+                                 + inner.chain)
+                        return _RaiseInfo(error=inner.error, chain=chain)
+        return None
+
+
+_POOL_SUBMIT_ATTRS = frozenset({
+    "map", "map_async", "imap", "imap_unordered", "starmap",
+    "starmap_async", "apply", "apply_async",
+})
+_UNPICKLABLE_ANNOTATIONS = frozenset({
+    "Callable", "Generator", "Iterator", "IO", "TextIO", "BinaryIO",
+    "Lock", "RLock", "Condition", "Queue", "Pool",
+})
+
+
+class PickleBoundaryRule:
+    """Flag unpicklable payloads crossing the repro/parallel boundary."""
+
+    rule = PICKLE_BOUNDARY_RULE
+
+    def __init__(self, project: Project, graph: Optional[CallGraph] = None
+                 ) -> None:
+        self.project = project
+        self.graph = graph or CallGraph(project)
+
+    def _in_scope(self, path: str) -> bool:
+        return path.startswith("src/repro/parallel/")
+
+    def run(self) -> list[Violation]:
+        violations: list[Violation] = []
+        for qualname, fn in self.project.functions.items():
+            if not self._in_scope(fn.path):
+                continue
+            module = self.project.module_for(fn)
+            local_defs = {
+                inner.name for inner in ast.walk(fn.node)
+                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and inner is not fn.node
+            }
+            for node in _own_nodes(fn.node):
+                if not isinstance(node, ast.Call) \
+                        or not isinstance(node.func, ast.Attribute) \
+                        or node.func.attr not in _POOL_SUBMIT_ATTRS:
+                    continue
+                receiver = dotted_name(node.func.value).lower()
+                if "pool" not in receiver:
+                    continue
+                if not node.args:
+                    continue
+                violations.extend(self._check_callable(
+                    node.args[0], fn, module, local_defs))
+        for module in self.project.modules.values():
+            if self._in_scope(module.path):
+                violations.extend(self._check_dataclasses(module))
+        return violations
+
+    def _violation(self, fn_or_mod, module, node: ast.AST, message: str,
+                   qualname: str) -> list[Violation]:
+        line = getattr(node, "lineno", 1)
+        if 0 < line <= len(module.source_lines) and \
+                f"lint: allow({self.rule})" in module.source_lines[line - 1]:
+            return []
+        snippet = module.source_lines[line - 1].strip() \
+            if 0 < line <= len(module.source_lines) else ""
+        return [Violation(path=module.path, line=line, rule=self.rule,
+                          message=message, qualname=qualname,
+                          snippet=snippet)]
+
+    def _check_callable(self, arg: ast.AST, fn: FunctionInfo, module,
+                        local_defs: set[str]) -> list[Violation]:
+        if isinstance(arg, ast.Lambda):
+            return self._violation(
+                fn, module, arg,
+                "lambda submitted to the worker pool — lambdas do not "
+                "pickle; use a module-level function", fn.qualname)
+        if isinstance(arg, ast.Name):
+            if arg.id in local_defs:
+                return self._violation(
+                    fn, module, arg,
+                    f"closure '{arg.id}' submitted to the worker pool — "
+                    f"nested functions do not pickle; hoist it to module "
+                    f"level", fn.qualname)
+            from tools.analysis.callgraph import resolve_call
+            fake = ast.Call(func=arg, args=[], keywords=[])
+            ast.copy_location(fake, arg)
+            resolved = resolve_call(fake, fn, module, self.project)
+            if resolved.internal and resolved.target:
+                target = self.project.function(resolved.target)
+                if target is not None and not target.is_module_level:
+                    return self._violation(
+                        fn, module, arg,
+                        f"'{arg.id}' submitted to the worker pool resolves "
+                        f"to {resolved.target}, which is not a module-level "
+                        f"function and will not pickle", fn.qualname)
+            return []
+        if isinstance(arg, ast.Attribute):
+            dotted = dotted_name(arg)
+            if dotted.startswith(("self.", "cls.")):
+                return self._violation(
+                    fn, module, arg,
+                    f"bound method '{dotted}' submitted to the worker pool "
+                    f"— bound methods drag their instance through pickle; "
+                    f"use a module-level function", fn.qualname)
+        return []
+
+    def _check_dataclasses(self, module) -> list[Violation]:
+        violations: list[Violation] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            is_dataclass = any(
+                _terminal_name(decorator) == "dataclass"
+                for decorator in node.decorator_list)
+            if not is_dataclass:
+                continue
+            for stmt in node.body:
+                if not isinstance(stmt, ast.AnnAssign):
+                    continue
+                annotation = ast.dump(stmt.annotation)
+                for bad in _UNPICKLABLE_ANNOTATIONS:
+                    if f"'{bad}'" in annotation:
+                        qualname = f"{module.modname}.{node.name}"
+                        violations.extend(self._violation(
+                            node, module, stmt,
+                            f"dataclass field of type {bad} in "
+                            f"'{node.name}' crosses the multiprocessing "
+                            f"boundary — {bad} does not pickle",
+                            qualname))
+                        break
+        return violations

@@ -22,7 +22,7 @@ module's own tests), and it doubles as an inventory of every exemption.
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Sequence
 
@@ -31,12 +31,21 @@ __all__ = ["Violation", "Checker", "check_source", "check_file"]
 
 @dataclass(frozen=True)
 class Violation:
-    """One invariant violation at a specific source location."""
+    """One invariant violation at a specific source location.
+
+    ``qualname`` (the enclosing function/method, dotted), ``snippet``
+    (the stripped source line) and ``trace`` (the source→sink call
+    chain, for whole-program findings) feed the stable fingerprints in
+    :mod:`tools.analysis.report`; line numbers deliberately do not.
+    """
 
     path: str
     line: int
     rule: str
     message: str
+    qualname: str = ""
+    snippet: str = ""
+    trace: tuple[str, ...] = field(default=())
 
     def __str__(self) -> str:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
@@ -74,6 +83,37 @@ class Checker(ast.NodeVisitor):
         )
 
 
+def _qualname_spans(tree: ast.Module) -> list[tuple[int, int, str]]:
+    """(start, end, dotted-scope) for every function/class, innermost-last."""
+    spans: list[tuple[int, int, str]] = []
+
+    def walk(node: ast.AST, scope: list[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                name = scope + [child.name]
+                end = getattr(child, "end_lineno", child.lineno)
+                spans.append((child.lineno, end or child.lineno,
+                              ".".join(name)))
+                walk(child, name)
+            else:
+                walk(child, scope)
+
+    walk(tree, [])
+    return spans
+
+
+def _qualname_at(spans: list[tuple[int, int, str]], line: int) -> str:
+    best = ""
+    best_size = None
+    for start, end, name in spans:
+        if start <= line <= end:
+            size = end - start
+            if best_size is None or size < best_size:
+                best, best_size = name, size
+    return best
+
+
 def check_source(source: str, path: str,
                  checker_classes: Sequence[type[Checker]]) -> list[Violation]:
     """Run every applicable checker over one module's source text."""
@@ -90,7 +130,16 @@ def check_source(source: str, path: str,
         checker = checker_class(path, lines)
         checker.visit(tree)
         violations.extend(checker.violations)
-    return violations
+    if not violations:
+        return violations
+    spans = _qualname_spans(tree)
+    enriched: list[Violation] = []
+    for violation in violations:
+        snippet = lines[violation.line - 1].strip() \
+            if 0 < violation.line <= len(lines) else ""
+        enriched.append(replace(violation, snippet=snippet,
+                                qualname=_qualname_at(spans, violation.line)))
+    return enriched
 
 
 def check_file(path: Path, root: Path,

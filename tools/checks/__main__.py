@@ -1,10 +1,21 @@
-"""Run the repo invariant checks: ``python -m tools.checks [paths...]``.
+"""Run the repo's determinism checks: ``python -m tools.checks``.
 
-Walks every ``*.py`` under the given paths (default: ``src tests
-benchmarks tools``), applies each checker from
-:data:`tools.checks.checkers.ALL_CHECKERS` whose scope covers the file,
-and prints one ``path:line: [rule] message`` per violation.  Exit status
-is 1 when anything fires — the CI ``lint`` job runs exactly this.
+Two layers run under one command:
+
+1. the **per-file** AST checkers from
+   :data:`tools.checks.checkers.ALL_CHECKERS`, over every ``*.py`` in
+   the given paths (default: ``src tests benchmarks tools``);
+2. the **whole-program** pass from :mod:`tools.analysis` — symbol table
+   + call graph over ``src/repro``, interprocedural taint from
+   nondeterminism sources into consensus/hash/export sinks, the
+   exception-flow rule, and the pickle-boundary rule.
+
+Findings carry stable fingerprints (rule + path + qualname + normalized
+snippet — line-drift independent).  ``--baseline FILE`` makes the run
+fail only on findings whose fingerprint is not in the baseline;
+``--update-baseline`` rewrites it.  ``--format json|sarif`` emits
+machine-readable reports (SARIF uploads as a CI artifact).  Exit status
+is 1 when any unbaselined finding exists.
 """
 
 from __future__ import annotations
@@ -18,6 +29,11 @@ from tools.checks.checkers import ALL_CHECKERS
 
 DEFAULT_PATHS = ("src", "tests", "benchmarks", "tools")
 
+#: Directory fragments skipped by the per-file walk.  ``tests/tools``
+#: keeps deliberate-violation fixture corpora for the analyzer's own
+#: test suite; linting them would defeat their purpose.
+EXCLUDED_FRAGMENTS = ("tests/tools/fixtures/",)
+
 
 def iter_python_files(paths: list[str], root: Path) -> list[Path]:
     files: list[Path] = []
@@ -27,20 +43,45 @@ def iter_python_files(paths: list[str], root: Path) -> list[Path]:
             files.append(path)
         elif path.is_dir():
             files.extend(sorted(path.rglob("*.py")))
-    return files
+    kept = []
+    for path in files:
+        posix = path.as_posix()
+        if any(fragment in posix for fragment in EXCLUDED_FRAGMENTS):
+            continue
+        kept.append(path)
+    return kept
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m tools.checks",
-        description="BcWAN repo invariant lint",
+        description="BcWAN determinism checks: per-file lint + "
+                    "whole-program analysis",
     )
     parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
-                        help="files or directories to check "
+                        help="files or directories for the per-file lint "
                              "(default: %(default)s)")
     parser.add_argument("--root", default=".",
                         help="repo root that paths are relative to")
+    parser.add_argument("--format", dest="output_format", default="text",
+                        choices=("text", "json", "sarif"),
+                        help="report format (default: text)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline file of accepted finding "
+                             "fingerprints; only new findings fail the run")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the --baseline file from the current "
+                             "findings and exit 0")
+    parser.add_argument("--no-whole-program", action="store_true",
+                        help="skip the interprocedural pass (per-file "
+                             "lint only)")
+    parser.add_argument("--whole-program-root", default="src/repro",
+                        help="package directory the whole-program pass "
+                             "covers (default: %(default)s)")
     args = parser.parse_args(argv)
+
+    if args.update_baseline and args.baseline is None:
+        parser.error("--update-baseline requires --baseline")
 
     root = Path(args.root).resolve()
     violations: list[Violation] = []
@@ -49,16 +90,41 @@ def main(argv: list[str] | None = None) -> int:
         violations.extend(check_file(path, root, ALL_CHECKERS))
         checked += 1
 
-    for violation in sorted(violations,
-                            key=lambda v: (v.path, v.line, v.rule)):
-        print(violation)
-    if violations:
-        print(f"{len(violations)} violation(s) in {checked} file(s)",
-              file=sys.stderr)
-        return 1
-    print(f"ok: {checked} file(s), "
-          f"{len(ALL_CHECKERS)} rule(s), no violations")
-    return 0
+    if not args.no_whole_program:
+        from tools.analysis import run_whole_program
+        violations.extend(run_whole_program(root, args.whole_program_root))
+
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+
+    from tools.analysis.report import (
+        load_baseline, render_json, render_sarif, render_text,
+        split_by_baseline, write_baseline,
+    )
+
+    if args.update_baseline:
+        write_baseline(args.baseline, violations)
+        print(f"baseline updated: {len(violations)} finding(s) -> "
+              f"{args.baseline}")
+        return 0
+
+    baseline = load_baseline(args.baseline) if args.baseline else {}
+    new, known = split_by_baseline(violations, baseline)
+
+    if args.output_format == "json":
+        sys.stdout.write(render_json(new, checked, len(known)))
+    elif args.output_format == "sarif":
+        sys.stdout.write(render_sarif(new, checked, len(known)))
+    else:
+        if new:
+            print(render_text(new))
+            print(f"{len(new)} new finding(s) "
+                  f"({len(known)} baselined) in {checked} file(s)",
+                  file=sys.stderr)
+        else:
+            print(f"ok: {checked} file(s), {len(ALL_CHECKERS)} per-file "
+                  f"rule(s) + whole-program pass, "
+                  f"{len(known)} baselined finding(s), nothing new")
+    return 1 if new else 0
 
 
 if __name__ == "__main__":
