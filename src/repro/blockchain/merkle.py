@@ -7,7 +7,8 @@ from typing import Sequence
 from repro.crypto.hashing import double_sha256
 from repro.errors import ValidationError
 
-__all__ = ["merkle_root", "merkle_branch", "verify_branch"]
+__all__ = ["merkle_root", "merkle_branch", "verify_branch", "branch_depth",
+           "verify_proof"]
 
 
 def merkle_root(txids: Sequence[bytes]) -> bytes:
@@ -49,7 +50,12 @@ def merkle_branch(txids: Sequence[bytes], index: int) -> list[bytes]:
 
 def verify_branch(txid: bytes, branch: Sequence[bytes], index: int,
                   root: bytes) -> bool:
-    """Check an authentication path against a Merkle ``root``."""
+    """Check an authentication path against a Merkle ``root``.
+
+    Trusting-context helper only: without the tree's leaf count it cannot
+    pin the proof depth or reject duplicate-leaf mutations.  Anything
+    consuming proofs from the network must use :func:`verify_proof`.
+    """
     current = txid
     for sibling in branch:
         if index & 1:
@@ -57,4 +63,56 @@ def verify_branch(txid: bytes, branch: Sequence[bytes], index: int,
         else:
             current = double_sha256(current + sibling)
         index //= 2
+    return current == root
+
+
+def branch_depth(tx_count: int) -> int:
+    """Authentication-path length of a tree over ``tx_count`` leaves."""
+    if tx_count < 1:
+        raise ValidationError(f"tree needs at least one leaf, got {tx_count}")
+    depth = 0
+    width = tx_count
+    while width > 1:
+        width = (width + 1) // 2
+        depth += 1
+    return depth
+
+
+def verify_proof(txid: bytes, branch: Sequence[bytes], index: int,
+                 tx_count: int, root: bytes) -> bool:
+    """Strict SPV proof check: path, position, *and* tree shape.
+
+    Beyond re-hashing the path, this pins everything an untrusted prover
+    could vary:
+
+    * ``index`` must lie inside a ``tx_count``-leaf tree and the branch
+      must have exactly that tree's depth (rejects truncated or padded
+      paths, which :func:`verify_branch` would happily fold);
+    * the duplicate-last-on-odd rule is enforced positionally, closing
+      the CVE-2012-2459 ambiguity: a node may only be paired with itself
+      at the mandated odd-row position, and there it *must* be — so a
+      block whose leaf list fakes the internal duplication (``[a, b, c,
+      c]`` mimicking ``[a, b, c]``) never yields an acceptable proof.
+    """
+    if len(txid) != 32 or len(root) != 32:
+        return False
+    if tx_count < 1 or not 0 <= index < tx_count:
+        return False
+    if len(branch) != branch_depth(tx_count):
+        return False
+    current = txid
+    width = tx_count
+    position = index
+    for sibling in branch:
+        if len(sibling) != 32:
+            return False
+        duplicate_slot = width % 2 == 1 and position == width - 1
+        if duplicate_slot != (sibling == current):
+            return False
+        if position & 1:
+            current = double_sha256(sibling + current)
+        else:
+            current = double_sha256(current + sibling)
+        position //= 2
+        width = (width + 1) // 2
     return current == root

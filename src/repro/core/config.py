@@ -177,6 +177,28 @@ class NetworkConfig:
     rsa_bits: int = 512
     wait_for_confirmation: bool = False
 
+    # -- light-client tier -------------------------------------------------
+    # "full": every actor's recipient runs a co-located full node (the
+    # paper's deployment, and byte-identical to runs predating the light
+    # tier).  "light": each actor's application server is a duty-cycled
+    # SPV host — headers, filters, and Merkle proofs only, served by the
+    # gateway full nodes.  The light tier requires the flat topology.
+    device_class: str = "full"
+    # Relay blocks between full nodes as BIP 152-style short-txid
+    # sketches with mempool reconstruction instead of full BlockMessages.
+    compact_blocks: bool = False
+    # Seconds between a gateway's signed header-bundle multicasts to its
+    # light recipients (0 disables the stream; light clients then rely
+    # solely on unicast polling).
+    multicast_interval: float = 0.0
+    # Aggregate-verify every R-th bundle (Danzi et al. repeat-authenticate).
+    multicast_verify_every: int = 4
+    # Class-A listen window after each multicast round fires.
+    multicast_listen_window: float = 2.0
+    # Light-client unicast header poll period and per-request deadline.
+    light_sync_interval: float = 10.0
+    light_request_timeout: float = 5.0
+
     # Observability: ``tracing`` turns on sim-time span collection (one
     # trace per exchange, one per block) and makes the run's JSONL trace
     # export meaningful; ``profile_hot_paths`` attaches the wall-clock
@@ -247,6 +269,41 @@ class NetworkConfig:
                 f"roaming offset {self.roaming_offset} out of range for "
                 f"{self.gateways_per_region} gateways per region"
             )
+        if self.device_class not in ("full", "light"):
+            raise ConfigurationError(
+                f"unknown device class: {self.device_class!r} "
+                f"(expected 'full' or 'light')"
+            )
+        if self.device_class == "light" and self.topology.regions > 1:
+            raise ConfigurationError(
+                "the light tier requires the flat topology "
+                f"(regions={self.topology.regions})"
+            )
+        if self.multicast_interval < 0:
+            raise ConfigurationError(
+                f"multicast interval cannot be negative: "
+                f"{self.multicast_interval}"
+            )
+        if self.multicast_verify_every < 1:
+            raise ConfigurationError(
+                f"multicast verify-every must be at least 1, got "
+                f"{self.multicast_verify_every}"
+            )
+        if self.multicast_listen_window <= 0:
+            raise ConfigurationError(
+                f"multicast listen window must be positive: "
+                f"{self.multicast_listen_window}"
+            )
+        if self.light_sync_interval <= 0:
+            raise ConfigurationError(
+                f"light sync interval must be positive: "
+                f"{self.light_sync_interval}"
+            )
+        if self.light_request_timeout <= 0:
+            raise ConfigurationError(
+                f"light request timeout must be positive: "
+                f"{self.light_request_timeout}"
+            )
         # Surface chain-parameter violations (block size floor, etc.) at
         # configuration time rather than at network assembly.
         self.chain_params()
@@ -267,6 +324,11 @@ class NetworkConfig:
     @property
     def site_names(self) -> list[str]:
         return [f"site-{i}" for i in range(self.num_gateways)]
+
+    @property
+    def light_names(self) -> list[str]:
+        """WAN host names of the light recipients (one per actor)."""
+        return [f"light-{i}" for i in range(self.num_gateways)]
 
     @property
     def total_sensors(self) -> int:

@@ -184,36 +184,10 @@ class BlockchainDaemon:
             )
         elif isinstance(payload, BlockMessage):
             block = payload.block
-            if block.hash in self._seen_blocks:
+            if not self.mark_block_seen(block.hash):
                 return
-            self._seen_blocks.add(block.hash)
-            if self.verify_blocks:
-                service = self.node.params.verification_stall(
-                    len(block.transactions)
-                )
-                self.stats.blocks_verified += 1
-                self.stats.stall_time += service
-            else:
-                service = self.cost_model.daemon_block_process
-            origin = envelope.source
-            # The block's validation span: child of the transit span that
-            # delivered it, so one block's trace shows gossip hop →
-            # per-peer queueing/verification stall → adoption.
-            span = self.network.tracer.span(
-                "block.validate", parent=envelope.trace,
-                host=self.name, txs=len(block.transactions))
-
-            def process_block(block=block, origin=origin, span=span):
-                if (self.block_validator is not None
-                        and not self.block_validator(block)):
-                    self.blocks_rejected_consensus += 1
-                    span.end("rejected", reason="consensus")
-                    return
-                self.gossip.receive_block(block, origin=origin, parent=span)
-                self._sync_validation_telemetry()
-                span.end("ok")
-
-            self._enqueue(service, process_block, label="block", span=span)
+            self.enqueue_network_block(block, origin=envelope.source,
+                                       trace=envelope.trace)
         else:
             handler = self.protocol_handlers.get(type(payload))
             if handler is not None:
@@ -224,6 +198,55 @@ class BlockchainDaemon:
                     lambda: handler(envelope),
                     label="protocol",
                 )
+
+    def mark_block_seen(self, block_hash: bytes) -> bool:
+        """Dedup gate shared by full-block gossip and compact relay.
+
+        Returns True when the hash was new (the caller should process it);
+        False when this daemon already queued or processed the block.
+        """
+        if block_hash in self._seen_blocks:
+            return False
+        self._seen_blocks.add(block_hash)
+        return True
+
+    def enqueue_network_block(self, block: Any, origin: str = "",
+                              trace: Any = None) -> Event:
+        """Queue a network-received block for verification and adoption.
+
+        The shared tail of full-block gossip and compact-sketch
+        reconstruction: both pay the same verification stall (the
+        section 5.2 behavior this daemon exists to model), run the same
+        optional consensus validator, and adopt via gossip — which
+        re-relays to peers.  Callers are expected to have passed
+        :meth:`mark_block_seen` first.
+        """
+        if self.verify_blocks:
+            service = self.node.params.verification_stall(
+                len(block.transactions)
+            )
+            self.stats.blocks_verified += 1
+            self.stats.stall_time += service
+        else:
+            service = self.cost_model.daemon_block_process
+        # The block's validation span: child of the transit span that
+        # delivered it, so one block's trace shows gossip hop →
+        # per-peer queueing/verification stall → adoption.
+        span = self.network.tracer.span(
+            "block.validate", parent=trace,
+            host=self.name, txs=len(block.transactions))
+
+        def process_block(block=block, origin=origin, span=span):
+            if (self.block_validator is not None
+                    and not self.block_validator(block)):
+                self.blocks_rejected_consensus += 1
+                span.end("rejected", reason="consensus")
+                return
+            self.gossip.receive_block(block, origin=origin, parent=span)
+            self._sync_validation_telemetry()
+            span.end("ok")
+
+        return self._enqueue(service, process_block, label="block", span=span)
 
     def _sync_validation_telemetry(self) -> None:
         """Mirror the engine's script-layer counters into the stats."""

@@ -1,0 +1,339 @@
+"""The recipient agent for the light tier.
+
+A :class:`LightRecipientAgent` runs the same fair exchange as
+:class:`~repro.core.recipient.RecipientAgent` — authenticate the
+delivery, lock payment to the key revelation, decrypt on the claim's
+``eSk`` reveal — but against an :class:`~repro.light.spv.SpvClient`
+instead of a co-located full node:
+
+* its wallet balance is built from SPV-proven transactions only;
+* offers and refunds are broadcast by handing the raw transaction to the
+  serving full node (with a rebroadcast watchdog in place of a local
+  mempool verdict);
+* the claim is spotted through the watched offer outpoint (filter push),
+  and payment is counted *confirmed* only once a Merkle proof of the
+  claim verifies against the header chain.
+
+The device-class asymmetry is the point: everything consensus-critical
+(block bodies, UTXO bookkeeping, script validation) stays on the full
+nodes; the light host handles only its own transactions, each at most a
+few hundred bytes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.blockchain.transaction import OutPoint, Transaction
+from repro.blockchain.wallet import KeyReleaseOffer
+from repro.core import directory as directory_mod
+from repro.core.costmodel import CostModel
+from repro.core.messages import open_message, verify_payload
+from repro.core.provisioning import RecipientRegistry
+from repro.core.rewards import RecipientBudget
+from repro.crypto import rsa
+from repro.errors import ProtocolError, ValidationError
+from repro.light.messages import MEMPOOL_HEIGHT, TxProofMessage
+from repro.light.spv import SpvClient
+from repro.light.wallet import LightWallet
+from repro.obs.exchange import ExchangeTracker
+from repro.p2p.message import (DeliveryAck, DeliveryMessage, Envelope,
+                               TxMessage)
+from repro.sim.core import Simulator
+
+__all__ = ["LightRecipientAgent"]
+
+
+@dataclass
+class _PendingSettlement:
+    """Light-side state awaiting the gateway's claim."""
+
+    message: DeliveryMessage
+    offer: KeyReleaseOffer
+    source: str
+
+
+class LightRecipientAgent:
+    """One duty-cycled actor's application agent, SPV-backed."""
+
+    def __init__(self, sim: Simulator, name: str, spv: SpvClient,
+                 wallet: LightWallet, registry: RecipientRegistry,
+                 cost_model: CostModel, tracker: ExchangeTracker,
+                 rng: random.Random, offer_fee: int = 0,
+                 budget: Optional[RecipientBudget] = None,
+                 refund_delta: int = 100,
+                 funding_retries: int = 8,
+                 funding_wait: float = 2.0,
+                 rebroadcast_timeout: float = 15.0,
+                 rebroadcast_limit: int = 3) -> None:
+        self.sim = sim
+        self.name = name
+        self.spv = spv
+        self.wan = spv.network
+        self.wallet = wallet
+        self.registry = registry
+        self.cost_model = cost_model
+        self.tracker = tracker
+        self.rng = rng
+        self.offer_fee = offer_fee
+        self.budget = budget or RecipientBudget(max_price=10**9)
+        # The refund branch's locktime rides the *header* tip — the only
+        # chain clock a light client has.
+        self.refund_delta = refund_delta
+        self.funding_retries = funding_retries
+        self.funding_wait = funding_wait
+        self.rebroadcast_timeout = rebroadcast_timeout
+        self.rebroadcast_limit = rebroadcast_limit
+
+        self.messages_received = 0
+        self.quotes_refused = 0
+        self.messages_decrypted = 0
+        self.payments_made = 0
+        self.payments_confirmed = 0
+        self.refunds_taken = 0
+        self.rebroadcasts = 0
+        self.funding_stalls = 0
+
+        self._pending: dict[OutPoint, _PendingSettlement] = {}
+        self._offer_txids: set[bytes] = set()
+        self._echoed: set[bytes] = set()
+        self._confirmed: set[bytes] = set()
+        spv.register_handler(DeliveryMessage, self._on_delivery)
+        spv.on_match.append(self._on_match)
+        spv.on_proof.append(self._on_proof)
+        # Watch own address from genesis: funding coins, change, and
+        # refunds all land back here as proven credits.
+        spv.watch(pubkey_hashes=(wallet.pubkey_hash,), from_height=0)
+
+    @property
+    def address(self) -> str:
+        """The blockchain address (``@R``) nodes are provisioned with."""
+        return self.wallet.address
+
+    # -- directory ---------------------------------------------------------------
+
+    def announce(self, endpoint: str, port: int = 7264) -> Transaction:
+        """Publish this recipient's IP endpoint on-chain (section 4.3)."""
+        payload = directory_mod.build_announcement_payload(
+            self.wallet.keypair, endpoint, port,
+        )
+        tx = self.wallet.create_announcement(payload)
+        self._broadcast(tx)
+        return tx
+
+    # -- broadcast through the serving peer --------------------------------------
+
+    def _broadcast(self, tx: Transaction, parent=None) -> None:
+        txid = tx.txid
+        self.spv.watch(txids=(txid,))
+        self.wan.send(self.name, self.spv.serving_peer,
+                      TxMessage(transaction=tx), parent=parent)
+        self.sim.call_in(self.rebroadcast_timeout,
+                         lambda: self._check_echo(tx, attempts=1))
+
+    def _check_echo(self, tx: Transaction, attempts: int) -> None:
+        """No filter push echoed our broadcast: the peer lost or never
+        accepted it.  Resend — possibly to a new peer after failover."""
+        txid = tx.txid
+        if txid in self._echoed or txid in self._confirmed:
+            return
+        if attempts > self.rebroadcast_limit:
+            return  # give up; reclaim_expired / tracker timeouts handle it
+        self.rebroadcasts += 1
+        self.wan.send(self.name, self.spv.serving_peer,
+                      TxMessage(transaction=tx))
+        self.sim.call_in(self.rebroadcast_timeout,
+                         lambda: self._check_echo(tx, attempts + 1))
+
+    # -- the fair exchange --------------------------------------------------------
+
+    def _on_delivery(self, envelope: Envelope) -> None:
+        self.sim.process(self._settle(envelope))
+
+    def _settle(self, envelope: Envelope):
+        message = envelope.payload
+        assert isinstance(message, DeliveryMessage)
+        self.messages_received += 1
+        record = self.tracker.get(message.delivery_id)
+        if record is not None:
+            record.t_delivered = self.sim.now
+            record.recipient = self.name
+            record.price = message.price
+            self.tracker.end_leg(record, "publication")
+            self.tracker.begin_leg(record, "payment")
+
+        # Step 8: authenticate the payload.
+        yield self.sim.timeout(self.cost_model.sample(
+            self.cost_model.recipient_rsa_verify, self.rng,
+        ))
+        if not self.registry.knows(message.node_id):
+            self._refuse(envelope, record, "unknown device")
+            return
+        node_pubkey = self.registry.pubkey_for(message.node_id)
+        if not verify_payload(message.encrypted_message,
+                              message.ephemeral_pubkey,
+                              message.signature, node_pubkey):
+            self._refuse(envelope, record, "bad signature")
+            return
+        if not self.budget.accepts(message.price):
+            self.quotes_refused += 1
+            self._refuse(
+                envelope, record,
+                f"quote {message.price} above budget {self.budget.max_price}",
+            )
+            return
+
+        # Step 9: lock payment to the key revelation.  Funding proofs may
+        # still be in flight to a just-woken device, so stall briefly
+        # (nudging catch-up) before declaring poverty.
+        offer = None
+        for attempt in range(self.funding_retries):
+            try:
+                offer = self.wallet.create_key_release_offer(
+                    rsa_pubkey=message.ephemeral_pubkey,
+                    gateway_pubkey_hash=message.gateway_pubkey_hash,
+                    amount=message.price,
+                    refund_locktime=(self.spv.chain.tip_height
+                                     + self.refund_delta),
+                    fee=self.offer_fee,
+                )
+                break
+            except ValidationError:
+                self.funding_stalls += 1
+                self.spv.catch_up()
+                yield self.sim.timeout(self.funding_wait)
+        if offer is None:
+            self._refuse(envelope, record, "cannot fund offer")
+            return
+        self.payments_made += 1
+        if record is not None:
+            record.t_offer_sent = self.sim.now
+        self._pending[offer.outpoint] = _PendingSettlement(
+            message=message, offer=offer, source=envelope.source,
+        )
+        self._offer_txids.add(offer.transaction.txid)
+        parent = (self.tracker.leg(record, "payment")
+                  if record is not None else None)
+        # Watch the escrow before it exists on the wire: the claim spends
+        # this outpoint, and the filter must already cover it when the
+        # gateway's claim hits the serving node's mempool.
+        self.spv.watch(outpoints=(offer.outpoint,))
+        self._broadcast(offer.transaction, parent=parent)
+        self.wan.send(self.name, envelope.source, DeliveryAck(
+            delivery_id=message.delivery_id,
+            accepted=True,
+            offer_txid=offer.transaction.txid,
+        ), parent=parent)
+
+    def _refuse(self, envelope: Envelope, record, reason: str) -> None:
+        if record is not None:
+            self.tracker.fail(record, reason)
+        self.wan.send(self.name, envelope.source, DeliveryAck(
+            delivery_id=envelope.payload.delivery_id,
+            accepted=False,
+            reason=reason,
+        ))
+
+    # -- filter pushes ------------------------------------------------------------
+
+    def _on_match(self, tx: Transaction, height: int) -> None:
+        self._echoed.add(tx.txid)
+        for tx_input in tx.inputs:
+            settlement = self._pending.get(tx_input.outpoint)
+            if settlement is not None:
+                self.sim.process(self._decrypt(tx, tx_input, settlement))
+                return
+
+    def _on_proof(self, proof: TxProofMessage) -> None:
+        tx = self.spv.matched_txs.get(proof.txid)
+        if tx is None:
+            return  # proof outran its filter push; replayed on the match
+        self._confirmed.add(tx.txid)
+        self.wallet.apply_confirmed_tx(tx)
+        if proof.txid in self._offer_txids:
+            self._offer_txids.discard(proof.txid)
+            self.payments_confirmed += 1
+
+    # -- claim decryption ---------------------------------------------------------
+
+    def _decrypt(self, claim_tx, claim_input, settlement: _PendingSettlement):
+        """The gateway's claim revealed ``eSk``: recover the plaintext."""
+        record = self.tracker.get(settlement.message.delivery_id)
+        elements = claim_input.script_sig.elements
+        if len(elements) != 3 or not isinstance(elements[2], bytes):
+            # The refund path or garbage — not a key revelation.
+            return
+        try:
+            ephemeral_key = rsa.RSAPrivateKey.from_bytes(elements[2])
+        except rsa.RSAError:
+            return
+        if record is not None:
+            record.t_claim_seen = self.sim.now
+            self.tracker.end_leg(record, "payment")
+            self.tracker.begin_leg(record, "decryption")
+        self._pending.pop(settlement.offer.outpoint, None)
+
+        yield self.sim.timeout(self.cost_model.sample(
+            self.cost_model.recipient_unwrap, self.rng,
+        ))
+        try:
+            plaintext = open_message(
+                settlement.message.encrypted_message,
+                self.registry.key_for(settlement.message.node_id),
+                ephemeral_key,
+            )
+        except ProtocolError as exc:
+            if record is not None:
+                self.tracker.fail(record, f"decryption failed: {exc}")
+            return
+        self.messages_decrypted += 1
+        if record is not None:
+            record.decrypted = plaintext
+            record.t_decrypted = self.sim.now
+            self.tracker.end_leg(record, "decryption")
+            self.tracker.complete(record)
+
+    # -- refunds ------------------------------------------------------------------
+
+    def pending_settlements(self) -> int:
+        return len(self._pending)
+
+    def reclaim_expired(self) -> int:
+        """Broadcast the refund branch of every header-expired offer.
+
+        A light client cannot consult the UTXO set, so a raced claim is
+        resolved by the full nodes: the refund simply loses the conflict
+        and the claim decrypts as usual.  Returns refunds broadcast.
+        """
+        refunded = 0
+        tip = self.spv.chain.tip_height
+        for outpoint, settlement in list(self._pending.items()):
+            if settlement.offer.refund_locktime > tip:
+                continue
+            try:
+                refund_tx = self.wallet.refund_key_release(settlement.offer)
+            except ValidationError:
+                continue
+            self._broadcast(refund_tx)
+            refunded += 1
+            self.refunds_taken += 1
+            self._pending.pop(outpoint, None)
+            record = self.tracker.get(settlement.message.delivery_id)
+            if record is not None and record.status == "pending":
+                self.tracker.fail(record, "gateway never claimed; refunded")
+        return refunded
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "messages_received": self.messages_received,
+            "quotes_refused": self.quotes_refused,
+            "messages_decrypted": self.messages_decrypted,
+            "payments_made": self.payments_made,
+            "payments_confirmed": self.payments_confirmed,
+            "refunds_taken": self.refunds_taken,
+            "rebroadcasts": self.rebroadcasts,
+            "funding_stalls": self.funding_stalls,
+            "balance": self.wallet.balance,
+        }

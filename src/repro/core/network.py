@@ -48,8 +48,14 @@ from repro.obs.exchange import ExchangeTracker
 from repro.core.node_agent import NodeAgent
 from repro.core.provisioning import RecipientRegistry, provision_device
 from repro.core.recipient import RecipientAgent
+from repro.core.light_recipient import LightRecipientAgent
 from repro.crypto.keys import KeyPair
 from repro.errors import ConfigurationError
+from repro.light.compact import CompactBlockRelay
+from repro.light.multicast import ChainMulticaster
+from repro.light.server import LightServer
+from repro.light.spv import SpvClient
+from repro.light.wallet import LightWallet
 from repro.lora.channel import Position, RadioChannel
 from repro.obs.export import (export_trace_jsonl, format_breakdown,
                               leg_breakdown)
@@ -175,6 +181,12 @@ class BcWANNetwork:
         self.sites: list[Site] = []
         self.regions: list[Region] = []
         self.sensors: list[NodeAgent] = []
+        # The light tier (empty in the default full-node deployment).
+        self.light_servers: list[LightServer] = []
+        self.light_clients: list[SpvClient] = []
+        self.light_agents: list[LightRecipientAgent] = []
+        self.multicasters: list[ChainMulticaster] = []
+        self.compact_relays: list[CompactBlockRelay] = []
         self._exchanges_launched = 0
         self._build()
 
@@ -217,10 +229,23 @@ class BcWANNetwork:
             KeyPair.generate(self.rngs.stream(f"actor-key-{i}"))
             for i in range(cfg.num_gateways)
         ]
-        self._bootstrap_chain(master_node, actor_keys)
+        # Light tier: the duty-cycled application hosts hold their own
+        # keys, funded and announced (endpoint = the light host) during
+        # bootstrap, so gateways resolve @R straight to the light host.
+        light_keys = []
+        if cfg.device_class == "light":
+            light_keys = [
+                KeyPair.generate(self.rngs.stream(f"light-key-{i}"))
+                for i in range(cfg.num_gateways)
+            ]
+        self._bootstrap_chain(master_node, actor_keys,
+                              extra_keys=light_keys,
+                              extra_endpoints=cfg.light_names)
 
         # WAN: sites + master on a PlanetLab-like latency matrix.
         hosts = cfg.site_names + ["master"]
+        if cfg.device_class == "light":
+            hosts = hosts + cfg.light_names
         latency = PlanetLabLatencyMatrix(
             hosts, seed=cfg.seed ^ 0x5EED,
             median_range=cfg.wan_median_range, sigma=cfg.wan_sigma,
@@ -250,6 +275,13 @@ class BcWANNetwork:
         # Full-mesh gossip.
         daemons = [self.master_daemon] + [site.daemon for site in self.sites]
         self._connect_full_mesh(daemons)
+
+        if cfg.compact_blocks:
+            self.compact_relays = [CompactBlockRelay(daemon)
+                                   for daemon in daemons]
+        if cfg.device_class == "light":
+            self._build_light_tier(daemons, light_keys, registries,
+                                   modulation)
 
         self._deploy_sensors(modulation)
         self._funding_baseline = {
@@ -315,6 +347,61 @@ class BcWANNetwork:
             region=region, chain_id=chain_id,
         )
 
+    def _build_light_tier(self, daemons: list[BlockchainDaemon],
+                          light_keys: list[KeyPair],
+                          registries: list[RecipientRegistry],
+                          modulation: LoRaModulation) -> None:
+        """SPV clients, their serving full nodes, and the multicast legs.
+
+        Every full daemon serves headers/filters/proofs; each actor's
+        application server becomes a ``light-i`` WAN host whose serving
+        peers are its home gateway, the next site over (failover), and
+        the master.  With ``multicast_interval > 0`` the home gateway
+        additionally multicasts signed header bundles to its light host.
+        """
+        cfg = self.config
+        self.light_servers = [LightServer(daemon) for daemon in daemons]
+        n = cfg.num_gateways
+        for i in range(n):
+            name = cfg.light_names[i]
+            peers = [cfg.site_names[i]]
+            backup = cfg.site_names[(i + 1) % n]
+            if backup not in peers:
+                peers.append(backup)
+            peers.append("master")
+            spv = SpvClient(
+                self.sim, self.wan, name, tuple(peers),
+                pow_bits=cfg.pow_bits,
+                sync_interval=cfg.light_sync_interval,
+                request_timeout=cfg.light_request_timeout,
+                tracer=self.tracer,
+            )
+            wallet = LightWallet(light_keys[i])
+            agent = LightRecipientAgent(
+                self.sim, name, spv, wallet, registries[i],
+                cfg.cost_model, self.tracker,
+                self.rngs.stream(f"light-recipient-{i}"),
+                offer_fee=cfg.offer_fee,
+                refund_delta=cfg.locktime_grace,
+            )
+            self.light_clients.append(spv)
+            self.light_agents.append(agent)
+            if cfg.multicast_interval > 0:
+                site = self.sites[i]
+                self.multicasters.append(ChainMulticaster(
+                    self.sim, self.wan, site.name, site.wallet.keypair,
+                    site.node.chain, (name,), cfg.multicast_interval,
+                    modulation=modulation,
+                    duty_cycle=cfg.gateway_duty_cycle,
+                    tracer=self.tracer,
+                ))
+                spv.attach_multicast(
+                    site.wallet.keypair.public_key.to_bytes(),
+                    cfg.multicast_interval,
+                    verify_every=cfg.multicast_verify_every,
+                    listen_window=cfg.multicast_listen_window,
+                )
+
     @staticmethod
     def _connect_full_mesh(daemons: list[BlockchainDaemon]) -> None:
         for daemon in daemons:
@@ -326,8 +413,12 @@ class BcWANNetwork:
         """Reclaim sweeps and anti-entropy sync, over every daemon."""
         cfg = self.config
         if cfg.reclaim_interval > 0:
-            for site in self.sites:
-                self.sim.process(self._reclaim_loop(site))
+            if self.light_agents:
+                for agent in self.light_agents:
+                    self.sim.process(self._light_reclaim_loop(agent))
+            else:
+                for site in self.sites:
+                    self.sim.process(self._reclaim_loop(site))
         if cfg.sync_interval > 0:
             from repro.p2p.sync import SyncAgent
             self.sync_agents = [
@@ -343,13 +434,21 @@ class BcWANNetwork:
         node.mempool.obs = self.profiler
 
     def _bootstrap_chain(self, master_node: FullNode,
-                         actor_keys: list[KeyPair]) -> None:
-        """Mine the genesis era: maturity, funding, IP announcements."""
+                         actor_keys: list[KeyPair],
+                         extra_keys: tuple[KeyPair, ...] = (),
+                         extra_endpoints: tuple[str, ...] = ()) -> None:
+        """Mine the genesis era: maturity, funding, IP announcements.
+
+        ``extra_keys``/``extra_endpoints`` fund and announce additional
+        recipients (the light tier's hosts); empty in the default
+        deployment, which keeps this path byte-identical to before.
+        """
         cfg = self.config
         # One mature coinbase per funding transaction, plus headroom.
-        for _ in range(cfg.num_gateways + cfg.coinbase_maturity + 1):
+        for _ in range(cfg.num_gateways + len(extra_keys)
+                       + cfg.coinbase_maturity + 1):
             self.miner.mine_and_connect(0.0)
-        for key in actor_keys:
+        for key in [*actor_keys, *extra_keys]:
             funding = self.master_wallet.create_fanout(
                 key.pubkey_hash, cfg.funding_coin_value, cfg.funding_coins,
             )
@@ -362,10 +461,11 @@ class BcWANNetwork:
         # Every recipient announces its endpoint on-chain before t=0, the
         # "each recipient ... must create a blockchain transaction
         # containing the information relative to its IP address" step.
-        for i, key in enumerate(actor_keys):
+        endpoints = cfg.site_names + list(extra_endpoints[:len(extra_keys)])
+        for (key, endpoint) in zip([*actor_keys, *extra_keys], endpoints):
             scratch = Wallet(master_node.chain, key)
             scratch.refresh_from_utxo_set()
-            payload = build_announcement_payload(key, cfg.site_names[i])
+            payload = build_announcement_payload(key, endpoint)
             announcement = scratch.create_announcement(payload)
             decision = master_node.submit_transaction(announcement)
             if not decision.accepted:
@@ -627,6 +727,12 @@ class BcWANNetwork:
                      txs=len(block.transactions))
             daemon.gossip.broadcast_block(block, parent=span)
 
+    def _recipient_address(self, actor_index: int) -> str:
+        """The @R sensors of actor ``i`` are provisioned with."""
+        if self.light_agents:
+            return self.light_agents[actor_index].address
+        return self.sites[actor_index].recipient.address
+
     def _deploy_sensors(self, modulation: LoRaModulation) -> None:
         """Provision and place every end device in a foreign cell."""
         cfg = self.config
@@ -640,7 +746,7 @@ class BcWANNetwork:
             for j in range(cfg.sensors_per_gateway):
                 device_id = f"dev-{i}-{j}"
                 credentials = provision_device(
-                    device_id, home.recipient.address, home.registry,
+                    device_id, self._recipient_address(i), home.registry,
                     rng=self.rngs.stream(f"provision-{device_id}"),
                     rsa_bits=cfg.rsa_bits,
                 )
@@ -815,6 +921,12 @@ class BcWANNetwork:
             yield self.sim.timeout(self.config.reclaim_interval)
             yield site.recipient.reclaim_expired()
 
+    def _light_reclaim_loop(self, agent: LightRecipientAgent):
+        """The light tier's refund sweep (synchronous — no daemon)."""
+        while True:
+            yield self.sim.timeout(self.config.reclaim_interval)
+            agent.reclaim_expired()
+
     # -- failure injection --------------------------------------------------------
 
     def fail_gateway_radio(self, site_index: int) -> None:
@@ -953,16 +1065,23 @@ class BcWANNetwork:
         rewards = {
             site.name: site.gateway.rewards_claimed for site in self.sites
         }
-        spend = {
-            site.name: site.recipient.payments_made * self.config.price
-            for site in self.sites
-        }
+        if self.light_agents:
+            spend = {
+                agent.name: agent.payments_made * self.config.price
+                for agent in self.light_agents
+            }
+        else:
+            spend = {
+                site.name: site.recipient.payments_made * self.config.price
+                for site in self.sites
+            }
         # Flat: the single chain's height.  Hierarchical: the settlement
         # chain's height — per-region heights live on region.master_node.
         if not self.regions:
             chain_height = self.master_daemon.node.height
         else:
             chain_height = self.anchor_daemon.node.height
+        self._sync_wan_gauges(len(completed), chain_height)
         return RunReport(
             exchanges_launched=self._exchanges_launched,
             completed=len(completed),
@@ -985,6 +1104,20 @@ class BcWANNetwork:
             ),
             legs=leg_breakdown(self.tracer) if self.tracer.enabled else {},
         )
+
+    def _sync_wan_gauges(self, completed: int, chain_height: int) -> None:
+        """Publish the WAN-economy headline metrics to the registry."""
+        if completed > 0:
+            self.registry.gauge("wan.bytes_per_exchange").set(
+                self.wan.bytes_modeled / completed)
+        if chain_height > 0:
+            block_types = ("BlockMessage", "BlocksMessage",
+                           "CompactBlockMessage", "GetBlockTxnMessage",
+                           "BlockTxnMessage")
+            block_bytes = sum(self.wan.bytes_by_type.get(name, 0)
+                              for name in block_types)
+            self.registry.gauge("wan.bytes_per_block").set(
+                block_bytes / chain_height)
 
     # -- observability exports ----------------------------------------------------
 

@@ -1,0 +1,125 @@
+"""Wire messages of the light-client protocol.
+
+Light clients never move block bodies: headers travel as raw 84-byte
+serializations, transactions of interest as raw serializations pushed by
+a serving full node, and inclusion as self-contained Merkle proofs that
+carry their own header (so a proof verifies even when the client's
+header chain lags a multicast round behind).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "MEMPOOL_HEIGHT",
+    "GetHeaderRangeMessage",
+    "HeaderRangeMessage",
+    "RegisterFilterMessage",
+    "FilterMatchMessage",
+    "GetTxProofMessage",
+    "TxProofMessage",
+    "HeaderBundleMessage",
+]
+
+#: ``FilterMatchMessage.height`` for a transaction seen only in mempool.
+MEMPOOL_HEIGHT = -1
+
+
+@dataclass(frozen=True)
+class GetHeaderRangeMessage:
+    """Client → server: serialized headers for heights above ``above_height``."""
+
+    above_height: int
+    limit: int
+
+
+@dataclass(frozen=True)
+class HeaderRangeMessage:
+    """Server → client: consecutive raw headers starting at ``start_height``.
+
+    Unlike the full-node sync protocol's ``(height, hash)`` inventories,
+    light sync moves the actual 84-byte headers — the client has no block
+    store to resolve hashes against.
+    """
+
+    start_height: int
+    headers: tuple[bytes, ...]
+    tip_height: int
+
+
+@dataclass(frozen=True)
+class RegisterFilterMessage:
+    """Client → server: watch these scripts/outpoints/txids for me.
+
+    Additive: repeated registrations merge into the client's standing
+    filter.  ``from_height >= 0`` asks for a historical rescan (plus a
+    mempool sweep) from that height; ``from_height < 0`` watches forward
+    traffic only.  Outpoints travel as ``(txid, index)`` pairs.
+    """
+
+    pubkey_hashes: tuple[bytes, ...] = ()
+    outpoints: tuple[tuple[bytes, int], ...] = ()
+    txids: tuple[bytes, ...] = ()
+    from_height: int = -1
+
+
+@dataclass(frozen=True)
+class FilterMatchMessage:
+    """Server → client: a watched transaction, in full.
+
+    ``height`` is the confirmed height, or :data:`MEMPOOL_HEIGHT` for a
+    mempool sighting (the client treats those as unconfirmed hints; only
+    a verified :class:`TxProofMessage` makes a tx spendable-from).
+    """
+
+    tx_bytes: bytes
+    height: int
+
+
+@dataclass(frozen=True)
+class GetTxProofMessage:
+    """Client → server: prove inclusion of ``txid`` (if confirmed)."""
+
+    txid: bytes
+
+
+@dataclass(frozen=True)
+class TxProofMessage:
+    """Server → client: Merkle inclusion proof for one transaction.
+
+    Self-contained: ``header_bytes`` is the raw header of the containing
+    block, so the client can authenticate the proof the moment its header
+    chain covers ``height`` — or stash it until a sync round does.
+    """
+
+    txid: bytes
+    block_hash: bytes
+    height: int
+    index: int
+    tx_count: int
+    branch: tuple[bytes, ...]
+    header_bytes: bytes
+
+
+@dataclass(frozen=True)
+class HeaderBundleMessage:
+    """Gateway → listeners: one round of the repeat-authenticate multicast.
+
+    ``digest`` chains over the previous round's digest, the round index,
+    and this round's headers; ``signature`` is the gateway's ECDSA
+    signature over ``digest``.  Because each digest commits to the whole
+    chain of bundles since the listener's last verification, checking one
+    signature every R rounds authenticates all R buffered bundles at once
+    (Danzi et al.'s aggregate verification).  Empty-``headers`` bundles
+    are keep-alives: they advance the round clock so listeners can tell
+    "no new blocks" from "gateway went silent".
+    """
+
+    round_index: int
+    start_height: int
+    headers: tuple[bytes, ...]
+    tip_height: int
+    prev_digest: bytes
+    digest: bytes
+    signature: bytes

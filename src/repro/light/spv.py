@@ -1,0 +1,456 @@
+"""The SPV sync engine of a light client.
+
+An :class:`SpvClient` is a WAN host that is *not* a daemon: it keeps an
+84-byte-per-block :class:`~repro.light.headers.HeaderChain`, registers
+watch-list filters (addresses, outpoints, txids) with serving full
+nodes, and confirms the transactions it cares about through Merkle
+inclusion proofs — never downloading, deserializing, or validating a
+block body.
+
+Failure handling borrows the full-node :class:`~repro.p2p.sync.SyncAgent`
+hardening: every request carries a deadline token, unanswered peers are
+scored, and after ``failover_threshold`` consecutive timeouts the client
+rotates to its next serving peer and replays its whole filter there
+(from height 0 — every push is idempotent downstream, so the replayed
+history is harmless).  A proof that fails strict verification also
+counts against the server: dishonest proof service is detectable, not
+just dishonest omission.
+
+When a :class:`~repro.light.multicast.MulticastListener` is attached,
+the periodic unicast poll stands down while the broadcast stream is
+healthy and resumes (as *catch-up*) on missed windows, digest breaks, or
+bundle gaps — the Danzi et al. recovery path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.blockchain.block import BlockHeader
+from repro.blockchain.merkle import verify_proof
+from repro.blockchain.transaction import OutPoint, Transaction
+from repro.errors import ValidationError
+from repro.light.headers import HeaderChain
+from repro.light.messages import (
+    FilterMatchMessage,
+    GetHeaderRangeMessage,
+    GetTxProofMessage,
+    HeaderBundleMessage,
+    HeaderRangeMessage,
+    RegisterFilterMessage,
+    TxProofMessage,
+)
+from repro.light.multicast import MulticastListener
+from repro.obs.registry import StatsView
+from repro.obs.tracing import NULL_TRACER, Tracer
+from repro.p2p.message import Envelope
+from repro.p2p.sync import PeerScore
+from repro.sim.core import Simulator
+
+__all__ = ["SpvClient"]
+
+_MAX_STASHED_PROOFS = 128
+
+
+@dataclass
+class _Pending:
+    """One in-flight request awaiting a reply or its deadline."""
+
+    kind: str
+    peer: str
+    token: int
+
+
+class SpvClient:
+    """Header-first chain tracking plus watch-list proofs for one host."""
+
+    def __init__(self, sim: Simulator, network: Any, name: str,
+                 peers: tuple[str, ...],
+                 pow_bits: int = 0,
+                 sync_interval: float = 10.0,
+                 request_timeout: float = 5.0,
+                 batch: int = 64,
+                 failover_threshold: int = 2,
+                 tracer: Tracer = NULL_TRACER) -> None:
+        if not peers:
+            raise ValidationError(f"light client {name} needs serving peers")
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.peers = list(peers)
+        self.chain = HeaderChain(pow_bits)
+        self.sync_interval = sync_interval
+        self.request_timeout = request_timeout
+        self.batch = batch
+        self.failover_threshold = failover_threshold
+        self.tracer = tracer
+        # Listener callbacks; agents append.  ``on_match(tx, height)``
+        # fires for every watched-filter push, ``on_proof(proof)`` only
+        # after strict verification against the header chain.
+        self.on_match: list[Callable[[Transaction, int], None]] = []
+        self.on_proof: list[Callable[[TxProofMessage], None]] = []
+        # Non-light payloads (the BcWAN delivery handshake) dispatch here.
+        self._extra_handlers: dict[type, Callable[[Envelope], None]] = {}
+        # The standing filter, kept whole for failover replay.
+        self._watch_pubkey_hashes: list[bytes] = []
+        self._watch_outpoints: list[tuple[bytes, int]] = []
+        self._watch_txids: list[bytes] = []
+        # Full transactions received via filter pushes, by txid — the
+        # only transaction bodies a light client ever holds.
+        self.matched_txs: dict[bytes, Transaction] = {}
+        self._verified_proofs: set[tuple[bytes, bytes]] = set()
+        # Verified proofs by txid, kept so a proof that outruns its
+        # filter push (independent WAN latency per message) can be
+        # replayed to on_proof consumers once the match arrives.
+        self._proof_by_txid: dict[bytes, TxProofMessage] = {}
+        self._stashed_proofs: dict[tuple[bytes, bytes], TxProofMessage] = {}
+        self._serving_index = 0
+        self.peer_scores: dict[str, PeerScore] = {}
+        self._pending: Optional[_Pending] = None
+        self._tokens = itertools.count(1)
+        self._round_span: Any = None
+        self.multicast: Optional[MulticastListener] = None
+        # Every payload type this host ever received — the "no block
+        # bodies" acceptance check reads this.
+        self.payload_counts: dict[str, int] = {}
+        # Counters.
+        self.sync_rounds = 0
+        self.rounds_skipped = 0
+        self.sync_timeouts = 0
+        self.failovers = 0
+        self.catchups = 0
+        self.headers_synced = 0
+        self.headers_from_multicast = 0
+        self.proofs_verified = 0
+        self.proofs_rejected = 0
+        self.matches_received = 0
+        network.register(name, self._handle)
+        self._process = sim.process(self._loop())
+
+    # -- identity / peers -------------------------------------------------------
+
+    @property
+    def serving_peer(self) -> str:
+        return self.peers[self._serving_index]
+
+    def score_for(self, peer: str) -> PeerScore:
+        score = self.peer_scores.get(peer)
+        if score is None:
+            score = PeerScore()
+            self.peer_scores[peer] = score
+        return score
+
+    def register_handler(self, payload_type: type,
+                         handler: Callable[[Envelope], None]) -> None:
+        """Route non-light payloads (e.g. DeliveryMessage) to ``handler``."""
+        self._extra_handlers[payload_type] = handler
+
+    # -- the watch list ---------------------------------------------------------
+
+    def watch(self, pubkey_hashes: tuple[bytes, ...] = (),
+              outpoints: tuple[Any, ...] = (),
+              txids: tuple[bytes, ...] = (),
+              from_height: int = -1) -> None:
+        """Extend the standing filter and register the delta upstream.
+
+        ``from_height >= 0`` asks the server for a historical rescan; the
+        resulting (possibly duplicate) pushes are idempotent for every
+        consumer in this package.  Outpoints may be ``OutPoint`` objects
+        or raw ``(txid, index)`` pairs.
+        """
+        new_hashes = tuple(h for h in pubkey_hashes
+                           if h not in self._watch_pubkey_hashes)
+        normalized = []
+        for outpoint in outpoints:
+            if isinstance(outpoint, OutPoint):
+                pair = (outpoint.txid, outpoint.index)
+            else:
+                pair = (outpoint[0], outpoint[1])
+            if pair not in self._watch_outpoints:
+                normalized.append(pair)
+        new_txids = tuple(t for t in txids if t not in self._watch_txids)
+        self._watch_pubkey_hashes.extend(new_hashes)
+        self._watch_outpoints.extend(normalized)
+        self._watch_txids.extend(new_txids)
+        if new_hashes or normalized or new_txids:
+            self.network.send(self.name, self.serving_peer,
+                              RegisterFilterMessage(
+                                  pubkey_hashes=new_hashes,
+                                  outpoints=tuple(normalized),
+                                  txids=new_txids,
+                                  from_height=from_height))
+
+    def request_proof(self, txid: bytes) -> None:
+        """Explicitly ask the serving peer for an inclusion proof."""
+        self.network.send(self.name, self.serving_peer,
+                          GetTxProofMessage(txid=txid))
+
+    def _replay_filter(self, peer: str) -> None:
+        if (self._watch_pubkey_hashes or self._watch_outpoints
+                or self._watch_txids):
+            self.network.send(self.name, peer, RegisterFilterMessage(
+                pubkey_hashes=tuple(self._watch_pubkey_hashes),
+                outpoints=tuple(self._watch_outpoints),
+                txids=tuple(self._watch_txids),
+                from_height=0))
+
+    # -- multicast attachment ---------------------------------------------------
+
+    def attach_multicast(self, gateway_pubkey: bytes, interval: float,
+                         verify_every: int = 4,
+                         listen_window: float = 1.0,
+                         miss_threshold: int = 2) -> MulticastListener:
+        """Listen to a gateway's repeat-authenticate header stream."""
+        self.multicast = MulticastListener(
+            self.sim, gateway_pubkey, interval,
+            apply_headers=self._apply_bundle_headers,
+            on_omission=self.catch_up,
+            verify_every=verify_every,
+            listen_window=listen_window,
+            miss_threshold=miss_threshold,
+        )
+        return self.multicast
+
+    def _apply_bundle_headers(self, start_height: int,
+                              raw_headers: tuple[bytes, ...]) -> str:
+        if start_height > self.chain.tip_height + 1:
+            return "gap"
+        added, status = self.chain.apply_range(start_height, raw_headers)
+        if status != "ok":
+            return status
+        if added:
+            self.headers_from_multicast += added
+            self._drain_stashed_proofs()
+        return "ok"
+
+    def _multicast_is_fresh(self) -> bool:
+        listener = self.multicast
+        if listener is None:
+            return False
+        # The stream vouches for itself only while rounds keep landing;
+        # headers lag at most verify_every rounds behind (the Danzi
+        # latency/energy trade), which stashed proofs absorb.
+        return (listener._highest_round > 0
+                and listener._consecutive_missed == 0)
+
+    # -- the periodic poll ------------------------------------------------------
+
+    def _loop(self):
+        # Bootstrap immediately: agents need funded wallets and a header
+        # tip before the first exchange fires.
+        self._begin_round("bootstrap")
+        while True:
+            yield self.sim.timeout(self.sync_interval)
+            if self._pending is not None:
+                continue
+            if self._multicast_is_fresh():
+                self.rounds_skipped += 1
+                continue
+            self._begin_round("poll")
+
+    def catch_up(self) -> None:
+        """Unicast recovery: missed multicast windows, proof gaps."""
+        self.catchups += 1
+        if self._pending is None:
+            self._begin_round("catchup")
+
+    def _begin_round(self, reason: str) -> None:
+        self.sync_rounds += 1
+        self._round_span = self.tracer.span(
+            "light.header_sync", host=self.name, reason=reason,
+            peer=self.serving_peer, above=self.chain.tip_height)
+        self._request_headers()
+
+    def _end_round(self, status: str) -> None:
+        if self._round_span is not None:
+            self._round_span.end(status, tip=self.chain.tip_height)
+            self._round_span = None
+
+    def _request_headers(self) -> None:
+        self._send_request(self.serving_peer,
+                           GetHeaderRangeMessage(
+                               above_height=self.chain.tip_height,
+                               limit=self.batch),
+                           kind="headers")
+
+    def _send_request(self, peer: str, message: Any, kind: str) -> None:
+        token = next(self._tokens)
+        self._pending = _Pending(kind=kind, peer=peer, token=token)
+        self.network.send(self.name, peer, message)
+        self.sim.call_in(self.request_timeout,
+                         lambda: self._on_deadline(peer, token))
+
+    def _on_deadline(self, peer: str, token: int) -> None:
+        pending = self._pending
+        if pending is None or pending.token != token:
+            return  # answered in time
+        self._pending = None
+        self.sync_timeouts += 1
+        score = self.score_for(peer)
+        score.failures += 1
+        score.consecutive_failures += 1
+        self._end_round("timeout")
+        if score.consecutive_failures >= self.failover_threshold:
+            self._failover()
+            # Retry straight away on the new peer — a light device that
+            # just missed its window should not idle a full interval.
+            self._begin_round("failover")
+
+    def _failover(self) -> None:
+        self.failovers += 1
+        self._serving_index = (self._serving_index + 1) % len(self.peers)
+        # The new server knows nothing of our filter: replay it whole,
+        # with a genesis rescan so no historical match is lost.
+        self._replay_filter(self.serving_peer)
+
+    def _record_success(self, peer: str) -> None:
+        score = self.score_for(peer)
+        score.successes += 1
+        score.consecutive_failures = 0
+
+    # -- inbound dispatch -------------------------------------------------------
+
+    def _handle(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        name = type(payload).__name__
+        self.payload_counts[name] = self.payload_counts.get(name, 0) + 1
+        if isinstance(payload, HeaderRangeMessage):
+            self._on_header_range(envelope)
+        elif isinstance(payload, FilterMatchMessage):
+            self._on_filter_match(envelope)
+        elif isinstance(payload, TxProofMessage):
+            self._on_tx_proof(envelope)
+        elif isinstance(payload, HeaderBundleMessage):
+            if self.multicast is not None:
+                self.multicast.receive(payload)
+        else:
+            handler = self._extra_handlers.get(type(payload))
+            if handler is not None:
+                handler(envelope)
+
+    def _on_header_range(self, envelope: Envelope) -> None:
+        pending = self._pending
+        if (pending is None or pending.kind != "headers"
+                or pending.peer != envelope.source):
+            return  # unsolicited or stale
+        self._pending = None
+        self._record_success(envelope.source)
+        reply = envelope.payload
+        added, status = self.chain.apply_range(reply.start_height,
+                                               reply.headers)
+        if status == "unanchored":
+            # Fork below the window: walk the request back and re-anchor.
+            above = max(-1, reply.start_height - 1 - self.batch)
+            self._send_request(envelope.source,
+                              GetHeaderRangeMessage(above_height=above,
+                                                    limit=self.batch),
+                              kind="headers")
+            return
+        if added:
+            self.headers_synced += added
+            self._drain_stashed_proofs()
+        if reply.tip_height > self.chain.tip_height and reply.headers:
+            # Mid-catch-up: keep streaming without waiting an interval.
+            self._request_headers()
+            return
+        self._end_round("ok")
+
+    def _on_filter_match(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        try:
+            tx = Transaction.deserialize(payload.tx_bytes)
+        except ValidationError:
+            self.proofs_rejected += 1
+            return
+        self.matches_received += 1
+        self.matched_txs[tx.txid] = tx
+        for listener in self.on_match:
+            listener(tx, payload.height)
+        proof = self._proof_by_txid.get(tx.txid)
+        if proof is not None:
+            # The inclusion proof beat this push across the WAN and its
+            # listeners had no transaction body to act on — replay it.
+            for listener in self.on_proof:
+                listener(proof)
+
+    def _on_tx_proof(self, envelope: Envelope) -> None:
+        self._handle_proof(envelope.payload)
+
+    def _handle_proof(self, proof: TxProofMessage) -> None:
+        key = (proof.txid, proof.block_hash)
+        if key in self._verified_proofs:
+            return
+        try:
+            header = BlockHeader.deserialize(proof.header_bytes)
+        except ValidationError:
+            self.proofs_rejected += 1
+            return
+        if header.hash != proof.block_hash:
+            self.proofs_rejected += 1
+            return
+        anchored = self.chain.header_at(proof.height)
+        if anchored is None or anchored.hash != header.hash:
+            # Header chain does not (yet) cover the proof.  A proof that
+            # directly extends the tip self-connects; anything further
+            # ahead waits for sync.
+            if not (proof.height == self.chain.tip_height + 1
+                    and self.chain.connect(header) == "connected"):
+                self._stash_proof(key, proof)
+                return
+        span = self.tracer.span("light.proof_verify", host=self.name,
+                                height=proof.height, txs=proof.tx_count)
+        if verify_proof(proof.txid, proof.branch, proof.index,
+                        proof.tx_count, header.merkle_root):
+            self.proofs_verified += 1
+            self._verified_proofs.add(key)
+            self._proof_by_txid[proof.txid] = proof
+            self._stashed_proofs.pop(key, None)
+            span.end("ok")
+            for listener in self.on_proof:
+                listener(proof)
+        else:
+            # A bad proof is active dishonesty, not mere silence: score
+            # the serving peer so failover routes around it.
+            self.proofs_rejected += 1
+            score = self.score_for(self.serving_peer)
+            score.failures += 1
+            score.consecutive_failures += 1
+            span.end("rejected")
+
+    def _stash_proof(self, key: tuple[bytes, bytes],
+                     proof: TxProofMessage) -> None:
+        if (key not in self._stashed_proofs
+                and len(self._stashed_proofs) >= _MAX_STASHED_PROOFS):
+            return  # bounded; sync will re-deliver via re-request
+        self._stashed_proofs[key] = proof
+        self.catch_up()
+
+    def _drain_stashed_proofs(self) -> None:
+        if not self._stashed_proofs:
+            return
+        stashed = list(self._stashed_proofs.values())
+        self._stashed_proofs.clear()
+        for proof in stashed:
+            if proof.height <= self.chain.tip_height + 1:
+                self._handle_proof(proof)
+            else:
+                self._stashed_proofs[(proof.txid, proof.block_hash)] = proof
+
+    # -- observability ----------------------------------------------------------
+
+    def stats(self) -> StatsView:
+        return StatsView({
+            "sync_rounds": self.sync_rounds,
+            "rounds_skipped": self.rounds_skipped,
+            "sync_timeouts": self.sync_timeouts,
+            "failovers": self.failovers,
+            "catchups": self.catchups,
+            "headers_synced": self.headers_synced,
+            "headers_from_multicast": self.headers_from_multicast,
+            "tip_height": self.chain.tip_height,
+            "proofs_verified": self.proofs_verified,
+            "proofs_rejected": self.proofs_rejected,
+            "matches_received": self.matches_received,
+        })

@@ -1,0 +1,228 @@
+"""A chain-state-free wallet for SPV clients.
+
+:class:`LightWallet` mirrors :class:`repro.blockchain.wallet.Wallet`'s
+transaction construction but owns no :class:`~repro.blockchain.chain.Chain`:
+its coin set is fed exclusively by SPV-proven transactions
+(:meth:`apply_confirmed_tx`), so a light recipient can fund key-release
+offers knowing only headers and the handful of transactions that touch
+its address.  Refund locktimes must therefore be supplied explicitly —
+the caller derives them from its header-chain tip.
+
+Coinbase maturity never applies: block rewards pay miners, and a light
+device is by definition not one.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.blockchain.transaction import (
+    OutPoint,
+    SEQUENCE_FINAL,
+    Transaction,
+    TxInput,
+    TxOutput,
+)
+from repro.blockchain.wallet import KeyReleaseOffer
+from repro.crypto.keys import KeyPair
+from repro.errors import ValidationError
+from repro.script import builder
+from repro.script.script import Script
+
+__all__ = ["LightWallet"]
+
+
+class LightWallet:
+    """A single-key wallet whose balance is proven, not validated."""
+
+    def __init__(self, keypair: Optional[KeyPair] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        self.keypair = keypair or KeyPair.generate(rng)
+        self._owned: dict[OutPoint, int] = {}
+        self._pending_spends: set[OutPoint] = set()
+        self._applied_txids: set[bytes] = set()
+        # Outpoints ever seen spent.  Proof pushes can arrive reordered
+        # (independent WAN latency per message), so a spend may be
+        # applied before the transaction that funded it — the tombstone
+        # keeps the late credit from resurrecting a dead coin.
+        self._spent: set[OutPoint] = set()
+
+    # -- identity -------------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        return self.keypair.address
+
+    @property
+    def pubkey_hash(self) -> bytes:
+        return self.keypair.pubkey_hash
+
+    @property
+    def pubkey_bytes(self) -> bytes:
+        return self.keypair.public_key.to_bytes()
+
+    # -- balance tracking -------------------------------------------------------
+
+    def apply_confirmed_tx(self, tx: Transaction) -> int:
+        """Absorb one SPV-proven transaction; returns the net value change.
+
+        The caller is responsible for only feeding transactions whose
+        inclusion proof verified against its header chain — the wallet
+        trusts its input completely (that *is* the SPV security model).
+        Idempotent per txid, so duplicate proofs are harmless.
+        """
+        if tx.txid in self._applied_txids:
+            return 0
+        self._applied_txids.add(tx.txid)
+        delta = 0
+        my_script = builder.p2pkh_locking(self.pubkey_hash).to_bytes()
+        for tx_input in tx.inputs:
+            self._spent.add(tx_input.outpoint)
+            value = self._owned.pop(tx_input.outpoint, None)
+            self._pending_spends.discard(tx_input.outpoint)
+            if value is not None:
+                delta -= value
+        for index, output in enumerate(tx.outputs):
+            if output.script_pubkey.to_bytes() == my_script:
+                outpoint = OutPoint(txid=tx.txid, index=index)
+                if outpoint in self._spent:
+                    continue  # credit arrived after its own spend
+                self._owned[outpoint] = output.value
+                delta += output.value
+        return delta
+
+    @property
+    def balance(self) -> int:
+        return sum(
+            value for outpoint, value in self._owned.items()
+            if outpoint not in self._pending_spends
+        )
+
+    def spendable_coins(self) -> list[tuple[OutPoint, int]]:
+        """Unreserved proven coins, largest-first."""
+        coins = [(outpoint, value) for outpoint, value in self._owned.items()
+                 if outpoint not in self._pending_spends]
+        coins.sort(key=lambda item: item[1], reverse=True)
+        return coins
+
+    def _select_coins(self, amount: int) -> tuple[list[tuple[OutPoint, int]], int]:
+        selected = []
+        total = 0
+        for outpoint, value in self.spendable_coins():
+            selected.append((outpoint, value))
+            total += value
+            if total >= amount:
+                return selected, total
+        raise ValidationError(
+            f"insufficient funds: need {amount}, have {total} spendable"
+        )
+
+    # -- transaction construction ------------------------------------------------
+
+    def sign_input(self, tx: Transaction, input_index: int,
+                   locking_script: Script) -> bytes:
+        digest = tx.sighash(input_index, locking_script)
+        return self.keypair.sign(digest).to_bytes()
+
+    def _finalize_p2pkh_inputs(self, tx: Transaction) -> Transaction:
+        locking = builder.p2pkh_locking(self.pubkey_hash)
+        for index in range(len(tx.inputs)):
+            signature = self.sign_input(tx, index, locking)
+            tx = tx.with_input_script(
+                index, builder.p2pkh_unlocking(signature, self.pubkey_bytes)
+            )
+        return tx
+
+    def _build_spend(self, outputs: list[TxOutput], fee: int,
+                     locktime: int = 0,
+                     sequence: int = SEQUENCE_FINAL) -> Transaction:
+        amount = sum(output.value for output in outputs) + fee
+        coins, total = self._select_coins(amount)
+        change = total - amount
+        final_outputs = list(outputs)
+        if change > 0:
+            final_outputs.append(TxOutput(
+                value=change,
+                script_pubkey=builder.p2pkh_locking(self.pubkey_hash),
+            ))
+        tx = Transaction(
+            inputs=[TxInput(outpoint=outpoint, sequence=sequence)
+                    for outpoint, _ in coins],
+            outputs=final_outputs,
+            locktime=locktime,
+        )
+        tx = self._finalize_p2pkh_inputs(tx)
+        for outpoint, _ in coins:
+            self._pending_spends.add(outpoint)
+        return tx
+
+    def create_announcement(self, payload: bytes, fee: int = 0) -> Transaction:
+        """An OP_RETURN data-carrier transaction (IP directory entry)."""
+        return self._build_spend(
+            [TxOutput(value=0, script_pubkey=builder.op_return(payload))],
+            fee=fee,
+        )
+
+    def create_key_release_offer(self, rsa_pubkey: bytes,
+                                 gateway_pubkey_hash: bytes,
+                                 amount: int, refund_locktime: int,
+                                 fee: int = 0) -> KeyReleaseOffer:
+        """The Listing-1 offer, with an explicit (header-tip-derived) locktime."""
+        if amount <= 0:
+            raise ValidationError(f"offer amount must be positive: {amount}")
+        if refund_locktime <= 0:
+            raise ValidationError(
+                f"light offers need an explicit refund locktime, "
+                f"got {refund_locktime}"
+            )
+        locking = builder.ephemeral_key_release(
+            rsa_pubkey=rsa_pubkey,
+            gateway_pubkey_hash=gateway_pubkey_hash,
+            buyer_pubkey_hash=self.pubkey_hash,
+            refund_locktime=refund_locktime,
+        )
+        tx = self._build_spend(
+            [TxOutput(value=amount, script_pubkey=locking)], fee=fee,
+        )
+        return KeyReleaseOffer(
+            transaction=tx,
+            output_index=0,
+            rsa_pubkey=rsa_pubkey,
+            gateway_pubkey_hash=gateway_pubkey_hash,
+            buyer_pubkey_hash=self.pubkey_hash,
+            refund_locktime=refund_locktime,
+        )
+
+    def refund_key_release(self, offer: KeyReleaseOffer,
+                           fee: int = 0) -> Transaction:
+        """Reclaim an unclaimed offer after its locktime expires."""
+        value = offer.amount - fee
+        if value <= 0:
+            raise ValidationError(
+                f"fee {fee} consumes the whole offer of {offer.amount}"
+            )
+        tx = Transaction(
+            inputs=[TxInput(outpoint=offer.outpoint,
+                            sequence=SEQUENCE_FINAL - 1)],
+            outputs=[TxOutput(
+                value=value,
+                script_pubkey=builder.p2pkh_locking(self.pubkey_hash),
+            )],
+            locktime=offer.refund_locktime,
+        )
+        locking = builder.ephemeral_key_release(
+            rsa_pubkey=offer.rsa_pubkey,
+            gateway_pubkey_hash=offer.gateway_pubkey_hash,
+            buyer_pubkey_hash=offer.buyer_pubkey_hash,
+            refund_locktime=offer.refund_locktime,
+        )
+        signature = self.sign_input(tx, 0, locking)
+        return tx.with_input_script(
+            0, builder.key_release_refund(signature, self.pubkey_bytes),
+        )
+
+    def release_pending(self, tx: Transaction) -> None:
+        """Un-reserve a built transaction's inputs (broadcast failed)."""
+        for tx_input in tx.inputs:
+            self._pending_spends.discard(tx_input.outpoint)

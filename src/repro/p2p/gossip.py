@@ -67,6 +67,10 @@ class GossipNode:
         # Listeners called when a tx/block is newly accepted locally.
         self.on_transaction: list[Callable[[Transaction], None]] = []
         self.on_block: list[Callable[[Block], None]] = []
+        # When a CompactBlockRelay attaches itself here, block relays go
+        # out as short-txid sketches instead of full BlockMessages; None
+        # (the default) keeps full-block gossip byte-identical.
+        self.compact_relay: Optional[Any] = None
         # A daemon wrapper may own the network registration instead, so it
         # can serialize inbound processing behind its service queue.
         if auto_register:
@@ -111,7 +115,7 @@ class GossipNode:
         fan-out, so each peer's transit + validation hangs under it.
         """
         self._known_blocks.add(block.hash)
-        self._relay(BlockMessage(block=block), parent=parent)
+        self._relay_block(block, parent=parent)
         self._retry_orphans()
         return True
 
@@ -160,11 +164,19 @@ class GossipNode:
                 for listener in self.on_block:
                     listener(block)
             if decision.relay:
-                self._relay(BlockMessage(block=block), exclude=(origin,),
-                            parent=span)
+                self._relay_block(block, exclude=(origin,), parent=span)
             self._retry_orphans()
         else:
             span.end("rejected", reason=decision.reason)
+
+    def _relay_block(self, block: Block, exclude: tuple[str, ...] = (),
+                     parent: Any = None) -> None:
+        """Fan a block out to peers — compact sketch when relay is attached."""
+        if self.compact_relay is not None:
+            self.compact_relay.announce(block, exclude=exclude, parent=parent)
+        else:
+            self._relay(BlockMessage(block=block), exclude=exclude,
+                        parent=parent)
 
     # -- orphan recovery --------------------------------------------------------
 

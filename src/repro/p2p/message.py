@@ -18,6 +18,9 @@ __all__ = [
     "GetDataMessage",
     "TxMessage",
     "BlockMessage",
+    "CompactBlockMessage",
+    "GetBlockTxnMessage",
+    "BlockTxnMessage",
     "DeliveryMessage",
     "DeliveryAck",
     "ClaimMessage",
@@ -72,6 +75,41 @@ class BlockMessage:
     """A full block."""
 
     block: Any  # repro.blockchain.Block
+
+
+@dataclass(frozen=True)
+class CompactBlockMessage:
+    """BIP 152-style block sketch: header plus short txids.
+
+    Receivers rebuild the block from their mempool; ``prefilled`` carries
+    ``(index, serialized_tx)`` pairs for transactions the sender knows the
+    receiver cannot have (always the coinbase).  ``short_ids`` covers the
+    remaining transactions in block order, each the first
+    ``SHORT_TXID_BYTES`` of ``double_sha256(block_hash || txid)`` — salted
+    by the block hash so collisions do not repeat across blocks.
+    """
+
+    header_bytes: bytes
+    tx_count: int
+    short_ids: tuple[bytes, ...]
+    prefilled: tuple[tuple[int, bytes], ...]
+
+
+@dataclass(frozen=True)
+class GetBlockTxnMessage:
+    """Fallback round-trip: the listed block positions were not in mempool."""
+
+    block_hash: bytes
+    indexes: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class BlockTxnMessage:
+    """Reply to :class:`GetBlockTxnMessage`: the serialized transactions."""
+
+    block_hash: bytes
+    indexes: tuple[int, ...]
+    transactions: tuple[bytes, ...]
 
 
 @dataclass(frozen=True)

@@ -85,10 +85,15 @@ def estimate_wire_size(payload: Any) -> int:
     """Rough TCP payload size of one wire message, in bytes.
 
     Chain data is sized by its actual serialization; inventory messages
-    by 32 bytes per hash; everything else (the delivery handshake) by a
-    field sum — bytes/str at face value, scalars at 8 bytes — plus a
-    small framing overhead.  Feeds ``WANetwork.bytes_modeled``, the
-    federation-scaling benchmark's WAN-load measure.
+    by 32 bytes per hash; everything else (the delivery handshake, sync
+    and light-client messages) by a recursive field walk — bytes/str at
+    face value, scalars at 8 bytes, containers by their summed elements,
+    nested messages (sync's transaction batches, compact blocks'
+    prefilled lists) by recursion — plus a small framing overhead.
+    Every field type is counted: an unrecognized value contributes its
+    conservative 8-byte default rather than silently sizing to zero.
+    Feeds ``WANetwork.bytes_modeled``, the WAN-load measure of the
+    federation-scaling and light-client benchmarks.
     """
     block = getattr(payload, "block", None)
     if block is not None:
@@ -99,15 +104,32 @@ def estimate_wire_size(payload: Any) -> int:
     hashes = getattr(payload, "hashes", None)
     if hashes is not None:
         return 16 + 32 * len(hashes)
-    if isinstance(payload, (bytes, str)):
-        return 16 + len(payload)
-    size = 16
-    for value in getattr(payload, "__dict__", {}).values():
-        if isinstance(value, (bytes, str)):
-            size += len(value)
-        elif isinstance(value, (int, float)):
-            size += 8
-    return size
+    return 16 + _field_size(payload, depth=0)
+
+
+def _field_size(value: Any, depth: int) -> int:
+    """Wire bytes of one message field, recursively."""
+    if value is None:
+        return 0
+    if isinstance(value, (bytes, str)):
+        return len(value)
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if depth >= 6:
+        return 8  # pathological nesting; stop walking
+    if isinstance(value, (tuple, list)):
+        return sum(_field_size(item, depth + 1) for item in value)
+    serialize = getattr(value, "serialize", None)
+    if callable(serialize):
+        # A nested chain object (transaction, header, block) knows its
+        # own exact wire form.
+        return len(serialize())
+    fields = getattr(value, "__dict__", None)
+    if fields is not None:
+        return sum(_field_size(item, depth + 1) for item in fields.values())
+    return 8
 
 
 class WANetwork:
@@ -143,6 +165,12 @@ class WANetwork:
         self.drops_offline = 0
         self.drops_injected = 0
         self.bytes_modeled = 0
+        # Byte-accounting breakdowns for the WAN-economy analyses: per
+        # destination host (a light device's ingress budget) and per
+        # payload type (block relay vs everything else).  Both sum to
+        # bytes_modeled.
+        self.bytes_to: dict[str, int] = {}
+        self.bytes_by_type: dict[str, int] = {}
 
     def register(self, name: str, handler: Callable[[Envelope], None]) -> Host:
         if name in self._hosts:
@@ -200,7 +228,12 @@ class WANetwork:
                             payload=payload, sent_at=self.sim.now,
                             trace=span if span else None)
         self.messages_sent += 1
-        self.bytes_modeled += estimate_wire_size(payload)
+        size = estimate_wire_size(payload)
+        self.bytes_modeled += size
+        self.bytes_to[destination] = self.bytes_to.get(destination, 0) + size
+        type_name = type(payload).__name__
+        self.bytes_by_type[type_name] = (
+            self.bytes_by_type.get(type_name, 0) + size)
         if destination not in self._hosts:
             self.messages_lost += 1
             self.drops_unknown_destination += 1

@@ -1,0 +1,1 @@
+"""Light-client tier tests."""

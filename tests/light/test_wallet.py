@@ -1,0 +1,192 @@
+"""The SPV wallet: proven balances, reordering, and offer construction."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.blockchain.transaction import (
+    COINBASE_OUTPOINT,
+    OutPoint,
+    Transaction,
+    TxInput,
+    TxOutput,
+)
+from repro.errors import ValidationError
+from repro.light.wallet import LightWallet
+from repro.script import builder
+from repro.script.script import Script, encode_number
+
+
+@pytest.fixture
+def wallet():
+    return LightWallet(rng=random.Random(0xBC))
+
+
+def pay_to(wallet, values, height=1):
+    """A coinbase-style tx paying ``values`` to the wallet."""
+    return Transaction(
+        inputs=[TxInput(outpoint=COINBASE_OUTPOINT,
+                        script_sig=Script([encode_number(height)]))],
+        outputs=[TxOutput(value=v,
+                          script_pubkey=builder.p2pkh_locking(
+                              wallet.pubkey_hash))
+                 for v in values],
+    )
+
+
+# -- credits and debits -------------------------------------------------------
+
+def test_credit_and_balance(wallet):
+    tx = pay_to(wallet, [100, 250])
+    assert wallet.apply_confirmed_tx(tx) == 350
+    assert wallet.balance == 350
+    assert len(wallet.spendable_coins()) == 2
+
+
+def test_apply_is_idempotent(wallet):
+    tx = pay_to(wallet, [100])
+    assert wallet.apply_confirmed_tx(tx) == 100
+    assert wallet.apply_confirmed_tx(tx) == 0
+    assert wallet.balance == 100
+
+
+def test_foreign_outputs_ignored(wallet):
+    other = LightWallet(rng=random.Random(1))
+    tx = pay_to(other, [500])
+    assert wallet.apply_confirmed_tx(tx) == 0
+    assert wallet.balance == 0
+
+
+def test_spend_debits(wallet):
+    funding = pay_to(wallet, [300])
+    wallet.apply_confirmed_tx(funding)
+    spend = Transaction(
+        inputs=[TxInput(outpoint=OutPoint(txid=funding.txid, index=0))],
+        outputs=[TxOutput(value=300, script_pubkey=Script())],
+    )
+    assert wallet.apply_confirmed_tx(spend) == -300
+    assert wallet.balance == 0
+
+
+def test_out_of_order_spend_then_fund(wallet):
+    """The reordered-proof case: the spender lands before its funding.
+
+    Without the spent-outpoint tombstone the late funding credit would
+    resurrect a dead coin, which coin selection then double-spends into
+    a permanently-orphaned offer.
+    """
+    funding = pay_to(wallet, [300, 200])
+    spend = Transaction(
+        inputs=[TxInput(outpoint=OutPoint(txid=funding.txid, index=0))],
+        outputs=[TxOutput(value=300, script_pubkey=Script())],
+    )
+    assert wallet.apply_confirmed_tx(spend) == 0  # debit of an unknown coin
+    assert wallet.apply_confirmed_tx(funding) == 200  # only output 1 credits
+    assert wallet.balance == 200
+    assert [v for _, v in wallet.spendable_coins()] == [200]
+
+
+def test_change_output_credits_back(wallet):
+    funding = pay_to(wallet, [300])
+    wallet.apply_confirmed_tx(funding)
+    spend = Transaction(
+        inputs=[TxInput(outpoint=OutPoint(txid=funding.txid, index=0))],
+        outputs=[
+            TxOutput(value=100, script_pubkey=Script()),
+            TxOutput(value=200,
+                     script_pubkey=builder.p2pkh_locking(wallet.pubkey_hash)),
+        ],
+    )
+    assert wallet.apply_confirmed_tx(spend) == -100
+    assert wallet.balance == 200
+
+
+# -- coin selection and reservations ------------------------------------------
+
+def test_insufficient_funds(wallet):
+    wallet.apply_confirmed_tx(pay_to(wallet, [100]))
+    with pytest.raises(ValidationError, match="insufficient funds"):
+        wallet.create_key_release_offer(
+            rsa_pubkey=b"\x01" * 16, gateway_pubkey_hash=b"\x02" * 20,
+            amount=500, refund_locktime=10,
+        )
+
+
+def test_offer_reserves_inputs(wallet):
+    wallet.apply_confirmed_tx(pay_to(wallet, [250, 250]))
+    offer = wallet.create_key_release_offer(
+        rsa_pubkey=b"\x01" * 16, gateway_pubkey_hash=b"\x02" * 20,
+        amount=250, refund_locktime=10,
+    )
+    assert wallet.balance == 250  # the spent coin is reserved
+    with pytest.raises(ValidationError):
+        wallet.create_key_release_offer(
+            rsa_pubkey=b"\x01" * 16, gateway_pubkey_hash=b"\x02" * 20,
+            amount=500, refund_locktime=10,
+        )
+    wallet.release_pending(offer.transaction)
+    assert wallet.balance == 500
+
+
+def test_confirmed_spend_clears_reservation(wallet):
+    funding = pay_to(wallet, [250])
+    wallet.apply_confirmed_tx(funding)
+    offer = wallet.create_key_release_offer(
+        rsa_pubkey=b"\x01" * 16, gateway_pubkey_hash=b"\x02" * 20,
+        amount=250, refund_locktime=10,
+    )
+    wallet.apply_confirmed_tx(offer.transaction)
+    assert wallet.balance == 0
+    assert not wallet._pending_spends
+
+
+# -- offers and refunds -------------------------------------------------------
+
+def test_offer_requires_positive_amount_and_locktime(wallet):
+    wallet.apply_confirmed_tx(pay_to(wallet, [250]))
+    with pytest.raises(ValidationError):
+        wallet.create_key_release_offer(
+            rsa_pubkey=b"\x01" * 16, gateway_pubkey_hash=b"\x02" * 20,
+            amount=0, refund_locktime=10,
+        )
+    with pytest.raises(ValidationError):
+        wallet.create_key_release_offer(
+            rsa_pubkey=b"\x01" * 16, gateway_pubkey_hash=b"\x02" * 20,
+            amount=100, refund_locktime=0,
+        )
+
+
+def test_refund_reclaims_offer(wallet):
+    wallet.apply_confirmed_tx(pay_to(wallet, [250]))
+    offer = wallet.create_key_release_offer(
+        rsa_pubkey=b"\x01" * 16, gateway_pubkey_hash=b"\x02" * 20,
+        amount=250, refund_locktime=10,
+    )
+    refund = wallet.refund_key_release(offer)
+    assert refund.locktime == 10
+    assert refund.inputs[0].outpoint == offer.outpoint
+    assert refund.outputs[0].value == 250
+    wallet.apply_confirmed_tx(offer.transaction)
+    wallet.apply_confirmed_tx(refund)
+    assert wallet.balance == 250
+
+
+def test_refund_fee_cannot_consume_offer(wallet):
+    wallet.apply_confirmed_tx(pay_to(wallet, [250]))
+    offer = wallet.create_key_release_offer(
+        rsa_pubkey=b"\x01" * 16, gateway_pubkey_hash=b"\x02" * 20,
+        amount=250, refund_locktime=10,
+    )
+    with pytest.raises(ValidationError):
+        wallet.refund_key_release(offer, fee=250)
+
+
+def test_announcement_spends_one_coin(wallet):
+    wallet.apply_confirmed_tx(pay_to(wallet, [250, 250]))
+    tx = wallet.create_announcement(b"BCWIP1-payload")
+    assert len(tx.inputs) == 1
+    assert tx.outputs[0].value == 0  # the OP_RETURN carrier
+    # Change returns the full coin to the wallet.
+    assert any(o.value == 250 for o in tx.outputs[1:])
