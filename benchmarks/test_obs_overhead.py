@@ -99,7 +99,7 @@ def test_mempool_accept_guard(stack):
     profiler = HotPathProfiler()
     node.mempool.obs = profiler
     try:
-        node.mempool.accept(tx)  # raises on rejection
+        assert node.mempool.accept(tx).accepted
         node.mempool.remove(tx.txid)
     finally:
         node.mempool.obs = None

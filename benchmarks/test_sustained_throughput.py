@@ -1,0 +1,152 @@
+"""Sustained block-connect throughput: the engine redesign's headline.
+
+The seed connected blocks strictly serially — one script at a time, one
+block at a time, every signature verified from scratch.  This PR's
+engine batches ECDSA verification across a block's inputs (fixed-base
+window tables + Montgomery batch inversion) and pipelines block N+1's
+verification against block N's settle.  The claim to defend: ``>= 1.5x``
+sustained connect throughput at 10^5+ UTXO scale, with the fast path
+**byte-identical** to the serial one — same chain digest, same UTXO
+digest.
+
+Writes ``BENCH_throughput.json`` for the CI artifact.  The
+``determinism``-named test is timing-free and runs under the CI
+``throughput`` job's 3-repeat flake guard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from benchmarks.conftest import print_header, print_row
+from repro.blockchain.chain import Chain
+from repro.blockchain.miner import Miner
+from repro.blockchain.node import FullNode
+from repro.blockchain.params import ChainParams
+from repro.blockchain.transaction import OutPoint, TxOutput
+from repro.blockchain.utxo import UTXOEntry
+from repro.blockchain.wallet import Wallet
+from repro.chaos.verify import chain_digest, utxo_digest
+from repro.crypto.keys import KeyPair
+from repro.script.builder import p2pkh_locking
+
+PARAMS = ChainParams(coinbase_maturity=1)
+UTXO_SCALE = 100_000
+TARGET_SPEEDUP = 1.5
+
+
+def _workload() -> tuple[int, int]:
+    """(blocks, spends per block): reduced by default, BCWAN_FULL=1 full."""
+    return (12, 32) if os.environ.get("BCWAN_FULL") == "1" else (8, 24)
+
+
+def build_corpus(blocks: int, tx_per_block: int, seed: int = 0x7124):
+    """Mine a chain whose later blocks each carry ``tx_per_block`` spends."""
+    rng = random.Random(seed)
+    node = FullNode(PARAMS, "throughput-builder")
+    wallet = Wallet(node.chain, KeyPair.generate(rng))
+    wallet.watch_chain()
+    miner = Miner(chain=node.chain, mempool=node.mempool,
+                  reward_pubkey_hash=wallet.pubkey_hash)
+    miner.mine_and_connect(0.0)
+    miner.mine_and_connect(1.0)
+    # Split a matured coinbase so every block can carry independent spends.
+    fanout = wallet.create_fanout(wallet.pubkey_hash, 1_000, tx_per_block + 8)
+    assert node.mempool.accept(fanout).accepted
+    miner.mine_and_connect(2.0)
+    for i in range(blocks):
+        for _ in range(tx_per_block):
+            tx = wallet.create_payment(wallet.pubkey_hash,
+                                       rng.randint(50, 400))
+            assert node.mempool.accept(tx).accepted
+        miner.mine_and_connect(3.0 + i)
+    return [node.chain.block_at(h) for h in range(1, node.chain.height + 1)]
+
+
+def make_filler(count: int = UTXO_SCALE):
+    """``count`` synthetic unspent outputs no corpus block touches."""
+    entry = UTXOEntry(
+        output=TxOutput(value=1, script_pubkey=p2pkh_locking(b"\xfe" * 20)),
+        height=0,
+        is_coinbase=False,
+    )
+    return [(OutPoint(txid=i.to_bytes(32, "big"), index=0), entry)
+            for i in range(count)]
+
+
+def fresh_chain(filler) -> Chain:
+    chain = Chain(PARAMS, verify_scripts=True)
+    for outpoint, entry in filler:
+        chain.utxos.add(outpoint, entry)
+    return chain
+
+
+def connect_serial_seed(corpus, filler) -> tuple[Chain, float]:
+    """The seed path: per-input verification, one block at a time."""
+    chain = fresh_chain(filler)
+    chain.engine.batch_verify = False
+    start = time.perf_counter()
+    for block in corpus:
+        chain.add_block(block)
+    return chain, time.perf_counter() - start
+
+
+def connect_fast(corpus, filler) -> tuple[Chain, float]:
+    """Batched ECDSA + pipelined two-phase connect."""
+    chain = fresh_chain(filler)
+    start = time.perf_counter()
+    chain.add_blocks(corpus)
+    return chain, time.perf_counter() - start
+
+
+def test_sustained_throughput(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    blocks, tx_per_block = _workload()
+    corpus = build_corpus(blocks, tx_per_block)
+    spends = sum(len(b.transactions) - 1 for b in corpus)
+    filler = make_filler()
+
+    serial_chain, serial_s = connect_serial_seed(corpus, filler)
+    fast_chain, fast_s = connect_fast(corpus, filler)
+    speedup = serial_s / fast_s
+
+    # The fast path must be indistinguishable from the seed path.
+    assert chain_digest(fast_chain) == chain_digest(serial_chain)
+    assert utxo_digest(fast_chain) == utxo_digest(serial_chain)
+
+    print_header(f"Sustained connect throughput — {len(corpus)} blocks, "
+                 f"{spends} spends, {UTXO_SCALE} filler UTXOs")
+    print_row("path", "connect (s)", "blocks/s", "speedup")
+    print_row("serial (seed)", serial_s, len(corpus) / serial_s, 1.0)
+    print_row("batched+pipelined", fast_s, len(corpus) / fast_s, speedup)
+
+    Path("BENCH_throughput.json").write_text(json.dumps({
+        "benchmark": "sustained_throughput",
+        "blocks": len(corpus),
+        "spends": spends,
+        "utxo_scale": len(serial_chain.utxos),
+        "serial_seconds": serial_s,
+        "pipelined_seconds": fast_s,
+        "speedup": speedup,
+        "target_speedup": TARGET_SPEEDUP,
+        "digests_identical": True,
+    }, indent=2))
+
+    assert speedup >= TARGET_SPEEDUP, (
+        f"batched+pipelined connect only {speedup:.2f}x the serial seed "
+        f"path (target {TARGET_SPEEDUP}x)")
+
+
+def test_throughput_determinism():
+    """Timing-free: repeated fast connects land on the serial digests."""
+    corpus = build_corpus(blocks=3, tx_per_block=6)
+    serial_chain, _ = connect_serial_seed(corpus, [])
+    reference = (chain_digest(serial_chain), utxo_digest(serial_chain))
+    for _ in range(2):
+        fast_chain, _ = connect_fast(corpus, [])
+        assert (chain_digest(fast_chain),
+                utxo_digest(fast_chain)) == reference

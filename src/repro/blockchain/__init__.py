@@ -11,8 +11,7 @@ implements the equivalent substrate:
 * :mod:`repro.blockchain.utxo`, :mod:`repro.blockchain.engine`,
   :mod:`repro.blockchain.chain` — state (with copy-on-write overlay
   views), the staged validation engine with its script-verification
-  cache, fork choice, reorgs (:mod:`repro.blockchain.validation` keeps
-  the deprecated free-function shims);
+  cache, fork choice, reorgs;
 * :mod:`repro.blockchain.mempool`, :mod:`repro.blockchain.miner` —
   unconfirmed pool and block production;
 * :mod:`repro.blockchain.checkpoint` — sub-chain digests anchored on the

@@ -10,6 +10,7 @@ transaction's ``locktime``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.blockchain.transaction import SEQUENCE_FINAL, Transaction
 from repro.crypto import ecdsa
@@ -23,11 +24,22 @@ LOCKTIME_THRESHOLD = 500_000_000
 
 @dataclass
 class TransactionContext:
-    """Execution context for verifying ``tx.inputs[input_index]``."""
+    """Execution context for verifying ``tx.inputs[input_index]``.
+
+    The two optional fields are the batch-verification fast path
+    (:mod:`repro.blockchain.sigbatch`): ``sighash_hint`` is this input's
+    precomputed SIGHASH_ALL digest (against ``locking_script``), and
+    ``verdict_cache`` maps ``(pubkey_bytes, digest, sig_bytes)`` to a
+    verdict precomputed by :func:`repro.crypto.ecdsa.verify_batch`.
+    Both are pure accelerations: a missing hint or cache entry falls
+    back to the exact computation they replace.
+    """
 
     tx: Transaction
     input_index: int
     locking_script: Script
+    sighash_hint: Optional[bytes] = None
+    verdict_cache: Optional[dict] = None
 
     def check_ecdsa_signature(self, pubkey: bytes, signature: bytes) -> bool:
         """Verify a compact 64-byte signature over this input's sighash."""
@@ -36,7 +48,13 @@ class TransactionContext:
             sig = ecdsa.Signature.from_bytes(signature)
         except ecdsa.ECDSAError:
             return False
-        digest = self.tx.sighash(self.input_index, self.locking_script)
+        digest = self.sighash_hint
+        if digest is None:
+            digest = self.tx.sighash(self.input_index, self.locking_script)
+        if self.verdict_cache is not None:
+            cached = self.verdict_cache.get((pubkey, digest, signature))
+            if cached is not None:
+                return cached
         return public_key.verify(digest, sig)
 
     def check_locktime(self, required: int) -> bool:

@@ -23,15 +23,17 @@ from repro.blockchain.block import Block
 from repro.blockchain.checkpoint import Checkpoint, iter_checkpoints
 from repro.blockchain.context import TransactionContext
 from repro.blockchain.params import ChainParams
+from repro.blockchain.sigbatch import precompute_verdicts
 from repro.blockchain.transaction import OutPoint, Transaction
 from repro.blockchain.utxo import UTXOEntry, UTXOSet, UTXOView
 from repro.errors import ValidationError
-from repro.parallel.jobs import VerifyJob
+from repro.parallel.jobs import ERROR_SCRIPT_FAILED, VerifyJob, VerifyResult
 from repro.script.analysis import StandardnessPolicy
 from repro.script.interpreter import ScriptInterpreter
 
 __all__ = [
     "MAX_MONEY",
+    "PendingConnect",
     "ScriptCacheStats",
     "ValidationEngine",
     "ValidationReport",
@@ -80,6 +82,30 @@ class ValidationReport:
     undo: tuple[dict[OutPoint, UTXOEntry], ...] = ()
 
 
+@dataclass
+class PendingConnect:
+    """An in-flight block connect, between ``begin_connect`` and
+    ``finish_connect``.
+
+    Carries the overlay the block applied to, the deferred script batch
+    (possibly already dispatched to the pool), and every number the final
+    :class:`ValidationReport` needs.  The pipelined chain driver stacks
+    the next block's overlay on ``view`` while this one's scripts crunch.
+    """
+
+    block: Block
+    height: int
+    verify_scripts: bool
+    view: UTXOView
+    undo: tuple
+    total_fees: int
+    executions: int
+    hits_before: int
+    batch: Optional["_ScriptBatch"]
+    pending_checkpoints: dict
+    checkpoint_txids: list
+
+
 class _ScriptBatch:
     """Deferred script verifications, replayed in serial order.
 
@@ -109,6 +135,14 @@ class _ScriptBatch:
         # rebuild the serial error message and the cache key.
         self._meta: dict[tuple[int, int], tuple[Transaction, UTXOEntry]] = {}
         self._tx_bytes: dict[bytes, bytes] = {}
+        # Wire serialization only matters when jobs cross a process
+        # boundary; the inline executor works from the live objects.
+        self._wire = engine.verify_pool is not None
+        self._pending = None
+        # Per-batch cache-hit counter: pipelined connects interleave their
+        # cache lookups, so per-connect reports cannot difference the
+        # engine-global counter the way the serial path does.
+        self.hits = 0
 
     def add(self, tx: Transaction, index: int, entry: UTXOEntry,
             tag: int) -> None:
@@ -117,6 +151,7 @@ class _ScriptBatch:
         key = (tx.txid, index, entry.entry_hash)
         if key in engine._script_cache:
             engine.cache_stats.hits += 1
+            self.hits += 1
             return
         if engine.static_precheck:
             reason = engine.policy.precheck_spend(
@@ -130,18 +165,68 @@ class _ScriptBatch:
                     f"script fast-reject for input {index} of "
                     f"{tx.txid.hex()[:16]}..: {reason}"
                 ))
-        tx_bytes = self._tx_bytes.get(tx.txid)
-        if tx_bytes is None:
-            tx_bytes = tx.serialize()
-            self._tx_bytes[tx.txid] = tx_bytes
+        if self._wire:
+            tx_bytes = self._tx_bytes.get(tx.txid)
+            if tx_bytes is None:
+                tx_bytes = tx.serialize()
+                self._tx_bytes[tx.txid] = tx_bytes
+        else:
+            tx_bytes = b""
         self.jobs.append(VerifyJob(
             txid=tx.txid,
             input_index=index,
             tx_bytes=tx_bytes,
-            locking_bytes=entry.output.script_pubkey.to_bytes(),
+            locking_bytes=entry.output.script_pubkey.to_bytes()
+            if self._wire else b"",
             tag=tag,
         ))
         self._meta[(tag, index)] = (tx, entry)
+
+    def dispatch(self) -> None:
+        """Start pooled execution without waiting for results.
+
+        The pipelined connect path calls this at the end of
+        ``begin_connect`` so workers crunch block N's scripts while the
+        parent walks block N+1; ``flush`` then collects.  A no-op without
+        a pool (the inline executor has no background to run in) or when
+        nothing is queued.
+        """
+        if self.jobs and self._pending is None:
+            pool = self.engine.verify_pool
+            if pool is not None:
+                self._pending = pool.run_async(self.jobs)
+
+    def _execute_inline(self) -> list[VerifyResult]:
+        """Execute queued jobs in-process through the batch layer.
+
+        One :func:`~repro.blockchain.sigbatch.precompute_verdicts` pass
+        computes every input's sighash (one serialization per tx) and
+        batch-verifies all recognizable CHECKSIG spends; the interpreter
+        then replays each script pair with those results as pure
+        accelerations, so verdicts match the unbatched path bit-for-bit.
+        """
+        spends = []
+        for job in self.jobs:
+            tx, entry = self._meta[(job.tag, job.input_index)]
+            spends.append((tx, job.input_index, entry.output.script_pubkey))
+        hints, verdicts = precompute_verdicts(spends)
+        results = []
+        for job in self.jobs:
+            tx, entry = self._meta[(job.tag, job.input_index)]
+            locking = entry.output.script_pubkey
+            context = TransactionContext(
+                tx=tx, input_index=job.input_index, locking_script=locking,
+                sighash_hint=hints.get((job.txid, job.input_index)),
+                verdict_cache=verdicts,
+            )
+            ok = ScriptInterpreter(context=context).verify(
+                tx.inputs[job.input_index].script_sig, locking
+            )
+            results.append(VerifyResult(
+                txid=job.txid, input_index=job.input_index, ok=ok,
+                error_code=None if ok else ERROR_SCRIPT_FAILED, tag=job.tag,
+            ))
+        return results
 
     def flush(self) -> int:
         """Run queued jobs; cache pre-failure successes; raise the first
@@ -150,7 +235,13 @@ class _ScriptBatch:
         if not self.jobs:
             return 0
         engine = self.engine
-        results = engine.verify_pool.run(self.jobs)
+        if self._pending is not None:
+            results = self._pending.wait()
+            self._pending = None
+        elif engine.verify_pool is not None:
+            results = engine.verify_pool.run(self.jobs)
+        else:
+            results = self._execute_inline()
         self.jobs = []
         self._tx_bytes.clear()
         results.sort(key=lambda result: (result.tag, result.input_index))
@@ -204,13 +295,20 @@ class ValidationEngine:
         fast-reject before each interpreter execution.  The precheck
         only rejects spends whose execution provably fails, so toggling
         it never changes a verdict — only where the cost is paid.
+    :param batch_verify: batch multi-input script work through
+        :mod:`repro.blockchain.sigbatch` even without a pool attached
+        (shared sighash serialization, per-pubkey fixed-base tables,
+        Montgomery-batched inversions).  Verdicts, error strings, and
+        cache accounting are identical either way; ``False`` restores
+        strictly input-at-a-time verification.
     """
 
     def __init__(self, params: ChainParams,
                  verify_scripts: Optional[bool] = None,
                  max_cache_entries: int = 1 << 16,
                  policy: Optional[StandardnessPolicy] = None,
-                 static_precheck: bool = True) -> None:
+                 static_precheck: bool = True,
+                 batch_verify: bool = True) -> None:
         self.params = params
         self.verify_scripts = (
             params.verify_blocks if verify_scripts is None else verify_scripts
@@ -218,6 +316,11 @@ class ValidationEngine:
         self.max_cache_entries = max_cache_entries
         self.policy = StandardnessPolicy() if policy is None else policy
         self.static_precheck = static_precheck
+        # Route multi-input script work through the cross-input batch
+        # layer (sighash_many + ecdsa.verify_batch) even without a pool.
+        # Verdict-identical to the serial path; False reproduces the
+        # pre-batching engine input-by-input (the benchmark baseline).
+        self.batch_verify = batch_verify
         # key -> True; only successful verdicts are cached (failures raise
         # and the offending tx never reaches a later stage twice).
         self._script_cache: dict[tuple[bytes, int, bytes], bool] = {}
@@ -378,10 +481,12 @@ class ValidationEngine:
         """Verify every input against its resolved entry; returns executions.
 
         The mempool's admission path: with a pool attached the inputs fan
-        out as one batch, otherwise they run serially in order.  Either
-        way the verdict, error message, and cache state are identical.
+        out as one batch; without one, ``batch_verify`` routes them
+        through the inline batch executor instead.  Either way the
+        verdict, error message, and cache state are identical to the
+        strictly serial loop.
         """
-        if self.verify_pool is None:
+        if self.verify_pool is None and not self.batch_verify:
             executions = 0
             for index, entry in enumerate(entries):
                 if not self.verify_input_script(tx, index, entry):
@@ -480,6 +585,25 @@ class ValidationEngine:
         the chain uses that to skip re-verification when restoring a
         previously validated branch after a failed reorg.
         """
+        pending = self.begin_connect(block, utxos, height,
+                                     verify_scripts=verify_scripts)
+        return self.finish_connect(pending, commit=commit)
+
+    def begin_connect(self, block: Block, utxos: UTXOSource, height: int,
+                      verify_scripts: Optional[bool] = None,
+                      ) -> PendingConnect:
+        """Walk a block — contextual checks, overlay apply, script queue.
+
+        Everything except script execution and the commit: transactions
+        are contextually validated and applied to a fresh overlay in
+        block order, and cache-missing inputs are queued on a script
+        batch (dispatched to the pool, if one is attached, before this
+        returns).  :meth:`finish_connect` settles the batch and commits.
+        ``begin_connect(b); finish_connect(p)`` is exactly
+        ``connect_block(b)`` — the split exists so a pipelined caller can
+        begin block N+1 against the returned overlay while block N's
+        scripts verify in the background.
+        """
         if verify_scripts is None:
             verify_scripts = self.verify_scripts
         view = UTXOView(utxos)
@@ -488,7 +612,9 @@ class ValidationEngine:
         total_fees = 0
         executions = 0
         batch = (_ScriptBatch(self)
-                 if verify_scripts and self.verify_pool is not None else None)
+                 if verify_scripts
+                 and (self.verify_pool is not None or self.batch_verify)
+                 else None)
         # Block-scoped checkpoint staging: applied to the rules only when
         # the block commits, so speculative and failed connects leave the
         # anchored state untouched.
@@ -524,7 +650,35 @@ class ValidationEngine:
                         batch.add(tx, index, entry, tag)
             undo.append(view.apply_transaction(tx, height))
         if batch is not None:
-            executions = batch.flush()
+            batch.dispatch()
+        return PendingConnect(
+            block=block,
+            height=height,
+            verify_scripts=verify_scripts,
+            view=view,
+            undo=tuple(undo),
+            total_fees=total_fees,
+            executions=executions,
+            hits_before=hits_before,
+            batch=batch,
+            pending_checkpoints=pending_checkpoints,
+            checkpoint_txids=checkpoint_txids,
+        )
+
+    def finish_connect(self, pending: PendingConnect,
+                       commit: bool = True) -> ValidationReport:
+        """Settle a :meth:`begin_connect`: flush scripts, check the
+        coinbase cap, commit the overlay, and report.
+
+        Raises the same :class:`ValidationError` a serial
+        ``connect_block`` would, in the same order; on any failure the
+        overlay is discarded and the base UTXO source stays untouched.
+        """
+        block = pending.block
+        executions = pending.executions
+        if pending.batch is not None:
+            executions = pending.batch.flush()
+        total_fees = pending.total_fees
         coinbase_value = block.coinbase.total_output_value
         max_coinbase = self.params.coinbase_reward + total_fees
         if coinbase_value > max_coinbase:
@@ -532,21 +686,26 @@ class ValidationEngine:
                 f"coinbase claims {coinbase_value}, max is {max_coinbase}"
             )
         if commit:
-            view.commit()
+            pending.view.commit()
             if self.checkpoint_rules is not None:
-                self.checkpoint_rules.apply(pending_checkpoints,
-                                            checkpoint_txids)
+                self.checkpoint_rules.apply(pending.pending_checkpoints,
+                                            pending.checkpoint_txids)
+        if pending.batch is not None:
+            cache_hits = pending.batch.hits
+        else:
+            cache_hits = self.cache_stats.hits - pending.hits_before
         report = ValidationReport(
             block_hash=block.hash,
-            height=height,
+            height=pending.height,
             tx_count=len(block.transactions),
             total_fees=total_fees,
-            scripts_verified=verify_scripts,
+            scripts_verified=pending.verify_scripts,
             script_executions=executions,
-            cache_hits=self.cache_stats.hits - hits_before,
+            cache_hits=cache_hits,
             stages=("syntax", "contextual", "scripts", "connect")
-            if verify_scripts else ("syntax", "contextual", "connect"),
-            undo=tuple(undo),
+            if pending.verify_scripts
+            else ("syntax", "contextual", "connect"),
+            undo=pending.undo,
         )
         self.last_report = report
         return report

@@ -1,22 +1,128 @@
-"""The unconfirmed-transaction pool.
+"""The unconfirmed-transaction pool and its fee-market admission policy.
 
 Accepts transactions after full validation against the chain tip plus the
 pool itself (chained unconfirmed spends are allowed, conflicting spends are
 rejected — which is exactly where the paper's double-spend discussion
 starts: a conflicting respend is invisible to a node that already holds
 the first transaction, until a block proves otherwise).
+
+Admission is a *verdict*, not an exception: :meth:`Mempool.accept` returns
+an :class:`AcceptResult` carrying the outcome, a stable ``reason_code``
+for programmatic flow control (gossip keys orphan handling off
+:data:`REJECT_MISSING_INPUTS`, not string matching), the fee the pool
+recorded, and any transactions evicted to make room.  The pre-redesign
+raise-only signature survives as the deprecated
+:meth:`Mempool.accept_or_raise` shim.
+
+Under sustained overload a :class:`MempoolPolicy` turns the pool into a
+fee market: a minimum fee-rate floor at the door, and size caps enforced
+by evicting the lowest fee-rate transaction (oldest first on ties) along
+with its unconfirmed descendants.  :meth:`Mempool.accept_package` admits
+a parent+child chain on its *aggregate* fee rate (child-pays-for-parent),
+so a zero-fee sensor reading can still ride in behind a paying child.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, Optional
 
 from repro.blockchain.chain import Chain
 from repro.blockchain.transaction import OutPoint, Transaction
 from repro.blockchain.utxo import UTXOEntry
-from repro.errors import ValidationError
+from repro.errors import ConfigurationError, ValidationError
 
-__all__ = ["Mempool"]
+__all__ = [
+    "AcceptResult",
+    "Mempool",
+    "MempoolPolicy",
+    "REJECT_CHECKPOINT",
+    "REJECT_COINBASE",
+    "REJECT_CONFLICT",
+    "REJECT_DUPLICATE",
+    "REJECT_FEE",
+    "REJECT_FULL",
+    "REJECT_IMMATURE",
+    "REJECT_MISSING_INPUTS",
+    "REJECT_NONSTANDARD",
+    "REJECT_NON_FINAL",
+    "REJECT_SCRIPT",
+    "REJECT_SYNTAX",
+    "REJECT_VALUE",
+]
+
+# Stable machine-readable rejection codes.  Callers branch on these;
+# ``AcceptResult.reason`` stays human-diagnostic prose.
+REJECT_DUPLICATE = "duplicate"
+REJECT_COINBASE = "coinbase"
+REJECT_SYNTAX = "syntax"
+REJECT_CHECKPOINT = "checkpoint"
+REJECT_CONFLICT = "conflict"
+REJECT_NONSTANDARD = "nonstandard"
+REJECT_MISSING_INPUTS = "missing-inputs"
+REJECT_IMMATURE = "immature"
+REJECT_VALUE = "value"
+REJECT_NON_FINAL = "non-final"
+REJECT_SCRIPT = "script"
+REJECT_FEE = "fee"
+REJECT_FULL = "full"
+
+
+@dataclass(frozen=True)
+class MempoolPolicy:
+    """Fee-market knobs; the all-zero default disables every mechanism
+    (unlimited pool, no floor — the pre-policy behaviour, bit for bit).
+
+    :param max_transactions: pool entry cap; ``0`` = unlimited.
+    :param max_bytes: cap on summed serialized sizes; ``0`` = unlimited.
+    :param min_fee_per_kb: admission floor in value-units per 1000 bytes
+        of serialized transaction; ``0`` = no floor.  Integer fee-rate
+        arithmetic throughout (``fee * 1000 // size``) — consensus-adjacent
+        code never touches floats.
+    """
+
+    max_transactions: int = 0
+    max_bytes: int = 0
+    min_fee_per_kb: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("max_transactions", "max_bytes", "min_fee_per_kb"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigurationError(
+                    f"{name} cannot be negative: {value}"
+                )
+
+
+@dataclass(frozen=True)
+class AcceptResult:
+    """The verdict of one admission attempt.
+
+    :param accepted: whether ``txid`` is now in the pool.  Note a
+        transaction can be admitted and immediately evicted by its own
+        arrival pushing the pool over a cap — that reports
+        ``accepted=False`` with :data:`REJECT_FULL` and lists itself in
+        ``evicted``.
+    :param txid: the subject transaction.
+    :param reason: human-readable rejection diagnosis (empty on accept);
+        for :data:`REJECT_SCRIPT` et al. this is the exact
+        :class:`ValidationError` message the raise-only API produced.
+    :param reason_code: one of the ``REJECT_*`` constants (empty on
+        accept) — the field flow control should branch on.
+    :param fee: the transaction's fee (inputs minus outputs), 0 when
+        rejected before fee computation.
+    :param fee_per_kb: integer fee rate over the serialized size.
+    :param evicted: txids removed from the pool as a consequence of this
+        admission (fee-market eviction cascades).
+    """
+
+    accepted: bool
+    txid: bytes
+    reason: str = ""
+    reason_code: str = ""
+    fee: int = 0
+    fee_per_kb: int = 0
+    evicted: tuple[bytes, ...] = ()
 
 
 class Mempool:
@@ -26,14 +132,25 @@ class Mempool:
     script execution — so every verdict lands in the shared script cache
     and the eventual block connect never re-executes an admitted
     transaction's scripts.
+
+    :param chain: the chain whose tip admission validates against.
+    :param policy: fee/eviction knobs; omitted means the all-zero
+        :class:`MempoolPolicy` (unlimited, floorless).
     """
 
-    def __init__(self, chain: Chain) -> None:
+    def __init__(self, chain: Chain,
+                 policy: Optional[MempoolPolicy] = None) -> None:
         self._chain = chain
         self._engine = chain.engine
+        self.policy = MempoolPolicy() if policy is None else policy
         self._transactions: dict[bytes, Transaction] = {}
         # outpoint -> txid of the pool transaction spending it.
         self._spends: dict[OutPoint, bytes] = {}
+        # Fee-market bookkeeping, maintained by admission and removal.
+        self._fees: dict[bytes, int] = {}
+        self._sizes: dict[bytes, int] = {}
+        self._total_bytes = 0
+        self.evictions = 0
         # Optional wall-clock profiler; None keeps accept() at one extra
         # attribute load and branch (see repro.obs.profile).
         self.obs = None
@@ -50,6 +167,19 @@ class Mempool:
     def transactions(self) -> Iterator[Transaction]:
         return iter(self._transactions.values())
 
+    @property
+    def total_bytes(self) -> int:
+        """Summed serialized sizes of every pooled transaction."""
+        return self._total_bytes
+
+    def fee_of(self, txid: bytes) -> int:
+        """The fee recorded at admission (0 for unknown txids)."""
+        return self._fees.get(txid, 0)
+
+    def package_fee(self, transactions: Iterable[Transaction]) -> int:
+        """Summed recorded fees of pooled members of ``transactions``."""
+        return sum(self._fees.get(tx.txid, 0) for tx in transactions)
+
     def conflicts_with(self, tx: Transaction) -> list[bytes]:
         """Txids already in the pool that spend any of ``tx``'s inputs."""
         seen = []
@@ -59,12 +189,16 @@ class Mempool:
                 seen.append(existing)
         return seen
 
-    def accept(self, tx: Transaction) -> None:
-        """Validate and admit ``tx``; raises :class:`ValidationError`.
+    # -- admission -------------------------------------------------------------
+
+    def accept(self, tx: Transaction) -> AcceptResult:
+        """Validate and admit ``tx``; the verdict is the return value.
 
         Inputs may come from the confirmed UTXO set or from other pool
-        transactions (unconfirmed chaining), but never from outputs already
-        spent by another pool transaction.
+        transactions (unconfirmed chaining), but never from outputs
+        already spent by another pool transaction.  Never raises for a
+        rejected transaction — branch on ``result.accepted`` and
+        ``result.reason_code``.
         """
         if self.obs is None:
             return self._accept(tx)
@@ -74,22 +208,51 @@ class Mempool:
         finally:
             self.obs.observe("mempool.accept", self.obs.clock() - t0)
 
-    def _accept(self, tx: Transaction) -> None:
+    def accept_or_raise(self, tx: Transaction) -> None:
+        """Deprecated pre-:class:`AcceptResult` signature.
+
+        Raises :class:`ValidationError` with the result's reason instead
+        of returning the verdict; kept one release for external callers
+        that still use exception flow control.  New code must call
+        :meth:`accept`.
+        """
+        result = self.accept(tx)
+        if not result.accepted:
+            raise ValidationError(result.reason)
+
+    def _reject(self, tx: Transaction, code: str, reason: str,
+                **fields) -> AcceptResult:
+        return AcceptResult(accepted=False, txid=tx.txid, reason=reason,
+                            reason_code=code, **fields)
+
+    def _accept(self, tx: Transaction,
+                enforce_floor: bool = True) -> AcceptResult:
         if tx.txid in self._transactions:
-            raise ValidationError(f"transaction {tx.txid.hex()[:16]}.. already in pool")
+            return self._reject(
+                tx, REJECT_DUPLICATE,
+                f"transaction {tx.txid.hex()[:16]}.. already in pool")
         if tx.is_coinbase:
-            raise ValidationError("coinbase transactions cannot enter the pool")
-        self._engine.check_transaction_syntax(tx)
+            return self._reject(
+                tx, REJECT_COINBASE,
+                "coinbase transactions cannot enter the pool")
+        try:
+            self._engine.check_transaction_syntax(tx)
+        except ValidationError as exc:
+            return self._reject(tx, REJECT_SYNTAX, str(exc))
         # Anchor-chain only (no-op elsewhere): stale checkpoints are
         # turned away at admission, before input resolution.
-        self._engine.check_checkpoints(tx)
+        try:
+            self._engine.check_checkpoints(tx)
+        except ValidationError as exc:
+            return self._reject(tx, REJECT_CHECKPOINT, str(exc))
 
         conflicts = self.conflicts_with(tx)
         if conflicts:
-            raise ValidationError(
+            return self._reject(
+                tx, REJECT_CONFLICT,
                 f"transaction {tx.txid.hex()[:16]}.. double-spends inputs of "
-                f"pool transaction(s) {', '.join(c.hex()[:16] + '..' for c in conflicts)}"
-            )
+                f"pool transaction(s) "
+                f"{', '.join(c.hex()[:16] + '..' for c in conflicts)}")
 
         # Standardness pre-pass: purely static, so it runs before input
         # resolution — a provably-unspendable output or a non-push
@@ -97,10 +260,10 @@ class Mempool:
         # or executing a single opcode.
         standardness = self._engine.policy.check_transaction(tx)
         if standardness is not None:
-            raise ValidationError(
+            return self._reject(
+                tx, REJECT_NONSTANDARD,
                 f"transaction {tx.txid.hex()[:16]}.. is not standard: "
-                f"{standardness}"
-            )
+                f"{standardness}")
 
         next_height = self._chain.height + 1
         input_value = 0
@@ -108,36 +271,158 @@ class Mempool:
         for tx_input in tx.inputs:
             entry = self._resolve(tx_input.outpoint)
             if entry is None:
-                raise ValidationError(
-                    f"input {tx_input.outpoint} not found in chain or pool"
-                )
+                return self._reject(
+                    tx, REJECT_MISSING_INPUTS,
+                    f"input {tx_input.outpoint} not found in chain or pool")
             if (entry.is_coinbase
-                    and next_height - entry.height < self._chain.params.coinbase_maturity):
-                raise ValidationError(
-                    f"immature coinbase input {tx_input.outpoint}"
-                )
+                    and next_height - entry.height
+                    < self._chain.params.coinbase_maturity):
+                return self._reject(
+                    tx, REJECT_IMMATURE,
+                    f"immature coinbase input {tx_input.outpoint}")
             input_value += entry.value
             resolved.append(entry)
         if input_value < tx.total_output_value:
-            raise ValidationError(
-                f"outputs ({tx.total_output_value}) exceed inputs ({input_value})"
-            )
+            return self._reject(
+                tx, REJECT_VALUE,
+                f"outputs ({tx.total_output_value}) exceed inputs "
+                f"({input_value})")
 
         # Mempool policy mirrors Bitcoin: non-final transactions wait.
-        if not tx.is_final(next_height, self._chain.tip.block.header.timestamp):
-            raise ValidationError(
+        if not tx.is_final(next_height,
+                           self._chain.tip.block.header.timestamp):
+            return self._reject(
+                tx, REJECT_NON_FINAL,
                 f"transaction {tx.txid.hex()[:16]}.. is not final at "
-                f"height {next_height}"
-            )
+                f"height {next_height}")
+
+        fee = input_value - tx.total_output_value
+        size = len(tx.serialize())
+        fee_per_kb = fee * 1000 // size
+        floor = self.policy.min_fee_per_kb
+        if enforce_floor and floor and fee_per_kb < floor:
+            return self._reject(
+                tx, REJECT_FEE,
+                f"transaction {tx.txid.hex()[:16]}.. fee rate {fee_per_kb} "
+                f"below floor {floor} per kB",
+                fee=fee, fee_per_kb=fee_per_kb)
 
         # Script execution, through the engine so verdicts land in the
         # shared cache — and through its VerifyPool when one is attached
         # (multi-input transactions fan out across workers).
-        self._engine.verify_input_scripts(tx, resolved)
+        try:
+            self._engine.verify_input_scripts(tx, resolved)
+        except ValidationError as exc:
+            return self._reject(tx, REJECT_SCRIPT, str(exc),
+                                fee=fee, fee_per_kb=fee_per_kb)
 
+        self._insert(tx, fee, size)
+        evicted = self._enforce_limits()
+        if tx.txid not in self._transactions:
+            # The pool was so full of better-paying traffic that the
+            # newcomer itself was the cheapest thing to shed.
+            return self._reject(
+                tx, REJECT_FULL,
+                f"transaction {tx.txid.hex()[:16]}.. evicted on arrival: "
+                f"pool is full of higher fee-rate transactions",
+                fee=fee, fee_per_kb=fee_per_kb, evicted=evicted)
+        return AcceptResult(accepted=True, txid=tx.txid, fee=fee,
+                            fee_per_kb=fee_per_kb, evicted=evicted)
+
+    def accept_package(self,
+                       transactions: Iterable[Transaction],
+                       ) -> list[AcceptResult]:
+        """Admit an ordered package on its aggregate fee rate (CPFP).
+
+        Each member is validated exactly as :meth:`accept` does — except
+        the per-transaction fee floor, which is judged against the
+        *package*: if the members that got in do not jointly clear
+        ``min_fee_per_kb``, they are all backed out and re-reported as
+        :data:`REJECT_FEE`.  A child paying generously can therefore
+        sponsor its zero-fee parent, but cannot sponsor an otherwise
+        invalid one (non-fee rejections stand on their own).
+        """
+        results = [self._accept(tx, enforce_floor=False)
+                   for tx in transactions]
+        floor = self.policy.min_fee_per_kb
+        admitted = [result for result in results if result.accepted]
+        if not floor or not admitted:
+            return results
+        total_fee = sum(result.fee for result in admitted)
+        total_size = sum(self._sizes.get(result.txid, 0)
+                         for result in admitted)
+        if total_size and total_fee * 1000 // total_size >= floor:
+            return results
+        package_rate = total_fee * 1000 // total_size if total_size else 0
+        rejected = {result.txid for result in admitted}
+        for result in admitted:
+            self.remove(result.txid)
+        return [
+            replace(result, accepted=False, reason_code=REJECT_FEE,
+                    reason=(f"package fee rate {package_rate} below floor "
+                            f"{floor} per kB"))
+            if result.txid in rejected else result
+            for result in results
+        ]
+
+    def _insert(self, tx: Transaction, fee: int, size: int) -> None:
         self._transactions[tx.txid] = tx
         for tx_input in tx.inputs:
             self._spends[tx_input.outpoint] = tx.txid
+        self._fees[tx.txid] = fee
+        self._sizes[tx.txid] = size
+        self._total_bytes += size
+
+    # -- fee-market eviction -----------------------------------------------------
+
+    def _over_limits(self) -> bool:
+        policy = self.policy
+        if (policy.max_transactions
+                and len(self._transactions) > policy.max_transactions):
+            return True
+        if policy.max_bytes and self._total_bytes > policy.max_bytes:
+            return True
+        return False
+
+    def _enforce_limits(self) -> tuple[bytes, ...]:
+        """Shed lowest fee-rate transactions (plus descendants) until the
+        pool fits its policy caps again.  Oldest loses fee-rate ties —
+        stale cheap traffic goes before fresh cheap traffic."""
+        if not self._over_limits():
+            return ()
+        evicted: list[bytes] = []
+        while self._over_limits():
+            order = {txid: position
+                     for position, txid in enumerate(self._transactions)}
+            victim = min(
+                self._transactions,
+                key=lambda txid: (
+                    self._fees[txid] * 1000 // self._sizes[txid],
+                    order[txid],
+                ),
+            )
+            # A victim's unconfirmed descendants lose their ancestry and
+            # must go with it — eviction never leaves dangling chains.
+            for txid in self._descendants(victim):
+                if self.remove(txid) is not None:
+                    evicted.append(txid)
+                    self.evictions += 1
+        return tuple(evicted)
+
+    def _descendants(self, txid: bytes) -> list[bytes]:
+        """``txid`` plus every pool transaction depending on it, parents
+        before children (insertion order is already topological)."""
+        selected = {txid}
+        for candidate, tx in self._transactions.items():
+            if candidate in selected:
+                continue
+            if any(tx_input.outpoint.txid in selected
+                   for tx_input in tx.inputs):
+                selected.add(candidate)
+        return [candidate for candidate in self._transactions
+                if candidate in selected]
+
+    # -- resolution and removal --------------------------------------------------
 
     def _resolve(self, outpoint: OutPoint) -> Optional[UTXOEntry]:
         """Find an outpoint in the confirmed set or among pool outputs."""
@@ -161,6 +446,8 @@ class Mempool:
         for tx_input in tx.inputs:
             if self._spends.get(tx_input.outpoint) == txid:
                 del self._spends[tx_input.outpoint]
+        self._fees.pop(txid, None)
+        self._total_bytes -= self._sizes.pop(txid, 0)
         return tx
 
     def remove_confirmed(self, transactions) -> int:

@@ -89,12 +89,21 @@ class Miner:
         # plus slack for a large fee value).
         budget = self.params.max_block_size - 250
         selected = self.mempool.select_for_block(budget)
-        try:
-            fees = self.chain.engine.speculative_fees(
-                selected, self.chain.utxos, height,
-            )
-        except ValidationError as exc:
-            raise ValidationError(f"template assembly failed: {exc}") from exc
+        if self.validate_template:
+            # Admission already recorded each member's intrinsic fee
+            # (inputs minus outputs never changes after the fact), and
+            # the full template connect below re-derives and enforces
+            # the same sum — the speculative pre-pass would be a third
+            # redundant walk.
+            fees = self.mempool.package_fee(selected)
+        else:
+            try:
+                fees = self.chain.engine.speculative_fees(
+                    selected, self.chain.utxos, height,
+                )
+            except ValidationError as exc:
+                raise ValidationError(
+                    f"template assembly failed: {exc}") from exc
         coinbase = self.build_coinbase(height, fees)
         template = Block.assemble(
             prev_hash=self.chain.tip.hash,

@@ -15,7 +15,7 @@ from typing import Optional
 from repro.blockchain.block import Block
 from repro.blockchain.chain import AddBlockResult, Chain
 from repro.blockchain.engine import ValidationEngine, ValidationReport
-from repro.blockchain.mempool import Mempool
+from repro.blockchain.mempool import Mempool, MempoolPolicy
 from repro.blockchain.params import ChainParams
 from repro.blockchain.transaction import Transaction
 from repro.errors import ValidationError
@@ -25,11 +25,17 @@ __all__ = ["FullNode", "RelayDecision"]
 
 @dataclass(frozen=True)
 class RelayDecision:
-    """What a node should do after processing an incoming item."""
+    """What a node should do after processing an incoming item.
+
+    ``reason_code`` carries the mempool's stable ``REJECT_*`` code for
+    transaction rejections (empty for block decisions and acceptances);
+    relay policy branches on it instead of parsing ``reason`` prose.
+    """
 
     accepted: bool
     relay: bool
     reason: str = ""
+    reason_code: str = ""
 
 
 class FullNode:
@@ -38,14 +44,15 @@ class FullNode:
     def __init__(self, params: Optional[ChainParams] = None,
                  name: str = "node",
                  verify_scripts: Optional[bool] = None,
-                 chain: Optional[Chain] = None) -> None:
+                 chain: Optional[Chain] = None,
+                 mempool_policy: Optional[MempoolPolicy] = None) -> None:
         self.name = name
         # A pre-built chain (e.g. restored from a snapshot via
         # repro.blockchain.store after a crash) takes precedence; the
         # params/verify_scripts arguments only seed a fresh chain.
         self.chain = chain if chain is not None else Chain(
             params, verify_scripts=verify_scripts)
-        self.mempool = Mempool(self.chain)
+        self.mempool = Mempool(self.chain, policy=mempool_policy)
         self.blocks_processed = 0
         self.transactions_processed = 0
 
@@ -76,10 +83,11 @@ class FullNode:
         if self.chain.confirmations(tx.txid):
             return RelayDecision(accepted=False, relay=False,
                                  reason="already confirmed")
-        try:
-            self.mempool.accept(tx)
-        except ValidationError as exc:
-            return RelayDecision(accepted=False, relay=False, reason=str(exc))
+        result = self.mempool.accept(tx)
+        if not result.accepted:
+            return RelayDecision(accepted=False, relay=False,
+                                 reason=result.reason,
+                                 reason_code=result.reason_code)
         return RelayDecision(accepted=True, relay=True)
 
     def submit_block(self, block: Block) -> tuple[RelayDecision, AddBlockResult]:
@@ -110,8 +118,8 @@ class FullNode:
                     continue
                 for tx in record.block.transactions[1:]:
                     if not self.chain.confirmations(tx.txid):
-                        try:
-                            self.mempool.accept(tx)
-                        except ValidationError:
-                            pass
+                        # Best effort: the verdict is advisory here — a
+                        # transaction that no longer resolves simply
+                        # stays out of the pool.
+                        self.mempool.accept(tx)
         return RelayDecision(accepted=True, relay=True), result

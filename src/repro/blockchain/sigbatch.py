@@ -1,0 +1,118 @@
+"""Cross-input ECDSA batching: static extraction + precomputed verdicts.
+
+The throughput engine's batch layer.  Given the ``(tx, input_index,
+locking_script)`` triples a block (or one multi-input admission) is about
+to verify, this module statically recognizes the spends whose signature
+check is a plain ECDSA verify — a p2pkh or CLTV-guarded-p2pkh locking
+script spent by a push-only ``<sig> <pubkey>`` unlocking script — and
+front-loads their expensive work:
+
+* every input's SIGHASH_ALL digest is computed through
+  :meth:`~repro.blockchain.transaction.Transaction.sighash_many`, which
+  serializes each transaction once instead of once per input;
+* all recognized ``(pubkey, digest, signature)`` triples go through
+  :func:`repro.crypto.ecdsa.verify_batch`, which amortizes fixed-base
+  table setup across inputs sharing a pubkey and batches the modular
+  inversions.
+
+The interpreter still executes every opcode of every script — the
+precomputed digests and verdicts are handed to
+:class:`~repro.blockchain.context.TransactionContext` as pure
+accelerations, so verdicts, error strings, and side effects are
+bit-identical to the unbatched path (``verify_batch`` itself is
+verdict-identical to ``PublicKey.verify``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.blockchain.transaction import Transaction
+from repro.crypto import ecdsa
+from repro.script.analysis import (
+    OUTPUT_CLTV_GUARDED,
+    OUTPUT_P2PKH,
+    classify_output,
+)
+from repro.script.script import Script
+
+__all__ = ["extract_checksig_spend", "precompute_verdicts"]
+
+#: Locking shapes whose single OP_CHECKSIG consumes exactly the two
+#: pushes of a ``<sig> <pubkey>`` unlocking script.
+_CHECKSIG_SHAPES = (OUTPUT_P2PKH, OUTPUT_CLTV_GUARDED)
+
+
+def extract_checksig_spend(script_sig: Script,
+                           locking: Script) -> Optional[tuple[bytes, bytes]]:
+    """``(pubkey, signature)`` if this spend is a recognizable CHECKSIG.
+
+    Returns None for anything the static view cannot pin down (multisig,
+    key-release scripts, non-push unlocking data) — those inputs simply
+    verify at interpreter speed.
+    """
+    elements = script_sig.elements
+    if len(elements) != 2:
+        return None
+    signature, pubkey = elements
+    if not (isinstance(signature, bytes) and len(signature) == 64):
+        return None
+    if not (isinstance(pubkey, bytes) and len(pubkey) == 33):
+        return None
+    if classify_output(locking) not in _CHECKSIG_SHAPES:
+        return None
+    return pubkey, signature
+
+
+def precompute_verdicts(
+    spends: Sequence[tuple[Transaction, int, Script]],
+) -> tuple[dict[tuple[bytes, int], bytes], dict[tuple[bytes, bytes, bytes], bool]]:
+    """Precompute sighash digests and ECDSA verdicts for a spend batch.
+
+    Returns ``(hints, verdicts)``: ``hints`` maps ``(txid, input_index)``
+    to the input's SIGHASH_ALL digest, ``verdicts`` maps
+    ``(pubkey, digest, signature)`` to the batch-verified outcome.  Both
+    feed :class:`~repro.blockchain.context.TransactionContext` fields of
+    the same names' purpose.
+    """
+    hints: dict[tuple[bytes, int], bytes] = {}
+    by_tx: dict[bytes, list[tuple[int, Script]]] = {}
+    tx_for: dict[bytes, Transaction] = {}
+    for tx, input_index, locking in spends:
+        by_tx.setdefault(tx.txid, []).append((input_index, locking))
+        tx_for[tx.txid] = tx
+    for txid, pairs in by_tx.items():
+        digests = tx_for[txid].sighash_many(pairs)
+        for (input_index, _), digest in zip(pairs, digests):
+            hints[(txid, input_index)] = digest
+
+    items: list[tuple[ecdsa.PublicKey, bytes, ecdsa.Signature]] = []
+    keys: list[tuple[bytes, bytes, bytes]] = []
+    for tx, input_index, locking in spends:
+        extracted = extract_checksig_spend(tx.inputs[input_index].script_sig,
+                                           locking)
+        if extracted is None:
+            continue
+        pubkey, signature = extracted
+        digest = hints[(tx.txid, input_index)]
+        try:
+            public_key = ecdsa.PublicKey.from_bytes(pubkey)
+            sig = ecdsa.Signature.from_bytes(signature)
+        except ecdsa.ECDSAError:
+            # The interpreter's CHECKSIG returns False for unparseable
+            # material; recording that verdict here skips the re-parse.
+            keys.append((pubkey, digest, signature))
+            items.append(None)
+            continue
+        keys.append((pubkey, digest, signature))
+        items.append((public_key, digest, sig))
+
+    verdicts: dict[tuple[bytes, bytes, bytes], bool] = {}
+    parseable = [(i, item) for i, item in enumerate(items) if item is not None]
+    batch_results = ecdsa.verify_batch([item for _, item in parseable])
+    for (slot, _), ok in zip(parseable, batch_results):
+        verdicts[keys[slot]] = ok
+    for slot, item in enumerate(items):
+        if item is None:
+            verdicts[keys[slot]] = False
+    return hints, verdicts

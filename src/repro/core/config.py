@@ -9,13 +9,15 @@ flip ``verify_blocks`` for Fig. 6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import Optional
 
+from repro.blockchain.mempool import MempoolPolicy
 from repro.blockchain.params import COIN, ChainParams
 from repro.core.costmodel import CostModel
 from repro.errors import ConfigurationError
 
-__all__ = ["NetworkConfig", "RegionTopology"]
+__all__ = ["LightConfig", "MempoolPolicy", "NetworkConfig", "RegionTopology"]
 
 
 @dataclass(frozen=True)
@@ -71,6 +73,71 @@ build_federation`'s topology-aware mesh).
 
 
 @dataclass(frozen=True)
+class LightConfig:
+    """The light-client tier knobs, grouped.
+
+    ``device_class == "full"`` (the default) is the paper's deployment —
+    every actor's recipient runs a co-located full node, and nothing in
+    :mod:`repro.light` is imported.  ``"light"`` swaps each recipient for
+    a duty-cycled SPV host (headers, filters, Merkle proofs) served by
+    the gateway full nodes.
+
+    :param device_class: ``"full"`` or ``"light"``.
+    :param compact_blocks: relay blocks between full nodes as BIP
+        152-style short-txid sketches with mempool reconstruction.
+    :param multicast_interval: seconds between a gateway's signed
+        header-bundle multicasts to its light recipients (0 disables the
+        stream; light clients then rely solely on unicast polling).
+    :param multicast_verify_every: aggregate-verify every R-th bundle
+        (Danzi et al. repeat-authenticate).
+    :param multicast_listen_window: Class-A listen window after each
+        multicast round fires.
+    :param light_sync_interval: light-client unicast header poll period.
+    :param light_request_timeout: per-request deadline for light queries.
+    """
+
+    device_class: str = "full"
+    compact_blocks: bool = False
+    multicast_interval: float = 0.0
+    multicast_verify_every: int = 4
+    multicast_listen_window: float = 2.0
+    light_sync_interval: float = 10.0
+    light_request_timeout: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.device_class not in ("full", "light"):
+            raise ConfigurationError(
+                f"unknown device class: {self.device_class!r} "
+                f"(expected 'full' or 'light')"
+            )
+        if self.multicast_interval < 0:
+            raise ConfigurationError(
+                f"multicast interval cannot be negative: "
+                f"{self.multicast_interval}"
+            )
+        if self.multicast_verify_every < 1:
+            raise ConfigurationError(
+                f"multicast verify-every must be at least 1, got "
+                f"{self.multicast_verify_every}"
+            )
+        if self.multicast_listen_window <= 0:
+            raise ConfigurationError(
+                f"multicast listen window must be positive: "
+                f"{self.multicast_listen_window}"
+            )
+        if self.light_sync_interval <= 0:
+            raise ConfigurationError(
+                f"light sync interval must be positive: "
+                f"{self.light_sync_interval}"
+            )
+        if self.light_request_timeout <= 0:
+            raise ConfigurationError(
+                f"light request timeout must be positive: "
+                f"{self.light_request_timeout}"
+            )
+
+
+@dataclass(frozen=True)
 class NetworkConfig:
     """Everything a :class:`repro.core.network.BcWANNetwork` needs.
 
@@ -111,6 +178,16 @@ class NetworkConfig:
 
     :param exchange_interval: mean seconds between exchanges per sensor.
     :param payload_bytes: plaintext reading size (≤ 15: one AES block).
+
+    Grouped sub-configs:
+
+    :param light: the light-client tier (:class:`LightConfig`).  The old
+        flat kwargs (``device_class`` … ``light_request_timeout``) are
+        deprecated but still accepted and still construct a
+        byte-identical config; they are folded into ``light`` and kept
+        mirrored for legacy readers.
+    :param mempool: admission policy (:class:`MempoolPolicy`) applied to
+        every full node; None keeps the historical unbounded pool.
     """
 
     num_gateways: int = 5
@@ -178,26 +255,27 @@ class NetworkConfig:
     wait_for_confirmation: bool = False
 
     # -- light-client tier -------------------------------------------------
-    # "full": every actor's recipient runs a co-located full node (the
-    # paper's deployment, and byte-identical to runs predating the light
-    # tier).  "light": each actor's application server is a duty-cycled
-    # SPV host — headers, filters, and Merkle proofs only, served by the
-    # gateway full nodes.  The light tier requires the flat topology.
+    # Grouped in :class:`LightConfig`; the default (None) synthesizes the
+    # sub-config from the flat fields below and is byte-identical to runs
+    # predating the grouping.  The light tier requires the flat topology.
+    light: Optional[LightConfig] = None
+    # Deprecated flat aliases for the LightConfig fields.  Passing them
+    # still works — ``__post_init__`` folds them into ``light`` — and
+    # after construction they mirror ``light.*`` exactly; new code should
+    # read/construct ``light`` directly.  Passing both a ``light``
+    # sub-config and a non-default flat kwarg is a configuration error.
     device_class: str = "full"
-    # Relay blocks between full nodes as BIP 152-style short-txid
-    # sketches with mempool reconstruction instead of full BlockMessages.
     compact_blocks: bool = False
-    # Seconds between a gateway's signed header-bundle multicasts to its
-    # light recipients (0 disables the stream; light clients then rely
-    # solely on unicast polling).
     multicast_interval: float = 0.0
-    # Aggregate-verify every R-th bundle (Danzi et al. repeat-authenticate).
     multicast_verify_every: int = 4
-    # Class-A listen window after each multicast round fires.
     multicast_listen_window: float = 2.0
-    # Light-client unicast header poll period and per-request deadline.
     light_sync_interval: float = 10.0
     light_request_timeout: float = 5.0
+
+    # Mempool admission policy shared by every full node the network
+    # assembles (None = the unbounded, no-fee-floor default that matches
+    # the paper's Multichain deployment).
+    mempool: Optional[MempoolPolicy] = None
 
     # Observability: ``tracing`` turns on sim-time span collection (one
     # trace per exchange, one per block) and makes the run's JSONL trace
@@ -269,44 +347,41 @@ class NetworkConfig:
                 f"roaming offset {self.roaming_offset} out of range for "
                 f"{self.gateways_per_region} gateways per region"
             )
-        if self.device_class not in ("full", "light"):
-            raise ConfigurationError(
-                f"unknown device class: {self.device_class!r} "
-                f"(expected 'full' or 'light')"
-            )
-        if self.device_class == "light" and self.topology.regions > 1:
+        self._fold_light_config()
+        if self.light.device_class == "light" and self.topology.regions > 1:
             raise ConfigurationError(
                 "the light tier requires the flat topology "
                 f"(regions={self.topology.regions})"
             )
-        if self.multicast_interval < 0:
-            raise ConfigurationError(
-                f"multicast interval cannot be negative: "
-                f"{self.multicast_interval}"
-            )
-        if self.multicast_verify_every < 1:
-            raise ConfigurationError(
-                f"multicast verify-every must be at least 1, got "
-                f"{self.multicast_verify_every}"
-            )
-        if self.multicast_listen_window <= 0:
-            raise ConfigurationError(
-                f"multicast listen window must be positive: "
-                f"{self.multicast_listen_window}"
-            )
-        if self.light_sync_interval <= 0:
-            raise ConfigurationError(
-                f"light sync interval must be positive: "
-                f"{self.light_sync_interval}"
-            )
-        if self.light_request_timeout <= 0:
-            raise ConfigurationError(
-                f"light request timeout must be positive: "
-                f"{self.light_request_timeout}"
-            )
         # Surface chain-parameter violations (block size floor, etc.) at
         # configuration time rather than at network assembly.
         self.chain_params()
+
+    def _fold_light_config(self) -> None:
+        """Reconcile the ``light`` sub-config with its flat aliases.
+
+        No sub-config given: synthesize one from the flat kwargs (so the
+        deprecated flat spelling keeps constructing the same object).
+        Sub-config given: reject conflicting non-default flat kwargs,
+        then backfill the flat mirrors so legacy readers stay correct.
+        Validation of the grouped fields lives in ``LightConfig``.
+        """
+        light_fields = [f.name for f in fields(LightConfig)]
+        if self.light is None:
+            object.__setattr__(self, "light", LightConfig(
+                **{name: getattr(self, name) for name in light_fields}
+            ))
+            return
+        for spec in fields(LightConfig):
+            flat = getattr(self, spec.name)
+            if flat != spec.default and flat != getattr(self.light, spec.name):
+                raise ConfigurationError(
+                    f"flat kwarg {spec.name}={flat!r} conflicts with the "
+                    f"light sub-config (deprecated flat spelling and "
+                    f"LightConfig are mutually exclusive)"
+                )
+        for name in light_fields:
+            object.__setattr__(self, name, getattr(self.light, name))
 
     def chain_params(self) -> ChainParams:
         """The derived blockchain parameters."""

@@ -218,7 +218,8 @@ class BcWANNetwork:
         # node for CPU economy — scripts are fully verified at mempool
         # admission on all six nodes; the *timing* of Fig. 6's block
         # verification is modeled by the daemon stall.
-        master_node = FullNode(params, "master", verify_scripts=False)
+        master_node = FullNode(params, "master", verify_scripts=False,
+                               mempool_policy=self.config.mempool)
         master_key = KeyPair.generate(self.rngs.stream("master-key"))
         self.master_wallet = Wallet(master_node.chain, master_key)
         self.master_wallet.watch_chain()
@@ -304,7 +305,8 @@ class BcWANNetwork:
         tags the agents with the sub-chain they settle on.
         """
         cfg = self.config
-        node = FullNode(params, name, verify_scripts=False)
+        node = FullNode(params, name, verify_scripts=False,
+                        mempool_policy=cfg.mempool)
         self._replay_chain(source_node, node)
         daemon = BlockchainDaemon(
             self.sim, name, self.wan, node, cfg.cost_model,
@@ -530,7 +532,8 @@ class BcWANNetwork:
         # Global settlement chain.  Every settlement engine carries its
         # own CheckpointRules, so each anchor node independently rejects
         # stale or regressing region digests.
-        anchor_node = FullNode(params, "anchor", verify_scripts=False)
+        anchor_node = FullNode(params, "anchor", verify_scripts=False,
+                               mempool_policy=self.config.mempool)
         anchor_node.engine.checkpoint_rules = CheckpointRules()
         anchor_key = KeyPair.generate(self.rngs.stream("anchor-master-key"))
         self.anchor_wallet = Wallet(anchor_node.chain, anchor_key)
@@ -565,7 +568,8 @@ class BcWANNetwork:
 
             # The region's own master: bootstraps and mines the sub-chain.
             master_name = master_names[r]
-            master_node = FullNode(params, master_name, verify_scripts=False)
+            master_node = FullNode(params, master_name, verify_scripts=False,
+                                   mempool_policy=cfg.mempool)
             master_key = KeyPair.generate(
                 self.rngs.stream(f"master-key-r{r}"))
             master_wallet = Wallet(master_node.chain, master_key)
@@ -599,7 +603,8 @@ class BcWANNetwork:
 
             # The region's settlement node + checkpoint agent.
             anchor_r_node = FullNode(params, anchor_names[r],
-                                     verify_scripts=False)
+                                     verify_scripts=False,
+                                     mempool_policy=cfg.mempool)
             anchor_r_node.engine.checkpoint_rules = CheckpointRules()
             self._replay_chain(anchor_node, anchor_r_node)
             anchor_r_daemon = BlockchainDaemon(

@@ -31,6 +31,7 @@ __all__ = [
     "PublicKey",
     "Signature",
     "generate_private_key",
+    "verify_batch",
     "verify_double_multiply",
 ]
 
@@ -107,44 +108,125 @@ def _jacobian_multiply(point: tuple[int, int, int],
     return result
 
 
-# Fixed-base acceleration for the generator: precompute G, 2G, 3G, ...,
-# 15G for each 4-bit window of the scalar (64 windows).  Signing and the
-# u1*G half of verification become table lookups plus ~64 additions,
-# roughly 4x faster than the generic double-and-add ladder.
+# Mixed addition: q comes from a precomputed table whose entries are
+# normalized to affine (z == 1), which drops the z2-dependent work of the
+# generic formula (~30% fewer field multiplications per add).
+def _jacobian_add_affine(p: tuple[int, int, int],
+                         q: tuple[int, int, int]) -> tuple[int, int, int]:
+    if not p[2]:
+        return q
+    x1, y1, z1 = p
+    x2, y2, _one = q
+    z1sq = (z1 * z1) % _P
+    u2 = (x2 * z1sq) % _P
+    s2 = (y2 * z1sq * z1) % _P
+    if x1 == u2:
+        if y1 != s2:
+            return _INFINITY
+        return _jacobian_double(p)
+    h = (u2 - x1) % _P
+    r = (s2 - y1) % _P
+    hsq = (h * h) % _P
+    hcu = (hsq * h) % _P
+    u1hsq = (x1 * hsq) % _P
+    nx = (r * r - hcu - 2 * u1hsq) % _P
+    ny = (r * (u1hsq - nx) - y1 * hcu) % _P
+    nz = (h * z1) % _P
+    return nx, ny, nz
+
+
+def _batch_inverse(values: list[int], modulus: int) -> list[int]:
+    """Montgomery's trick: invert every (nonzero) value in one ``pow``.
+
+    ``k`` inversions cost one modular inversion plus ``3(k-1)``
+    multiplications instead of ``k`` inversions.
+    """
+    if not values:
+        return []
+    prefix = [1] * (len(values) + 1)
+    for index, value in enumerate(values):
+        prefix[index + 1] = (prefix[index] * value) % modulus
+    inverse = pow(prefix[-1], -1, modulus)
+    out = [0] * len(values)
+    for index in range(len(values) - 1, -1, -1):
+        out[index] = (prefix[index] * inverse) % modulus
+        inverse = (inverse * values[index]) % modulus
+    return out
+
+
+# Fixed-base acceleration: precompute base, 2*base, 3*base, ... for each
+# w-bit window of the scalar, then normalize every table entry to affine
+# so lookups feed the cheap mixed addition above.  A multiply becomes
+# doubling-free — one lookup + one mixed add per nonzero window.  The
+# generator affords a wide 8-bit window (32 windows, 255 entries each,
+# built once at import); per-pubkey tables stay at 4 bits to keep the
+# on-demand build cost amortizable.
 _WINDOW_BITS = 4
-_WINDOW_COUNT = 256 // _WINDOW_BITS
+_GENERATOR_WINDOW_BITS = 8
 
 
-def _build_generator_tables() -> list[list[tuple[int, int, int]]]:
+def _build_window_tables(base: tuple[int, int, int],
+                         window_bits: int = _WINDOW_BITS,
+                         ) -> list[list[tuple[int, int, int]]]:
+    """Affine per-window multiples: ``tables[w][d] == d * 2**(w*bits) * base``."""
+    windows = (256 + window_bits - 1) // window_bits
     tables: list[list[tuple[int, int, int]]] = []
-    base = (_GX, _GY, 1)
-    for _window in range(_WINDOW_COUNT):
+    for _window in range(windows):
         row = [_INFINITY]
         current = _INFINITY
-        for _ in range((1 << _WINDOW_BITS) - 1):
+        for _ in range((1 << window_bits) - 1):
             current = _jacobian_add(current, base)
             row.append(current)
         tables.append(row)
-        for _ in range(_WINDOW_BITS):
+        for _ in range(window_bits):
             base = _jacobian_double(base)
-    return tables
+    # One Montgomery pass flattens every entry to z == 1.
+    flat = [entry for row in tables for entry in row if entry[2]]
+    inverses = iter(_batch_inverse([entry[2] for entry in flat], _P))
+    normalized = []
+    for row in tables:
+        new_row = []
+        for entry in row:
+            if not entry[2]:
+                new_row.append(entry)
+                continue
+            x, y, _z = entry
+            z_inv = next(inverses)
+            z_inv_sq = (z_inv * z_inv) % _P
+            new_row.append(((x * z_inv_sq) % _P,
+                            (y * z_inv_sq * z_inv) % _P, 1))
+        normalized.append(new_row)
+    return normalized
 
 
-_G_TABLES = _build_generator_tables()
+_G_TABLES = _build_window_tables((_GX, _GY, 1), _GENERATOR_WINDOW_BITS)
 
 
-def _generator_multiply(scalar: int) -> tuple[int, int, int]:
-    """``scalar * G`` via the precomputed window tables."""
+def _windowed_multiply(tables: list[list[tuple[int, int, int]]],
+                       scalar: int) -> tuple[int, int, int]:
+    """``scalar * base`` via ``base``'s precomputed window tables.
+
+    Doubling-free: each window is one table lookup plus one mixed add.
+    The window width is recovered from the table shape, so generator
+    (8-bit) and pubkey (4-bit) tables share this walk.
+    """
+    mask = len(tables[0]) - 1
+    shift = mask.bit_length()
     scalar %= CURVE_ORDER
     result = _INFINITY
     window = 0
     while scalar:
-        digit = scalar & ((1 << _WINDOW_BITS) - 1)
+        digit = scalar & mask
         if digit:
-            result = _jacobian_add(result, _G_TABLES[window][digit])
-        scalar >>= _WINDOW_BITS
+            result = _jacobian_add_affine(result, tables[window][digit])
+        scalar >>= shift
         window += 1
     return result
+
+
+def _generator_multiply(scalar: int) -> tuple[int, int, int]:
+    """``scalar * G`` via the precomputed window tables."""
+    return _windowed_multiply(_G_TABLES, scalar)
 
 
 def _to_affine(point: tuple[int, int, int]) -> Optional[tuple[int, int]]:
@@ -250,6 +332,95 @@ def _shamir_multiply(u1: int, u2: int,
             elif digit < 0:
                 result = _jacobian_add(result, _negate(table_q[-digit >> 1]))
     return result
+
+
+# --- Cross-signature batch verification ------------------------------------
+#
+# A block (or a busy mempool window) verifies many signatures at once, and
+# in the BcWAN deployment most of them come from a handful of gateway
+# keys.  verify_batch() exploits both axes:
+#
+# * a pubkey seen often enough gets the same doubling-free affine window
+#   tables the generator enjoys, so u1*G + u2*Q drops from ~256 doublings
+#   + ~94 additions (the Shamir ladder) to ~32 + ~64 mixed additions —
+#   the table build (~1.2k point ops) amortizes after about six
+#   signatures;
+# * every modular inversion in the batch (the s**-1 scalars mod n, the
+#   z**-1 affine conversions mod p) collapses into one inversion plus
+#   3(k-1) multiplications via Montgomery's trick.
+#
+# Verdicts are bit-identical to calling PublicKey.verify() per signature:
+# both paths compute the same group element and compare the same affine
+# x coordinate, only the coordinate bookkeeping differs.
+
+#: Signatures a pubkey must contribute to one batch before the fixed-base
+#: window tables are built for it (build cost ~= six Shamir ladders).
+_FIXED_TABLE_THRESHOLD = 6
+
+#: FIFO bound on cached per-pubkey window tables (1024 points each).
+_FIXED_TABLE_LIMIT = 16
+
+_pubkey_fixed_tables: dict[tuple[int, int],
+                           list[list[tuple[int, int, int]]]] = {}
+
+
+def _pubkey_window_tables(x: int, y: int) -> list[list[tuple[int, int, int]]]:
+    tables = _pubkey_fixed_tables.get((x, y))
+    if tables is None:
+        tables = _build_window_tables((x, y, 1))
+        if len(_pubkey_fixed_tables) >= _FIXED_TABLE_LIMIT:
+            _pubkey_fixed_tables.pop(next(iter(_pubkey_fixed_tables)))
+        _pubkey_fixed_tables[(x, y)] = tables
+    return tables
+
+
+def verify_batch(items: "list[tuple[PublicKey, bytes, Signature]]"
+                 ) -> list[bool]:
+    """Verify ``(public_key, message_hash, signature)`` triples together.
+
+    Returns one verdict per item, bit-identical to
+    ``public_key.verify(message_hash, signature)`` (with the default
+    ``require_low_s=False``) — the batch machinery changes where the
+    work happens, never what is accepted.
+    """
+    verdicts: list[bool] = [False] * len(items)
+    live: list[tuple[int, "PublicKey", int, int, int]] = []
+    for index, (public_key, message_hash, signature) in enumerate(items):
+        if len(message_hash) != 32:
+            raise ECDSAError("message hash must be 32 bytes")
+        r, s = signature.r, signature.s
+        if not (0 < r < CURVE_ORDER and 0 < s < CURVE_ORDER):
+            continue  # verdict stays False, as verify() would return
+        z = int.from_bytes(message_hash, "big") % CURVE_ORDER
+        live.append((index, public_key, z, r, s))
+
+    s_inverses = _batch_inverse([entry[4] for entry in live], CURVE_ORDER)
+
+    counts: dict[tuple[int, int], int] = {}
+    for _, public_key, _, _, _ in live:
+        key = (public_key.x, public_key.y)
+        counts[key] = counts.get(key, 0) + 1
+
+    points: list[tuple[int, int, tuple[int, int, int]]] = []
+    for (index, public_key, z, r, s), s_inv in zip(live, s_inverses):
+        u1 = (z * s_inv) % CURVE_ORDER
+        u2 = (r * s_inv) % CURVE_ORDER
+        key = (public_key.x, public_key.y)
+        if counts[key] >= _FIXED_TABLE_THRESHOLD or key in _pubkey_fixed_tables:
+            point = _jacobian_add(
+                _windowed_multiply(_G_TABLES, u1),
+                _windowed_multiply(_pubkey_window_tables(*key), u2),
+            )
+        else:
+            point = _shamir_multiply(u1, u2, public_key.x, public_key.y)
+        points.append((index, r, point))
+
+    finite = [(index, r, point) for index, r, point in points if point[2]]
+    z_inverses = _batch_inverse([point[2] for _, _, point in finite], _P)
+    for (index, r, point), z_inv in zip(finite, z_inverses):
+        x_affine = (point[0] * z_inv * z_inv) % _P
+        verdicts[index] = x_affine % CURVE_ORDER == r
+    return verdicts
 
 
 # --- Key and signature types ----------------------------------------------

@@ -11,8 +11,8 @@ exchange also becomes one *trace*: a root ``exchange`` span plus four
 contiguous ``leg.*`` child spans (uplink / publication / payment /
 decryption) that the breakdown in :mod:`repro.obs.export` summarises.
 
-Historically this lived in :mod:`repro.core.metrics`; that module is now
-a deprecated re-export shim and the observability layer is the one home.
+Historically this lived in ``repro.core.metrics``; that shim has been
+removed and the observability layer is the one home.
 """
 
 from __future__ import annotations

@@ -2,8 +2,8 @@
 
 :class:`Summary` computes the statistics the benchmark harness prints
 (mean, percentiles, histogram) — the numbers behind the paper's Figs. 5/6.
-Historically these lived in :mod:`repro.sim.trace`; that module is now a
-deprecated re-export shim and the observability layer is the one home.
+Historically these lived in ``repro.sim.trace``; that shim has been
+removed and the observability layer is the one home.
 """
 
 from __future__ import annotations

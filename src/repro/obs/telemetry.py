@@ -12,9 +12,10 @@ Each surface also grows the uniform ``stats()`` accessor returning a
 :class:`~repro.obs.registry.StatsView` — the one blessed read path for
 examples and tooling.
 
-The old import homes (``repro.core.metrics``, ``repro.sim.trace``)
-remain as thin deprecated shims; a ``tools/checks`` lint rule forbids
-*new* ad-hoc counter dataclasses outside ``repro.obs``.
+The old import homes (``repro.core.metrics``, ``repro.sim.trace``) have
+been removed outright — the ``tools/checks`` lint hard-fails any import
+of them — and the same lint forbids *new* ad-hoc counter dataclasses
+outside ``repro.obs``.
 """
 
 from __future__ import annotations

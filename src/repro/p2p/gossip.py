@@ -27,15 +27,12 @@ from repro.blockchain.block import Block
 from repro.blockchain.node import FullNode
 from repro.blockchain.transaction import Transaction
 from repro.obs.registry import StatsView
+from repro.blockchain.mempool import REJECT_MISSING_INPUTS
 from repro.p2p.dedup import LRUSet
 from repro.p2p.message import BlockMessage, Envelope, TxMessage
 from repro.p2p.network import WANetwork
 
 __all__ = ["GossipNode"]
-
-# Rejection reasons that depend on state we may acquire later: the tx is
-# retryable, so it must not enter the known-txid dedup set.
-_ORPHAN_REASON_MARKER = "not found in chain or pool"
 
 
 class GossipNode:
@@ -140,7 +137,7 @@ class GossipNode:
             if decision.relay:
                 self._relay(TxMessage(transaction=tx), exclude=(origin,))
             self._retry_orphans()
-        elif _ORPHAN_REASON_MARKER in decision.reason:
+        elif decision.reason_code == REJECT_MISSING_INPUTS:
             # Parents unknown — park it; a later parent (via gossip or
             # sync) re-triggers evaluation.  Deliberately NOT marked
             # known: a re-gossip after eviction must get a fresh chance.
@@ -219,7 +216,7 @@ class GossipNode:
                         if decision.relay:
                             self._relay(TxMessage(transaction=tx),
                                         exclude=(origin,))
-                    elif _ORPHAN_REASON_MARKER not in decision.reason:
+                    elif decision.reason_code != REJECT_MISSING_INPUTS:
                         # Now permanently decided (e.g. parent confirmed
                         # and the orphan double-spends, or it confirmed
                         # itself): stop retrying.

@@ -58,8 +58,14 @@ class VerifyResult:
         return (self.txid, self.input_index)
 
 
-def execute_job(job: VerifyJob, tx=None) -> VerifyResult:
-    """Run one job's script pair; total — failures are False, not raises."""
+def execute_job(job: VerifyJob, tx=None, locking=None,
+                sighash_hint=None, verdict_cache=None) -> VerifyResult:
+    """Run one job's script pair; total — failures are False, not raises.
+
+    ``sighash_hint`` and ``verdict_cache`` are the optional batch-layer
+    accelerations (see :mod:`repro.blockchain.sigbatch`); a lone job runs
+    without them and computes everything itself.
+    """
     # Imported here, not at module top: the engine imports VerifyJob from
     # this module, so a blockchain import up top would be a cycle.  After
     # the first call these are sys.modules lookups, dwarfed by the
@@ -71,9 +77,11 @@ def execute_job(job: VerifyJob, tx=None) -> VerifyResult:
 
     if tx is None:
         tx = Transaction.deserialize(job.tx_bytes)
-    locking = Script.from_bytes(job.locking_bytes)
+    if locking is None:
+        locking = Script.from_bytes(job.locking_bytes)
     context = TransactionContext(
         tx=tx, input_index=job.input_index, locking_script=locking,
+        sighash_hint=sighash_hint, verdict_cache=verdict_cache,
     )
     ok = ScriptInterpreter(context=context).verify(
         tx.inputs[job.input_index].script_sig, locking,
@@ -91,17 +99,34 @@ def execute_job(job: VerifyJob, tx=None) -> VerifyResult:
 def run_batch(jobs: Iterable[VerifyJob]) -> list[VerifyResult]:
     """The pool's map target: execute a chunk of jobs in one worker.
 
-    Transactions are deserialized once per batch, not once per input —
-    a multi-input transaction chunked together costs one parse.
+    Transactions are deserialized once per batch, not once per input,
+    and the whole chunk goes through the cross-input batch layer: one
+    :func:`~repro.blockchain.sigbatch.precompute_verdicts` pass shares
+    sighash serialization and ECDSA table setup across the chunk before
+    the interpreter replays each pair with identical verdicts.
     """
+    from repro.blockchain.sigbatch import precompute_verdicts
     from repro.blockchain.transaction import Transaction
+    from repro.script.script import Script
 
+    jobs = list(jobs)
     parsed: dict[bytes, "Transaction"] = {}
-    results: list[VerifyResult] = []
+    lockings = []
+    spends = []
     for job in jobs:
         tx = parsed.get(job.txid)
         if tx is None:
             tx = Transaction.deserialize(job.tx_bytes)
             parsed[job.txid] = tx
-        results.append(execute_job(job, tx=tx))
+        locking = Script.from_bytes(job.locking_bytes)
+        lockings.append(locking)
+        spends.append((tx, job.input_index, locking))
+    hints, verdicts = precompute_verdicts(spends)
+    results: list[VerifyResult] = []
+    for job, locking in zip(jobs, lockings):
+        results.append(execute_job(
+            job, tx=parsed[job.txid], locking=locking,
+            sighash_hint=hints.get((job.txid, job.input_index)),
+            verdict_cache=verdicts,
+        ))
     return results

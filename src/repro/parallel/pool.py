@@ -25,7 +25,7 @@ from repro.errors import ConfigurationError
 from repro.obs.registry import MetricsRegistry, StatsView
 from repro.parallel.jobs import VerifyJob, VerifyResult, run_batch
 
-__all__ = ["DEFAULT_CHUNK_SIZE", "VerifyPool"]
+__all__ = ["DEFAULT_CHUNK_SIZE", "PendingRun", "VerifyPool"]
 
 #: Jobs per scheduling chunk.  Small enough that a block's inputs spread
 #: across workers, large enough that one pickle round-trip amortises over
@@ -164,18 +164,77 @@ class VerifyPool:
         except Exception:  # lint: allow(exception-flow) — worker failures re-raise with arbitrary types; a genuine ValidationError re-raises in the serial fallback below
             # A worker died mid-batch (or the pool pipe broke).  Restart
             # once; a second failure retires the pool permanently.
-            self._m_restarts.inc()
-            self._teardown()
-            if not self._broken:
-                self._spawn()
-            if self._pool is not None:
-                try:
-                    return self._pool.map(run_batch, chunks)
-                except Exception:  # lint: allow(exception-flow) — same contract as the first attempt: the serial re-run below surfaces real validation errors
-                    self._teardown()
-            self._broken = True
-            self._m_fallbacks.inc()
-            return [run_batch(chunk) for chunk in chunks]
+            return self._recover(chunks)
+
+    def _recover(self, chunks: list[list[VerifyJob]]) -> list[list[VerifyResult]]:
+        """The degradation ladder after a failed dispatch: restart the
+        pool once and retry, else run the same chunks in-process."""
+        self._m_restarts.inc()
+        self._teardown()
+        if not self._broken:
+            self._spawn()
+        if self._pool is not None:
+            try:
+                return self._pool.map(run_batch, chunks)
+            except Exception:  # lint: allow(exception-flow) — same contract as the first attempt: the serial re-run below surfaces real validation errors
+                self._teardown()
+        self._broken = True
+        self._m_fallbacks.inc()
+        return [run_batch(chunk) for chunk in chunks]
+
+    def run_async(self, jobs: Sequence[VerifyJob]) -> "PendingRun":
+        """Submit ``jobs`` without waiting; ``wait()`` collects later.
+
+        The pipelined connect path: workers start crunching immediately
+        while the caller walks the next block.  ``PendingRun.wait()``
+        returns exactly what the matching synchronous :meth:`run` would
+        have — same ordering, same restart-once/serial-fallback ladder.
+        Without active workers nothing runs until ``wait()``, which then
+        executes in-process (deferral, not background execution).
+        """
+        jobs = list(jobs)
+        pending = PendingRun(self, jobs)
+        if not jobs:
+            return pending
+        self._m_jobs.inc(len(jobs))
+        if self._pool is not None:
+            chunks = [jobs[i:i + self.chunk_size]
+                      for i in range(0, len(jobs), self.chunk_size)]
+            self._m_batches.inc(len(chunks))
+            self._m_queue_depth.set(len(chunks))
+            pending._chunks = chunks
+            try:
+                pending._async = self._pool.map_async(run_batch, chunks)
+            except Exception:  # lint: allow(exception-flow) — a broken pool raises arbitrary types at submit; recovery re-runs the same chunks
+                pending._nested = self._recover(chunks)
+                self._m_queue_depth.set(0)
+        return pending
+
+    def _collect(self, pending: "PendingRun") -> list[VerifyResult]:
+        """Finish a :meth:`run_async`: gather, degrade, order, observe."""
+        jobs = pending._jobs
+        if not jobs:
+            return []
+        if pending._nested is not None:
+            nested = pending._nested
+            results = [result for chunk in nested for result in chunk]
+            self._observe_workers(results)
+        elif pending._async is not None:
+            try:
+                nested = pending._async.get()
+            except Exception:  # lint: allow(exception-flow) — a worker died mid-batch; same degradation ladder as the synchronous path
+                nested = self._recover(pending._chunks)
+            finally:
+                self._m_queue_depth.set(0)
+            results = [result for chunk in nested for result in chunk]
+            self._observe_workers(results)
+        else:
+            # No workers were active at submit time: the deferred jobs
+            # simply run in-process now.
+            results = run_batch(jobs)
+            self._m_serial_jobs.inc(len(jobs))
+        results.sort(key=lambda result: result.order_key)
+        return results
 
     def _observe_workers(self, results: list[VerifyResult]) -> None:
         """Worker utilisation: jobs per worker under stable ordinal labels."""
@@ -202,3 +261,29 @@ class VerifyPool:
             "spawn_failures": self._m_spawn_failures.value,
             "distinct_workers": len(self._worker_ordinals),
         })
+
+
+class PendingRun:
+    """An in-flight :meth:`VerifyPool.run_async` submission.
+
+    ``wait()`` blocks until the verdicts are in and returns them in the
+    pool's deterministic ``(txid, input_index)`` order.  Idempotent: a
+    second ``wait()`` returns the cached results.
+    """
+
+    def __init__(self, pool: VerifyPool, jobs: list[VerifyJob]) -> None:
+        self._verify_pool = pool
+        self._jobs = jobs
+        self._chunks: Optional[list[list[VerifyJob]]] = None
+        self._async = None
+        self._nested: Optional[list[list[VerifyResult]]] = None
+        self._results: Optional[list[VerifyResult]] = None
+
+    def wait(self) -> list[VerifyResult]:
+        if self._results is None:
+            self._results = self._verify_pool._collect(self)
+            self._async = None
+            self._nested = None
+        return self._results
+
+

@@ -22,6 +22,7 @@ from repro.blockchain.checkpoint import (
     settlement_proof,
     verify_settlement,
 )
+from repro.blockchain.mempool import REJECT_CHECKPOINT
 from repro.blockchain.merkle import merkle_root
 from repro.errors import ValidationError
 
@@ -191,13 +192,15 @@ def checkpoint_tx(wallet, epoch, height=1):
 
 def test_mempool_rejects_stale_checkpoint(funded_chain):
     node, wallet, miner = anchor_node(funded_chain)
-    node.mempool.accept(checkpoint_tx(wallet, epoch=1))
+    assert node.mempool.accept(checkpoint_tx(wallet, epoch=1)).accepted
     miner.mine_and_connect(10.0)
     assert node.engine.checkpoint_rules.latest(0).epoch == 1
-    with pytest.raises(ValidationError, match="stale checkpoint"):
-        node.mempool.accept(checkpoint_tx(wallet, epoch=1))
+    stale = node.mempool.accept(checkpoint_tx(wallet, epoch=1))
+    assert not stale.accepted
+    assert stale.reason_code == REJECT_CHECKPOINT
+    assert "stale checkpoint" in stale.reason
     # The next epoch sails through.
-    node.mempool.accept(checkpoint_tx(wallet, epoch=2))
+    assert node.mempool.accept(checkpoint_tx(wallet, epoch=2)).accepted
 
 
 def test_connect_block_commits_checkpoints_atomically(funded_chain):

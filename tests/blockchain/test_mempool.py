@@ -2,8 +2,15 @@
 
 from __future__ import annotations
 
-import pytest
-
+from repro.blockchain.mempool import (
+    REJECT_COINBASE,
+    REJECT_CONFLICT,
+    REJECT_DUPLICATE,
+    REJECT_MISSING_INPUTS,
+    REJECT_NON_FINAL,
+    REJECT_SCRIPT,
+    REJECT_VALUE,
+)
 from repro.blockchain.transaction import (
     OutPoint,
     SEQUENCE_FINAL,
@@ -12,7 +19,6 @@ from repro.blockchain.transaction import (
     TxOutput,
 )
 from repro.crypto.keys import KeyPair
-from repro.errors import ValidationError
 from repro.script.builder import p2pkh_locking
 from repro.script.script import Script
 
@@ -21,7 +27,11 @@ def test_accept_valid_payment(funded_chain, rng):
     node, wallet, _miner = funded_chain
     to = KeyPair.generate(rng)
     tx = wallet.create_payment(to.pubkey_hash, 100)
-    node.mempool.accept(tx)
+    result = node.mempool.accept(tx)
+    assert result.accepted
+    assert result.txid == tx.txid
+    assert result.reason == "" and result.reason_code == ""
+    assert result.fee == node.mempool.fee_of(tx.txid)
     assert tx.txid in node.mempool
     assert node.mempool.get(tx.txid) == tx
 
@@ -29,16 +39,19 @@ def test_accept_valid_payment(funded_chain, rng):
 def test_reject_duplicate(funded_chain, rng):
     node, wallet, _miner = funded_chain
     tx = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 100)
-    node.mempool.accept(tx)
-    with pytest.raises(ValidationError):
-        node.mempool.accept(tx)
+    assert node.mempool.accept(tx).accepted
+    repeat = node.mempool.accept(tx)
+    assert not repeat.accepted
+    assert repeat.reason_code == REJECT_DUPLICATE
+    assert "already in pool" in repeat.reason
 
 
 def test_reject_coinbase(funded_chain):
     node, _wallet, miner = funded_chain
     coinbase = miner.build_coinbase(99, 0)
-    with pytest.raises(ValidationError):
-        node.mempool.accept(coinbase)
+    result = node.mempool.accept(coinbase)
+    assert not result.accepted
+    assert result.reason_code == REJECT_COINBASE
 
 
 def test_reject_double_spend(funded_chain, rng):
@@ -50,8 +63,9 @@ def test_reject_double_spend(funded_chain, rng):
     shared = ({i.outpoint for i in first.inputs}
               & {i.outpoint for i in second.inputs})
     assert shared
-    with pytest.raises(ValidationError):
-        node.mempool.accept(second)
+    result = node.mempool.accept(second)
+    assert not result.accepted
+    assert result.reason_code == REJECT_CONFLICT
     assert node.mempool.conflicts_with(second) == [first.txid]
 
 
@@ -59,10 +73,13 @@ def test_reject_missing_input(funded_chain):
     node, _wallet, _miner = funded_chain
     tx = Transaction(
         inputs=[TxInput(outpoint=OutPoint(txid=b"\x07" * 32, index=0))],
-        outputs=[TxOutput(value=1, script_pubkey=Script())],
+        outputs=[TxOutput(value=1,
+                          script_pubkey=p2pkh_locking(b"\x07" * 20))],
     )
-    with pytest.raises(ValidationError):
-        node.mempool.accept(tx)
+    result = node.mempool.accept(tx)
+    assert not result.accepted
+    assert result.reason_code == REJECT_MISSING_INPUTS
+    assert "not found in chain or pool" in result.reason
 
 
 def test_reject_value_inflation(funded_chain, rng):
@@ -70,11 +87,13 @@ def test_reject_value_inflation(funded_chain, rng):
     tx = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 100)
     inflated = Transaction(
         inputs=tx.inputs,
-        outputs=[TxOutput(value=10**15, script_pubkey=Script())],
+        outputs=[TxOutput(value=10**15,
+                          script_pubkey=p2pkh_locking(b"\x07" * 20))],
         locktime=tx.locktime,
     )
-    with pytest.raises(ValidationError):
-        node.mempool.accept(inflated)
+    result = node.mempool.accept(inflated)
+    assert not result.accepted
+    assert result.reason_code == REJECT_VALUE
 
 
 def test_reject_bad_signature(funded_chain, rng):
@@ -83,8 +102,10 @@ def test_reject_bad_signature(funded_chain, rng):
     tampered = tx.with_input_script(
         0, Script([b"\x00" * 64, wallet.pubkey_bytes])
     )
-    with pytest.raises(ValidationError):
-        node.mempool.accept(tampered)
+    result = node.mempool.accept(tampered)
+    assert not result.accepted
+    assert result.reason_code == REJECT_SCRIPT
+    assert "script verification failed" in result.reason
 
 
 def test_reject_non_final(funded_chain, rng):
@@ -102,15 +123,16 @@ def test_reject_non_final(funded_chain, rng):
                                      p2pkh_locking(wallet.pubkey_hash)),
                    wallet.pubkey_bytes]),
     )
-    with pytest.raises(ValidationError):
-        node.mempool.accept(tx)
+    result = node.mempool.accept(tx)
+    assert not result.accepted
+    assert result.reason_code == REJECT_NON_FINAL
 
 
 def test_unconfirmed_chaining(funded_chain, rng):
     node, wallet, _miner = funded_chain
     middle = KeyPair.generate(rng)
     parent = wallet.create_payment(middle.pubkey_hash, 1000)
-    node.mempool.accept(parent)
+    assert node.mempool.accept(parent).accepted
 
     # Build a child spending the unconfirmed output.
     parent_index = next(
@@ -130,14 +152,14 @@ def test_unconfirmed_chaining(funded_chain, rng):
         0, Script([middle.sign(digest).to_bytes(),
                    middle.public_key.to_bytes()]),
     )
-    node.mempool.accept(child)
+    assert node.mempool.accept(child).accepted
     assert child.txid in node.mempool
 
 
 def test_remove_confirmed_evicts_conflicts(funded_chain, rng):
     node, wallet, _miner = funded_chain
     first = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 100)
-    node.mempool.accept(first)
+    assert node.mempool.accept(first).accepted
     wallet.release_pending(first)
     # A conflicting tx confirmed in a block evicts the pool's version.
     conflicting = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 150)
@@ -150,7 +172,7 @@ def test_select_for_block_respects_dependencies(funded_chain, rng):
     node, wallet, _miner = funded_chain
     middle = KeyPair.generate(rng)
     parent = wallet.create_payment(middle.pubkey_hash, 1000)
-    node.mempool.accept(parent)
+    assert node.mempool.accept(parent).accepted
     selected = node.mempool.select_for_block(1_000_000)
     assert parent in selected
 
@@ -158,14 +180,14 @@ def test_select_for_block_respects_dependencies(funded_chain, rng):
 def test_select_for_block_respects_size(funded_chain, rng):
     node, wallet, _miner = funded_chain
     tx = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 100)
-    node.mempool.accept(tx)
+    assert node.mempool.accept(tx).accepted
     assert node.mempool.select_for_block(10) == []
 
 
 def test_remove_returns_transaction(funded_chain, rng):
     node, wallet, _miner = funded_chain
     tx = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 100)
-    node.mempool.accept(tx)
+    assert node.mempool.accept(tx).accepted
     assert node.mempool.remove(tx.txid) == tx
     assert node.mempool.remove(tx.txid) is None
     assert len(node.mempool) == 0

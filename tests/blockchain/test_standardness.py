@@ -11,6 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.blockchain.engine import ValidationEngine
+from repro.blockchain.mempool import REJECT_NONSTANDARD
 from repro.blockchain.transaction import TxOutput
 from repro.blockchain.utxo import UTXOEntry
 from repro.obs.telemetry import ValidationTelemetry
@@ -34,8 +35,10 @@ def test_mempool_rejects_unspendable_output_without_execution(funded_chain):
     engine = node.engine
     tx = unspendable_output_tx(wallet)
     misses_before = engine.cache_stats.misses
-    with pytest.raises(ValidationError, match="not standard"):
-        node.mempool.accept(tx)
+    result = node.mempool.accept(tx)
+    assert not result.accepted
+    assert result.reason_code == REJECT_NONSTANDARD
+    assert "not standard" in result.reason
     # The scripts were valid — rejection came from the static pre-pass,
     # before a single opcode ran.
     assert engine.cache_stats.misses == misses_before
@@ -48,14 +51,16 @@ def test_mempool_rejects_value_bearing_op_return(funded_chain):
     tx = wallet._build_spend(
         [TxOutput(value=7, script_pubkey=op_return(b"data"))], fee=0,
     )
-    with pytest.raises(ValidationError, match="OP_RETURN"):
-        node.mempool.accept(tx)
+    result = node.mempool.accept(tx)
+    assert not result.accepted
+    assert result.reason_code == REJECT_NONSTANDARD
+    assert "OP_RETURN" in result.reason
 
 
 def test_mempool_accepts_zero_value_op_return(funded_chain):
     node, wallet, _miner = funded_chain
     announcement = wallet.create_announcement(b"gateway 10.0.0.1", fee=1)
-    node.mempool.accept(announcement)
+    assert node.mempool.accept(announcement).accepted
     assert announcement.txid in node.mempool
 
 
@@ -64,15 +69,17 @@ def test_mempool_rejects_non_push_unlocking_script(funded_chain, rng):
     from repro.crypto.keys import KeyPair
     tx = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 100)
     tampered = tx.with_input_script(0, Script((b"sig", OP.OP_DUP)))
-    with pytest.raises(ValidationError, match="push-only"):
-        node.mempool.accept(tampered)
+    result = node.mempool.accept(tampered)
+    assert not result.accepted
+    assert result.reason_code == REJECT_NONSTANDARD
+    assert "push-only" in result.reason
 
 
 def test_mempool_accepts_standard_payment_and_counts_it(funded_chain, rng):
     node, wallet, _miner = funded_chain
     from repro.crypto.keys import KeyPair
     tx = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 100)
-    node.mempool.accept(tx)
+    assert node.mempool.accept(tx).accepted
     stats = node.engine.policy.stats
     assert stats.tx_checked >= 1
     assert stats.tx_rejected == 0
@@ -126,7 +133,7 @@ def test_precheck_never_blocks_valid_spends(funded_chain, rng):
     node, wallet, miner = funded_chain
     from repro.crypto.keys import KeyPair
     tx = wallet.create_payment(KeyPair.generate(rng).pubkey_hash, 100)
-    node.mempool.accept(tx)
+    assert node.mempool.accept(tx).accepted
     miner.mine_and_connect(100.0)
     assert node.chain.utxos.get(tx.inputs[0].outpoint) is None
     assert node.engine.policy.stats.fast_rejects == 0
@@ -138,8 +145,7 @@ def test_precheck_never_blocks_valid_spends(funded_chain, rng):
 def test_validation_telemetry_snapshot(funded_chain):
     node, wallet, _miner = funded_chain
     tx = unspendable_output_tx(wallet)
-    with pytest.raises(ValidationError):
-        node.mempool.accept(tx)
+    assert not node.mempool.accept(tx).accepted
     telemetry = ValidationTelemetry.from_engine(node.engine)
     assert telemetry.standardness_tx_rejected == 1
     assert telemetry.script_cache_hits == node.engine.cache_stats.hits
@@ -164,8 +170,10 @@ def test_mempool_rejects_high_s_signature(funded_chain):
     node, wallet, _miner = funded_chain
     tx = _malleate_high_s(wallet.create_payment(wallet.pubkey_hash, 50))
     misses_before = node.engine.cache_stats.misses
-    with pytest.raises(ValidationError, match="high-S"):
-        node.mempool.accept(tx)
+    result = node.mempool.accept(tx)
+    assert not result.accepted
+    assert result.reason_code == REJECT_NONSTANDARD
+    assert "high-S" in result.reason
     # Rejected by the static policy scan — no script executed.
     assert node.engine.cache_stats.misses == misses_before
     assert node.engine.policy.stats.tx_rejected == 1

@@ -15,22 +15,16 @@ from repro.obs.telemetry import (
 
 # -- deprecated import homes ---------------------------------------------------
 
-def test_old_import_paths_still_resolve():
-    from repro.core.daemon import DaemonStats as from_daemon
-    from repro.core.metrics import ChaosTelemetry as chaos_from_metrics  # lint: allow(deprecated-shim)
-    from repro.core.metrics import ValidationTelemetry as val_from_metrics  # lint: allow(deprecated-shim)
-    from repro.core.metrics import ExchangeTracker as tracker_from_metrics  # lint: allow(deprecated-shim)
-    from repro.sim.trace import MetricsRecorder as recorder_from_trace  # lint: allow(deprecated-shim)
-    from repro.sim.trace import Summary as summary_from_trace  # lint: allow(deprecated-shim)
-    from repro.obs.exchange import ExchangeTracker
-    from repro.obs.stats import Summary
+def test_removed_shim_modules_stay_gone():
+    """The historical re-export shims were deleted; imports must fail."""
+    for removed in ("repro.core.metrics", "repro.sim.trace"):
+        with pytest.raises(ModuleNotFoundError):
+            __import__(removed)
 
+
+def test_daemon_stats_import_home():
+    from repro.core.daemon import DaemonStats as from_daemon
     assert from_daemon is DaemonStats
-    assert chaos_from_metrics is ChaosTelemetry
-    assert val_from_metrics is ValidationTelemetry
-    assert tracker_from_metrics is ExchangeTracker
-    assert recorder_from_trace is MetricsRecorder
-    assert summary_from_trace is Summary
 
 
 # -- DaemonStats ---------------------------------------------------------------

@@ -5,9 +5,10 @@ invalid P2PKH, high-S malleated twins, RSA key-release claims (good and
 bad eSk), CLTV refunds (rightful and wrong-key), multi-input mixes,
 double-spends, and contextual overspends.  Property-based tests then
 assemble blocks from random subsets/orderings of those candidates and
-assert a serial :class:`ValidationEngine` and a pool-backed one return
-**byte-identical** outcomes: the same accept/reject verdict, the same
-error string, the same cache counters, and the same UTXO digest.
+assert a serial :class:`ValidationEngine`, a pool-backed one, and the
+two-phase pipelined connect (``begin_connect``/``finish_connect``) all
+return **byte-identical** outcomes: the same accept/reject verdict, the
+same error string, the same cache counters, and the same UTXO digest.
 
 The ``determinism``-named tests double as the CI flake guard (run under
 ``pytest --count=3`` in the ``parallel`` job).
@@ -213,8 +214,13 @@ def _replica_utxos(bank) -> UTXOSet:
     return replica
 
 
-def _connect_outcome(bank, engine, txs) -> tuple:
-    """Run one block connect and flatten *everything* observable."""
+def _connect_outcome(bank, engine, txs, two_phase=False) -> tuple:
+    """Run one block connect and flatten *everything* observable.
+
+    With ``two_phase=True`` the connect runs through the pipelined
+    primitive — ``begin_connect`` then ``finish_connect`` — which must be
+    observation-identical to the one-shot ``connect_block``.
+    """
     height = bank.node.chain.height + 1
     block = Block.assemble(
         prev_hash=bank.node.chain.tip.hash,
@@ -224,8 +230,13 @@ def _connect_outcome(bank, engine, txs) -> tuple:
     utxos = _replica_utxos(bank)
     stats = engine.cache_stats
     try:
-        report = engine.connect_block(block, utxos, height,
-                                      verify_scripts=True, commit=True)
+        if two_phase:
+            pending = engine.begin_connect(block, utxos, height,
+                                           verify_scripts=True)
+            report = engine.finish_connect(pending, commit=True)
+        else:
+            report = engine.connect_block(block, utxos, height,
+                                          verify_scripts=True, commit=True)
     except ValidationError as exc:
         return ("err", str(exc),
                 (stats.hits, stats.misses, stats.evictions),
@@ -242,12 +253,19 @@ def _differential(bank, pool, txs) -> tuple:
     serial_engine = ValidationEngine(bank.params)
     pooled_engine = ValidationEngine(bank.params)
     pooled_engine.attach_pool(pool)
+    piped_engine = ValidationEngine(bank.params)
     serial = _connect_outcome(bank, serial_engine, txs)
     pooled = _connect_outcome(bank, pooled_engine, txs)
+    piped = _connect_outcome(bank, piped_engine, txs, two_phase=True)
     assert serial == pooled, (
         f"serial/parallel divergence for "
         f"{[label for label, _ in bank.candidates]}: "
         f"\n  serial: {serial}\n  pooled: {pooled}"
+    )
+    assert serial == piped, (
+        f"serial/pipelined divergence for "
+        f"{[label for label, _ in bank.candidates]}: "
+        f"\n  serial: {serial}\n  piped:  {piped}"
     )
     return serial
 
@@ -326,12 +344,12 @@ def test_differential_mempool_admission(bank, pool):
         for label, tx in bank.candidates:
             outcomes = []
             for node in (serial_node, pooled_node):
-                try:
-                    node.mempool.accept(tx)
+                result = node.mempool.accept(tx)
+                if result.accepted:
                     outcomes.append(("ok", tx.txid in node.mempool))
                     node.mempool.remove(tx.txid)
-                except ValidationError as exc:
-                    outcomes.append(("err", str(exc)))
+                else:
+                    outcomes.append(("err", result.reason))
             assert outcomes[0] == outcomes[1], (
                 f"{label}: mempool divergence {outcomes}"
             )

@@ -1,0 +1,161 @@
+"""Pipelined block connect == serial connect, bit for bit.
+
+``Chain.add_blocks`` overlaps block N+1's script verification with block
+N's settle.  The sequential-equivalence contract: statuses, error
+strings, orphan maps, and chain/UTXO digests must match a per-block
+``add_block`` loop exactly — for clean chains, for chains with an
+invalid block in the middle, and under both UTXO stores.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.blockchain.block import Block
+from repro.blockchain.chain import Chain
+from repro.blockchain.miner import Miner
+from repro.blockchain.node import FullNode
+from repro.blockchain.params import ChainParams
+from repro.blockchain.wallet import Wallet
+from repro.chaos.verify import chain_digest, utxo_digest
+from repro.crypto.keys import KeyPair
+from repro.errors import ValidationError
+from repro.script.script import Script
+
+PARAMS = ChainParams(coinbase_maturity=1)
+
+
+def build_block_corpus(blocks: int = 10, seed: int = 0x5EED):
+    """Mine a clean chain and return its non-genesis blocks in order."""
+    rng = random.Random(seed)
+    node = FullNode(PARAMS, "builder")
+    wallet = Wallet(node.chain, KeyPair.generate(rng))
+    wallet.watch_chain()
+    miner = Miner(chain=node.chain, mempool=node.mempool,
+                  reward_pubkey_hash=wallet.pubkey_hash)
+    for i in range(blocks):
+        if i == 2:
+            # Split the first matured coinbase so later blocks can carry
+            # several independent spends each.
+            fanout = wallet.create_fanout(wallet.pubkey_hash, 1_000, 24)
+            assert node.mempool.accept(fanout).accepted
+        elif i >= 3:
+            for _ in range(rng.randint(1, 3)):
+                tx = wallet.create_payment(
+                    KeyPair.generate(rng).pubkey_hash, rng.randint(50, 500))
+                assert node.mempool.accept(tx).accepted
+        miner.mine_and_connect(float(i))
+    return [node.chain.block_at(h) for h in range(1, node.chain.height + 1)]
+
+
+def corrupt_signature(block: Block) -> Block:
+    """Flip one signature bit in the block's first non-coinbase spend."""
+    target = block.transactions[1]
+    sig, pubkey = target.inputs[0].script_sig.elements
+    bad = target.with_input_script(
+        0, Script([bytes([sig[0] ^ 1]) + sig[1:], pubkey]))
+    transactions = list(block.transactions)
+    transactions[1] = bad
+    return Block.assemble(
+        prev_hash=block.header.prev_hash,
+        timestamp=block.header.timestamp,
+        transactions=transactions,
+        nonce=block.header.nonce,
+    )
+
+
+def connect_serial(blocks, verify_scripts, utxo_store="dict"):
+    chain = Chain(PARAMS, verify_scripts=verify_scripts,
+                  utxo_store=utxo_store)
+    outcomes = []
+    for block in blocks:
+        try:
+            result = chain.add_block(block)
+            outcomes.append((result.status, result.reason))
+        except ValidationError as exc:
+            outcomes.append(("invalid", str(exc)))
+    return chain, outcomes
+
+
+def connect_pipelined(blocks, verify_scripts, utxo_store="dict"):
+    chain = Chain(PARAMS, verify_scripts=verify_scripts,
+                  utxo_store=utxo_store)
+    results = chain.add_blocks(blocks)
+    return chain, [(r.status, r.reason) for r in results]
+
+
+def assert_equivalent(blocks, verify_scripts, utxo_store="dict"):
+    serial_chain, serial = connect_serial(blocks, verify_scripts, utxo_store)
+    piped_chain, piped = connect_pipelined(blocks, verify_scripts, utxo_store)
+    assert piped == serial
+    assert chain_digest(piped_chain) == chain_digest(serial_chain)
+    assert utxo_digest(piped_chain) == utxo_digest(serial_chain)
+    assert dict(piped_chain._orphans) == dict(serial_chain._orphans)
+    return serial
+
+
+CORPUS = build_block_corpus()
+
+
+def test_clean_chain_equivalence():
+    outcomes = assert_equivalent(CORPUS, verify_scripts=True)
+    assert all(status == "active" for status, _ in outcomes)
+
+
+def test_clean_chain_equivalence_without_scripts():
+    assert_equivalent(CORPUS, verify_scripts=False)
+
+
+@pytest.mark.parametrize("bad_at", [4, 6, len(CORPUS) - 1])
+def test_invalid_block_equivalence(bad_at):
+    """A bad signature mid-stream: same error string, same orphan stash."""
+    blocks = list(CORPUS)
+    blocks[bad_at] = corrupt_signature(blocks[bad_at])
+    outcomes = assert_equivalent(blocks, verify_scripts=True)
+    assert outcomes[bad_at][0] == "invalid"
+    assert "script verification failed" in outcomes[bad_at][1]
+    for status, _ in outcomes[bad_at + 1:]:
+        assert status == "orphan"
+
+
+def test_invalid_block_not_detected_when_verification_off():
+    """Fig. 5 config: with scripts off both paths accept the bad block."""
+    blocks = list(CORPUS)
+    blocks[5] = corrupt_signature(blocks[5])
+    outcomes = assert_equivalent(blocks, verify_scripts=False)
+    assert outcomes[5][0] == "active"
+
+
+def test_journal_store_equivalence():
+    assert_equivalent(CORPUS, verify_scripts=True, utxo_store="journal")
+
+
+def test_add_blocks_falls_back_for_non_contiguous_batches():
+    """Out-of-order delivery: the sequential fallback handles orphans."""
+    shuffled = [CORPUS[1], CORPUS[0], *CORPUS[2:4]]
+    chain = Chain(PARAMS, verify_scripts=True)
+    results = chain.add_blocks(shuffled)
+    assert results[0].status == "orphan"
+    # Block 0 arrives next and adopts the stashed orphan.
+    assert results[1].status == "active"
+    assert chain.height == 4
+
+
+def test_add_blocks_empty_and_single():
+    chain = Chain(PARAMS, verify_scripts=True)
+    assert chain.add_blocks([]) == []
+    results = chain.add_blocks(CORPUS[:1])
+    assert [r.status for r in results] == ["active"]
+
+
+def test_batch_verify_disabled_still_equivalent():
+    """The serial per-input engine path stays verdict-identical."""
+    serial_chain = Chain(PARAMS, verify_scripts=True)
+    serial_chain.engine.batch_verify = False
+    for block in CORPUS:
+        serial_chain.add_block(block)
+    piped_chain, _ = connect_pipelined(CORPUS, verify_scripts=True)
+    assert utxo_digest(piped_chain) == utxo_digest(serial_chain)
+    assert chain_digest(piped_chain) == chain_digest(serial_chain)

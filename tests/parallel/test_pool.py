@@ -252,14 +252,14 @@ def test_mempool_admission_through_pool(stack):
         for node, wallet in ((serial_node, serial_wallet),
                              (pooled_node, pooled_wallet)):
             tx = wallet.create_payment(wallet.pubkey_hash, 250)
-            node.mempool.accept(tx)
+            assert node.mempool.accept(tx).accepted
             assert tx.txid in node.mempool
             bad = wallet.create_payment(wallet.pubkey_hash, 260)
             sig, pub = bad.inputs[0].script_sig.elements
             bad = bad.with_input_script(
                 0, Script([bytes([sig[0] ^ 1]) + sig[1:], pub]))
-            with pytest.raises(ValidationError,
-                               match="script verification failed"):
-                node.mempool.accept(bad)
+            result = node.mempool.accept(bad)
+            assert not result.accepted
+            assert "script verification failed" in result.reason
     finally:
         pool.shutdown()

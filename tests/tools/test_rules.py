@@ -90,3 +90,36 @@ def test_pickle_rule_scoped_to_parallel_package():
     violations = run_rule(PickleBoundaryRule, "exflow.py", "hashsink.py",
                           "clocksrc.py")
     assert violations == []
+
+
+# -- per-file deprecated-import lint -------------------------------------------
+
+def _lint(source, path="src/repro/core/somefile.py"):
+    from tools.checks import check_source
+    from tools.checks.checkers import ALL_CHECKERS
+    return check_source(source, path, ALL_CHECKERS)
+
+
+def test_deprecated_shim_import_hard_fails_despite_pragma():
+    source = ("from repro.core.metrics import ExchangeTracker"
+              "  # lint: allow(deprecated-shim)\n")
+    rules = {v.rule for v in _lint(source)}
+    assert "deprecated-shim" in rules
+
+
+def test_deprecated_validation_import_hard_fails_despite_pragma():
+    source = ("from repro.blockchain import validation"
+              "  # lint: allow(deprecated-validation)\n")
+    rules = {v.rule for v in _lint(source)}
+    assert "deprecated-validation" in rules
+
+
+def test_deprecated_accept_call_is_flagged_and_pragma_allowed():
+    flagged = _lint("pool.accept_or_raise(tx)\n")
+    assert {v.rule for v in flagged} == {"deprecated-accept"}
+    allowed = _lint("pool.accept_or_raise(tx)  # lint: allow(deprecated-accept)\n")
+    assert not allowed
+
+
+def test_accept_result_call_is_clean():
+    assert not _lint("result = pool.accept(tx)\n")

@@ -60,6 +60,10 @@ class Checker(ast.NodeVisitor):
     """
 
     rule: str = "abstract"
+    #: Hard-fail rules cannot be pragma-suppressed or baselined: every
+    #: finding fails the run.  Reserved for rules whose violations are
+    #: outright broken (e.g. imports of deleted shim modules).
+    hard_fail: bool = False
 
     def __init__(self, path: str, source_lines: Sequence[str]) -> None:
         self.path = path
@@ -73,7 +77,7 @@ class Checker(ast.NodeVisitor):
 
     def report(self, node: ast.AST, message: str) -> None:
         line = getattr(node, "lineno", 1)
-        if 0 < line <= len(self.source_lines):
+        if not self.hard_fail and 0 < line <= len(self.source_lines):
             text = self.source_lines[line - 1]
             if f"lint: allow({self.rule})" in text:
                 return

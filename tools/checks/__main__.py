@@ -109,6 +109,14 @@ def main(argv: list[str] | None = None) -> int:
 
     baseline = load_baseline(args.baseline) if args.baseline else {}
     new, known = split_by_baseline(violations, baseline)
+    # Hard-fail rules cannot hide behind the baseline: promote any
+    # baselined finding of theirs back into the failing set.
+    hard_rules = {c.rule for c in ALL_CHECKERS if c.hard_fail}
+    promoted = [v for v in known if v.rule in hard_rules]
+    if promoted:
+        new = sorted(new + promoted,
+                     key=lambda v: (v.path, v.line, v.rule))
+        known = [v for v in known if v.rule not in hard_rules]
 
     if args.output_format == "json":
         sys.stdout.write(render_json(new, checked, len(known)))

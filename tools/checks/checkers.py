@@ -31,6 +31,7 @@ __all__ = [
     "UnorderedSetIterationChecker",
     "DeprecatedValidationImportChecker",
     "DeprecatedShimImportChecker",
+    "DeprecatedAcceptChecker",
     "AdHocTelemetryChecker",
     "MultiprocessingOutsideParallelChecker",
 ]
@@ -175,21 +176,19 @@ class UnorderedSetIterationChecker(Checker):
 
 
 class DeprecatedValidationImportChecker(Checker):
-    """No new imports of the deprecated ``validation.py`` shims.
+    """No imports of the removed ``validation.py`` free-function shims.
 
-    The free functions build a throwaway engine per call, bypassing the
-    shared script cache; everything in-repo goes through
-    ``ValidationEngine``.  The shim module itself (and its dedicated
-    coverage test, via pragma) are the only importers allowed.
+    The module has been deleted outright: the free functions built a
+    throwaway engine per call, bypassing the shared script cache;
+    everything in-repo goes through ``ValidationEngine``.  Any import
+    would be a runtime ``ModuleNotFoundError``, so this rule hard-fails —
+    no pragma, no baseline entry.
     """
 
     rule = "deprecated-validation"
+    hard_fail = True
 
     _MODULE = "repro.blockchain.validation"
-
-    @classmethod
-    def applies_to(cls, path: str) -> bool:
-        return not path.endswith("repro/blockchain/validation.py")
 
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
@@ -212,28 +211,24 @@ class DeprecatedValidationImportChecker(Checker):
 
 
 class DeprecatedShimImportChecker(Checker):
-    """No new imports of the deprecated telemetry/stats shim modules.
+    """No imports of the removed telemetry/stats shim modules.
 
-    ``repro.core.metrics`` and ``repro.sim.trace`` are pure re-export
-    stubs: the exchange tracker lives in :mod:`repro.obs.exchange`, the
-    statistics helpers in :mod:`repro.obs.stats`, the recorder in
-    :mod:`repro.obs.telemetry`.  The shim modules themselves (and their
-    dedicated compatibility test, via pragma) are the only importers
-    allowed.
+    ``repro.core.metrics`` and ``repro.sim.trace`` were pure re-export
+    stubs and have been deleted: the exchange tracker lives in
+    :mod:`repro.obs.exchange`, the statistics helpers in
+    :mod:`repro.obs.stats`, the recorder in :mod:`repro.obs.telemetry`.
+    Any import would be a runtime ``ModuleNotFoundError``, so this rule
+    hard-fails — no pragma, no baseline entry.
     """
 
     rule = "deprecated-shim"
+    hard_fail = True
 
     # old module -> (parent package, attribute, replacement hint)
     _SHIMS = {
         "repro.core.metrics": ("repro.core", "metrics", "repro.obs.exchange"),
         "repro.sim.trace": ("repro.sim", "trace", "repro.obs.stats"),
     }
-
-    @classmethod
-    def applies_to(cls, path: str) -> bool:
-        return not path.endswith(("repro/core/metrics.py",
-                                  "repro/sim/trace.py"))
 
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
@@ -253,6 +248,28 @@ class DeprecatedShimImportChecker(Checker):
                     alias.name == attribute for alias in node.names):
                 self.report(node, f"import of deprecated shim module "
                                   f"'{module}' — use {home}")
+        self.generic_visit(node)
+
+
+class DeprecatedAcceptChecker(Checker):
+    """No new callers of the raise-only ``Mempool.accept_or_raise``.
+
+    Admission is a verdict, not an exception: ``Mempool.accept`` returns
+    an ``AcceptResult`` carrying the reject reason code, fee rate, and
+    eviction list, and every in-repo caller branches on it.  The
+    raise-only spelling survives only as a deprecated shim for external
+    callers; its dedicated coverage test (via pragma) is the one allowed
+    in-repo call site.
+    """
+
+    rule = "deprecated-accept"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and \
+                func.attr == "accept_or_raise":
+            self.report(node, "call to deprecated Mempool.accept_or_raise — "
+                              "branch on Mempool.accept's AcceptResult")
         self.generic_visit(node)
 
 
@@ -364,6 +381,7 @@ ALL_CHECKERS: tuple[type[Checker], ...] = (
     UnorderedSetIterationChecker,
     DeprecatedValidationImportChecker,
     DeprecatedShimImportChecker,
+    DeprecatedAcceptChecker,
     AdHocTelemetryChecker,
     MultiprocessingOutsideParallelChecker,
 )
