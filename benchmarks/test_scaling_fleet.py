@@ -5,14 +5,29 @@ the shared radio and the per-site daemons hold up as density grows.  This
 sweep raises sensors-per-gateway at a fixed per-sensor rate and reports
 delivery rate (radio collisions are the binding constraint — the chain
 has head-room) and exchange latency.
+
+The fleet tier pushes to 100 gateways / 10 000 sensors on the vector
+channel kernel: the full scenario must finish inside a CI wall budget,
+and a kernel-replay microbench pins the vector kernel's speedup over the
+scalar oracle at fleet listener density (``BENCH_fleet.json``).
 """
 
 from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
 
 import pytest
 
 from benchmarks.conftest import print_header, print_row
 from repro.core import BcWANNetwork, NetworkConfig
+from repro.lora.channel import (Listener, PathLossModel, Position,
+                                RadioChannel, Transmission)
+from repro.lora.frames import DataFrame
+from repro.lora.phy import LoRaModulation
+from repro.sim.core import Simulator
 
 BASE = dict(num_gateways=3, exchange_interval=40.0, seed=37)
 EXCHANGES = 60
@@ -69,3 +84,157 @@ def test_higher_offered_load_saturates_radio_not_chain(benchmark):
     ]
     assert not settlement_failures
     assert report.completed > 0.6 * report.exchanges_launched
+
+
+# -- fleet tier: 100 gateways / 10k sensors on the vector kernel -------------
+
+FLEET = dict(num_gateways=100, sensors_per_gateway=100, seed=41,
+             sim_kernel="vector", funding_coins=8, exchange_interval=600.0)
+FLEET_EXCHANGES = 200
+# Wall budget for the full scenario (assembly + run).  Calibrated at
+# ~2x a measured run on a single CI core; assembly is RSA-512 keygen
+# bound (10k sensors), the run is daemon/event-loop bound.
+FLEET_WALL_BUDGET_S = 1800.0
+KERNEL_TARGET_SPEEDUP = 5.0
+KERNEL_LISTENERS = 101  # one site at fleet density: gateway + 100 sensors
+KERNEL_REPLAY = 2000
+
+
+def _fleet_channel(kernel: str, seed: int = 5):
+    """One site's radio at fleet density, positions spread so the verdict
+    mix covers sensitivity, collision, and delivery."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    channel = RadioChannel(sim, random.Random(99), PathLossModel(),
+                           kernel=kernel)
+    positions = []
+    for i in range(KERNEL_LISTENERS):
+        position = Position(rng.uniform(-4000, 4000), rng.uniform(-4000, 4000))
+        positions.append(position)
+        channel.add_listener(Listener(
+            name=f"l-{i}", position=position, deliver=lambda frame, rssi: None,
+        ))
+    return channel, positions
+
+
+def _completion_stream(positions, count: int, seed: int = 5):
+    """A recorded stream of (transmission, interferers) completions, the
+    exact input ``RadioChannel._complete`` hands each delivery kernel."""
+    rng = random.Random(seed)
+    modulation = LoRaModulation(spreading_factor=7)
+
+    def transmission(index: int) -> Transmission:
+        sender = rng.randrange(len(positions))
+        return Transmission(
+            sender=f"l-{sender}",
+            frame=DataFrame(sender=f"l-{sender}",
+                            encrypted_message=b"x" * 24, nonce=index),
+            modulation=modulation, frequency_hz=868_100_000, power_dbm=14.0,
+            position=positions[sender], start=0.0, end=0.1,
+        )
+
+    stream = []
+    for index in range(count):
+        wanted = transmission(index)
+        interferers = [transmission(index)
+                       for _ in range(rng.choice((0, 0, 0, 1, 1, 2)))]
+        stream.append((wanted, interferers))
+    return stream
+
+
+def _replay(channel: RadioChannel, stream) -> float:
+    deliver = (channel._deliver_vector if channel.kernel == "vector"
+               else channel._deliver_scalar)
+    started = time.perf_counter()
+    for wanted, interferers in stream:
+        deliver(wanted, interferers)
+    return time.perf_counter() - started
+
+
+def _counters(channel: RadioChannel) -> tuple[int, int, int]:
+    return (channel.frames_delivered, channel.frames_lost_sensitivity,
+            channel.frames_lost_collision)
+
+
+def test_channel_kernel_replay_is_deterministic(benchmark):
+    """Timing-free twin of the microbench (safe under --count=N): both
+    kernels replay the identical completion stream to identical verdict
+    logs and counters."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    scalar, positions = _fleet_channel("scalar")
+    vector, _ = _fleet_channel("vector")
+    scalar.verdict_log = []
+    vector.verdict_log = []
+    stream = _completion_stream(positions, count=400)
+    _replay(scalar, stream)
+    _replay(vector, stream)
+    assert scalar.verdict_log == vector.verdict_log
+    assert _counters(scalar) == _counters(vector)
+    assert len(scalar.verdict_log) >= 400
+
+
+def test_fleet_100gw_vector_within_wall_budget(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    # Kernel-replay microbench at fleet listener density: warm both
+    # kernels on one full pass (the vector kernel's loss/eligible rows
+    # cache, as they do over a long scenario), then time a steady-state
+    # replay of the same stream.
+    scalar, positions = _fleet_channel("scalar")
+    vector, _ = _fleet_channel("vector")
+    stream = _completion_stream(positions, count=KERNEL_REPLAY)
+    _replay(scalar, stream)
+    _replay(vector, stream)
+    scalar_s = _replay(scalar, stream)
+    vector_s = _replay(vector, stream)
+    speedup = scalar_s / vector_s
+    assert _counters(scalar) == _counters(vector)
+
+    # The full 100-gateway / 10k-sensor scenario on the vector kernel.
+    assembly_started = time.perf_counter()
+    network = BcWANNetwork(NetworkConfig(**FLEET))
+    assembly_s = time.perf_counter() - assembly_started
+    run_started = time.perf_counter()
+    report = network.run(num_exchanges=FLEET_EXCHANGES)
+    run_s = time.perf_counter() - run_started
+
+    print_header("Fleet tier — 100 gateways / 10 000 sensors (vector kernel)")
+    print_row("assembly (s)", assembly_s)
+    print_row("run (s)", run_s)
+    print_row("sim time (s)", network.sim.now)
+    print_row("events", network.sim.events_processed)
+    print_row("exchanges", f"{report.completed}/{report.exchanges_launched}")
+    print_row("kernel replay", f"{KERNEL_REPLAY} completions")
+    print_row("  scalar (s)", scalar_s)
+    print_row("  vector (s)", vector_s)
+    print_row("  speedup", f"{speedup:.1f}x")
+
+    Path("BENCH_fleet.json").write_text(json.dumps({
+        "scenario": {
+            "num_gateways": FLEET["num_gateways"],
+            "sensors_per_gateway": FLEET["sensors_per_gateway"],
+            "sim_kernel": FLEET["sim_kernel"],
+            "exchange_interval_s": FLEET["exchange_interval"],
+            "num_exchanges": FLEET_EXCHANGES,
+            "assembly_s": round(assembly_s, 1),
+            "run_s": round(run_s, 1),
+            "wall_budget_s": FLEET_WALL_BUDGET_S,
+            "sim_time_s": round(network.sim.now, 1),
+            "events_processed": network.sim.events_processed,
+            "exchanges_launched": report.exchanges_launched,
+            "exchanges_completed": report.completed,
+        },
+        "kernel_replay": {
+            "listeners": KERNEL_LISTENERS,
+            "completions": KERNEL_REPLAY,
+            "scalar_s": round(scalar_s, 4),
+            "vector_s": round(vector_s, 4),
+            "speedup": round(speedup, 1),
+            "target_speedup": KERNEL_TARGET_SPEEDUP,
+        },
+    }, indent=2))
+
+    assert report.exchanges_launched == FLEET_EXCHANGES
+    assert report.completed > 0.9 * report.exchanges_launched
+    assert assembly_s + run_s < FLEET_WALL_BUDGET_S
+    assert speedup >= KERNEL_TARGET_SPEEDUP

@@ -177,6 +177,7 @@ class BcWANNetwork:
         self.tracer = Tracer(self.sim, enabled=self.config.tracing)
         self.profiler = (HotPathProfiler()
                          if self.config.profile_hot_paths else None)
+        self.sim.obs = self.profiler
         self.tracker = ExchangeTracker(self.tracer)
         self.sites: list[Site] = []
         self.regions: list[Region] = []
@@ -320,7 +321,9 @@ class BcWANNetwork:
         wallet.watch_chain()
         directory = DirectoryView(node.chain)
         directory.follow()
-        channel = RadioChannel(self.sim, self.rngs.stream(f"radio-{name}"))
+        channel = RadioChannel(self.sim, self.rngs.stream(f"radio-{name}"),
+                               kernel=cfg.sim_kernel)
+        channel.obs = self.profiler
         gateway_radio = LoRaRadio(
             f"gw-{i}", channel, position=Position(0.0, 0.0),
             modulation=modulation, duty_cycle=cfg.gateway_duty_cycle,
@@ -997,7 +1000,9 @@ class BcWANNetwork:
                 last_terminal = terminal
                 last_progress_time = self.sim.now
             if self._exchanges_launched >= num_exchanges:
-                if records and terminal >= len(records):
+                # Covers num_exchanges=0 (a sweep's empty cell): no records
+                # means nothing to settle, terminate on the first check.
+                if terminal >= len(records):
                     break
                 # Lost radio frames leave exchanges dangling (BcWAN has no
                 # link-layer ack for the data uplink); give up on them

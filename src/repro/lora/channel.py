@@ -5,6 +5,26 @@ power clears the per-SF sensitivity, and survives interference if every
 overlapping same-frequency, same-SF transmission is at least
 ``capture_threshold_db`` weaker (the LoRa capture effect); otherwise the
 frame is lost at that listener.
+
+Two delivery kernels implement the same model:
+
+``kernel="scalar"``
+    The seed path: one listener at a time, one interferer at a time.
+    This is the differential oracle.
+
+``kernel="vector"``
+    Batch evaluation across all listeners with numpy — cached path-loss
+    rows, one RSSI vector per completion, a capture-suppression row
+    accumulated across interferers.  Equivalence contract: every
+    per-listener verdict,
+    every delivered RSSI, and every counter is **bit-identical** to the
+    scalar kernel.  That holds because the transcendentals
+    (``math.hypot``/``math.log10``) stay scalar and cached, and numpy is
+    used only for IEEE-754-exact float64 subtract/compare.  Lognormal
+    shadowing (``shadowing_sigma_db > 0``) draws from the channel RNG
+    per listener *conditionally*, which no batch formulation can replay
+    exactly — the vector kernel transparently falls back to the scalar
+    path in that case (the paper configuration uses sigma = 0).
 """
 
 from __future__ import annotations
@@ -13,6 +33,11 @@ import math
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Optional
+
+try:
+    import numpy as _np
+except ImportError:  # numpy is an accelerator, not a hard dependency
+    _np = None
 
 from repro.errors import ConfigurationError
 from repro.lora.frames import LoRaFrame
@@ -92,19 +117,36 @@ class Listener:
 
 
 class RadioChannel:
-    """The shared medium all radios of one deployment transmit on."""
+    """The shared medium all radios of one deployment transmit on.
+
+    Set ``verdict_log`` to a list to record, per completion, one
+    ``(sender, listener, verdict, rssi_dbm)`` tuple for every listener the
+    delivery loop evaluated (half-duplex-suppressed listeners are skipped,
+    matching the scalar loop) — the differential suite compares these
+    across kernels.  Set ``obs`` to a
+    :class:`repro.obs.profile.HotPathProfiler` to account wall-clock time
+    under the ``lora.channel_complete`` site.
+    """
 
     def __init__(self, sim: Simulator, rng: random.Random,
                  path_loss: Optional[PathLossModel] = None,
-                 capture_threshold_db: float = 6.0) -> None:
+                 capture_threshold_db: float = 6.0,
+                 kernel: str = "scalar") -> None:
         if capture_threshold_db < 0:
             raise ConfigurationError(
                 f"capture threshold must be non-negative: {capture_threshold_db}"
             )
+        if kernel not in ("scalar", "vector"):
+            raise ConfigurationError(
+                f"unknown channel kernel: {kernel!r} (scalar|vector)"
+            )
+        if kernel == "vector" and _np is None:
+            raise ConfigurationError("vector channel kernel requires numpy")
         self.sim = sim
         self.rng = rng
         self.path_loss = path_loss or PathLossModel()
         self.capture_threshold_db = capture_threshold_db
+        self.kernel = kernel
         self._listeners: dict[str, Listener] = {}
         self._active: list[Transmission] = []
         self._history: list[Transmission] = []
@@ -112,14 +154,28 @@ class RadioChannel:
         self.frames_delivered = 0
         self.frames_lost_sensitivity = 0
         self.frames_lost_collision = 0
+        self.verdict_log: Optional[list] = None
+        self.obs = None  # optional HotPathProfiler
+        # Vector-kernel state: listener arrays + per-position loss rows,
+        # rebuilt whenever the listener set changes.
+        self._snapshot_version = -1
+        self._listener_version = 0
+        self._names: list[str] = []
+        self._positions: list[Position] = []
+        self._delivers: list[Callable[[LoRaFrame, float], None]] = []
+        self._owner_indices: dict[str, list[int]] = {}
+        self._loss_rows: dict[Position, "_np.ndarray"] = {}
+        self._eligible_rows: dict[str, "_np.ndarray"] = {}
 
     def add_listener(self, listener: Listener) -> None:
         if listener.name in self._listeners:
             raise ConfigurationError(f"duplicate listener: {listener.name}")
         self._listeners[listener.name] = listener
+        self._listener_version += 1
 
     def remove_listener(self, name: str) -> None:
         self._listeners.pop(name, None)
+        self._listener_version += 1
 
     def transmit(self, sender: str, position: Position, frame: LoRaFrame,
                  modulation: LoRaModulation, frequency_hz: int = 868_100_000,
@@ -140,6 +196,8 @@ class RadioChannel:
         return transmission
 
     def _complete(self, transmission: Transmission) -> None:
+        obs = self.obs
+        t0 = obs.clock() if obs is not None else 0
         self._active.remove(transmission)
         self._history.append(transmission)
         # Keep the history bounded to overlapping-relevant entries.
@@ -153,6 +211,17 @@ class RadioChannel:
             and transmission.interferes_with(other)
         ]
 
+        if self.kernel == "vector" and self.path_loss.shadowing_sigma_db == 0:
+            self._deliver_vector(transmission, interferers)
+        else:
+            self._deliver_scalar(transmission, interferers)
+        if obs is not None:
+            obs.observe("lora.channel_complete", obs.clock() - t0)
+
+    def _deliver_scalar(self, transmission: Transmission,
+                        interferers: list[Transmission]) -> None:
+        """The seed delivery loop — the oracle the vector kernel is pinned to."""
+        log = self.verdict_log
         for listener in list(self._listeners.values()):
             if listener.half_duplex_owner == transmission.sender:
                 continue
@@ -160,13 +229,121 @@ class RadioChannel:
             sf = transmission.modulation.spreading_factor
             if rssi < SENSITIVITY_DBM[sf]:
                 self.frames_lost_sensitivity += 1
+                if log is not None:
+                    log.append((transmission.sender, listener.name,
+                                "sensitivity", rssi))
                 continue
             if self._suppressed_by_collision(transmission, interferers,
                                              listener.position, rssi):
                 self.frames_lost_collision += 1
+                if log is not None:
+                    log.append((transmission.sender, listener.name,
+                                "collision", rssi))
                 continue
             self.frames_delivered += 1
+            if log is not None:
+                log.append((transmission.sender, listener.name,
+                            "delivered", rssi))
             listener.deliver(transmission.frame, rssi)
+
+    # -- vector kernel ---------------------------------------------------------
+
+    def _rebuild_snapshot(self) -> None:
+        self._names = [ls.name for ls in self._listeners.values()]
+        self._positions = [ls.position for ls in self._listeners.values()]
+        self._delivers = [ls.deliver for ls in self._listeners.values()]
+        owners: dict[str, list[int]] = {}
+        for i, ls in enumerate(self._listeners.values()):
+            if ls.half_duplex_owner is not None:
+                owners.setdefault(ls.half_duplex_owner, []).append(i)
+        self._owner_indices = owners
+        self._loss_rows.clear()
+        self._eligible_rows.clear()
+        self._snapshot_version = self._listener_version
+
+    def _loss_row(self, position: Position) -> "_np.ndarray":
+        """Path loss from ``position`` to every listener, cached per position.
+
+        The transcendentals stay in ``math`` (not numpy SIMD paths, which
+        may differ by an ULP from libm), so each element is the exact float
+        the scalar kernel computes.  Shadowing is sigma = 0 on this path,
+        so ``loss_db`` touches no RNG.
+        """
+        row = self._loss_rows.get(position)
+        if row is None:
+            loss = self.path_loss.loss_db
+            row = _np.fromiter(
+                (loss(position.distance_to(at)) for at in self._positions),
+                dtype=_np.float64, count=len(self._positions),
+            )
+            self._loss_rows[position] = row
+        return row
+
+    def _deliver_vector(self, transmission: Transmission,
+                        interferers: list[Transmission]) -> None:
+        if self._snapshot_version != self._listener_version:
+            self._rebuild_snapshot()
+        count = len(self._names)
+        if count == 0:
+            return
+        sender = transmission.sender
+        rssi = transmission.power_dbm - self._loss_row(transmission.position)
+        audible = rssi >= SENSITIVITY_DBM[transmission.modulation.spreading_factor]
+        eligible = self._eligible_rows.get(sender)
+        if eligible is None:
+            eligible = _np.ones(count, dtype=bool)
+            excluded = self._owner_indices.get(sender)
+            if excluded is not None:
+                eligible[excluded] = False
+            self._eligible_rows[sender] = eligible
+        audible_e = eligible & audible
+        n_eligible = count - len(self._owner_indices.get(sender, ()))
+        n_audible = int(_np.count_nonzero(audible_e))
+        if interferers:
+            # A listener is suppressed if any interferer lands within the
+            # capture threshold of the wanted signal; the suppression row
+            # accumulates one interferer at a time (no K x L matrix).
+            threshold = self.capture_threshold_db
+            suppressed = None
+            for other in interferers:
+                close = rssi - (other.power_dbm
+                                - self._loss_row(other.position)) < threshold
+                suppressed = close if suppressed is None else suppressed | close
+            delivered = audible_e & ~suppressed
+            n_delivered = int(_np.count_nonzero(delivered))
+        else:
+            suppressed = None
+            delivered = audible_e
+            n_delivered = n_audible
+        # eligible splits into (inaudible | suppressed | delivered), so the
+        # loss counters follow from two popcounts.
+        self.frames_lost_sensitivity += n_eligible - n_audible
+        self.frames_lost_collision += n_audible - n_delivered
+        self.frames_delivered += n_delivered
+        rssi_floats = None
+        if self.verdict_log is not None:
+            rssi_floats = rssi.tolist()
+            sens = (eligible & ~audible).tolist()
+            coll = ((audible_e & suppressed).tolist() if suppressed is not None
+                    else [False] * count)
+            for i, hit in enumerate(delivered.tolist()):
+                if hit:
+                    verdict = "delivered"
+                elif sens[i]:
+                    verdict = "sensitivity"
+                elif coll[i]:
+                    verdict = "collision"
+                else:
+                    continue  # half-duplex: the scalar loop logs nothing
+                self.verdict_log.append((sender, self._names[i],
+                                         verdict, rssi_floats[i]))
+        if n_delivered:
+            if rssi_floats is None:
+                rssi_floats = rssi.tolist()
+            frame = transmission.frame
+            delivers = self._delivers
+            for i in _np.nonzero(delivered)[0].tolist():
+                delivers[i](frame, rssi_floats[i])
 
     def _received_power(self, transmission: Transmission,
                         at: Position) -> float:

@@ -62,6 +62,25 @@ class Summary:
             maximum=ordered[-1],
         )
 
+    def to_dict(self) -> dict[str, float]:
+        """A JSON-safe mapping of every statistic.
+
+        The contract the sweep runner relies on: values are always finite
+        (``json.dumps(..., allow_nan=False)`` never raises), and the
+        zero-sample summary serializes as explicit ``count: 0`` zeros
+        rather than NaN.
+        """
+        row = {
+            "count": self.count, "mean": self.mean, "stdev": self.stdev,
+            "min": self.minimum, "p25": self.p25, "median": self.median,
+            "p75": self.p75, "p95": self.p95, "p99": self.p99,
+            "max": self.maximum,
+        }
+        for key, value in row.items():
+            if not math.isfinite(value):
+                raise ValueError(f"non-finite summary statistic {key}={value}")
+        return row
+
     def format(self, unit: str = "s") -> str:
         if self.count == 0:
             return "n=0 (no samples)"

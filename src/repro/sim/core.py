@@ -49,7 +49,7 @@ class Event:
     event; the simulator runs callbacks when the clock reaches it.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "_cancelled")
 
     _PENDING, _TRIGGERED, _PROCESSED = range(3)
 
@@ -59,6 +59,7 @@ class Event:
         self._value: Any = None
         self._ok: Optional[bool] = None
         self._state = Event._PENDING
+        self._cancelled = False
 
     @property
     def triggered(self) -> bool:
@@ -96,6 +97,23 @@ class Event:
         self._value = exception
         self._state = Event._TRIGGERED
         self.sim._schedule_event(self, delay)
+        return self
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> "Event":
+        """Lazily cancel: the queue keeps its entry but skips it on pop.
+
+        A cancelled event never runs its callbacks and never counts toward
+        ``events_processed``.  Cancelling is idempotent; cancelling an
+        already-processed event is a misuse error.  This replaces
+        re-heapifying the queue to excise entries — O(1) instead of O(n).
+        """
+        if self._state == Event._PROCESSED:
+            raise SimulationError("cannot cancel a processed event")
+        self._cancelled = True
         return self
 
     def _process(self) -> None:
@@ -306,13 +324,32 @@ class Lock:
 
 
 class Simulator:
-    """The event loop: a clock plus a priority queue of triggered events."""
+    """The event loop: a clock plus a priority queue of triggered events.
+
+    Queue entries are mutable ``[time, seq, event]`` lists recycled through
+    a bounded free-list (``_spares``), so steady-state scheduling allocates
+    nothing.  ``run()`` drains all entries sharing one timestamp in a tight
+    inner loop, re-checking ``until`` only when the clock advances.  Both
+    are pure mechanics: pops still come out in strict ``(time, seq)`` order,
+    so the seed kernel's equal-time insertion-order tie-break is preserved
+    exactly (pinned by ``tests/sim/test_event_order_determinism.py``).
+
+    Set ``obs`` to a :class:`repro.obs.profile.HotPathProfiler` to account
+    wall-clock time under the ``sim.run`` site; disabled cost is one
+    attribute load and a branch.
+    """
+
+    # Free-list cap: big enough to absorb a gossip burst's entries, small
+    # enough that a transient spike doesn't pin memory forever.
+    _SPARES_MAX = 1024
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: list[tuple[float, int, Event]] = []
+        self._queue: list[list] = []
         self._counter = itertools.count()
+        self._spares: list[list] = []
         self.events_processed = 0
+        self.obs = None  # optional HotPathProfiler
 
     # -- event factories -----------------------------------------------------
 
@@ -353,34 +390,94 @@ class Simulator:
     def _schedule_event(self, event: Event, delay: float) -> None:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        heapq.heappush(self._queue, (self.now + delay, next(self._counter), event))
+        spares = self._spares
+        if spares:
+            entry = spares.pop()
+            entry[0] = self.now + delay
+            entry[1] = next(self._counter)
+            entry[2] = event
+        else:
+            entry = [self.now + delay, next(self._counter), event]
+        heapq.heappush(self._queue, entry)
+
+    def _recycle(self, entry: list) -> None:
+        entry[2] = None  # drop the Event reference immediately
+        if len(self._spares) < Simulator._SPARES_MAX:
+            self._spares.append(entry)
 
     def peek(self) -> float:
-        """Time of the next event, or ``inf`` if the queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next live event, or ``inf`` if the queue is empty.
+
+        Cancelled heads are discarded here so the reported time is one an
+        actual event will fire at.
+        """
+        queue = self._queue
+        while queue and queue[0][2]._cancelled:
+            self._recycle(heapq.heappop(queue))
+        return queue[0][0] if queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
-        if not self._queue:
-            raise SimulationError("step() on an empty event queue")
-        time, _tie, event = heapq.heappop(self._queue)
-        self.now = time
-        self.events_processed += 1
-        event._process()
+        """Process exactly one live event (cancelled entries are skipped)."""
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            time, event = entry[0], entry[2]
+            self._recycle(entry)
+            if event._cancelled:
+                continue
+            self.now = time
+            self.events_processed += 1
+            event._process()
+            return
+        raise SimulationError("step() on an empty event queue")
 
     def run(self, until: Optional[float] = None,
             max_events: int = 50_000_000) -> None:
         """Run until the queue drains or the clock passes ``until``."""
+        obs = self.obs
+        if obs is None:
+            self._run(until, max_events)
+            return
+        t0 = obs.clock()
+        try:
+            self._run(until, max_events)
+        finally:
+            obs.observe("sim.run", obs.clock() - t0)
+
+    def _run(self, until: Optional[float], max_events: int) -> None:
+        queue = self._queue
+        pop = heapq.heappop
+        recycle = self._recycle
         remaining = max_events
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
+        while queue:
+            head = queue[0]
+            if head[2]._cancelled:
+                # Dead head: discard without advancing the clock, so a
+                # timestamp holding only cancelled entries is invisible.
+                recycle(pop(queue))
+                continue
+            time = head[0]
+            if until is not None and time > until:
                 self.now = until
                 return
-            self.step()
-            remaining -= 1
-            if remaining <= 0:
-                raise SimulationError(
-                    f"exceeded {max_events} events; runaway simulation?"
-                )
+            self.now = time
+            # Batched same-sim-time delivery: drain every entry stamped
+            # `time` without touching `until`/`now` again.  Events scheduled
+            # *during* the drain at this same timestamp carry later seqs, so
+            # the heap hands them back within this inner loop in exactly the
+            # order the seed kernel would have.
+            while queue and queue[0][0] == time:
+                entry = pop(queue)
+                event = entry[2]
+                recycle(entry)
+                if event._cancelled:
+                    continue
+                self.events_processed += 1
+                event._process()
+                remaining -= 1
+                if remaining <= 0:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; runaway simulation?"
+                    )
         if until is not None:
             self.now = max(self.now, until)

@@ -1,0 +1,218 @@
+"""Differential pinning of the vector channel kernel to the scalar oracle.
+
+Every case builds the same scenario twice — ``kernel="scalar"`` and
+``kernel="vector"`` — and requires *exact* equality of:
+
+- the per-listener verdict log (delivered / collision / sensitivity),
+  which is the collision-set comparison: two kernels disagreeing on which
+  interferer suppressed which listener would diverge here;
+- every delivered RSSI, compared as raw float bits (``==``, no tolerance);
+- the channel counters;
+- the delivery call order.
+
+Three layers: a seeded corpus of 200+ random overlapping-transmission
+cases, a hypothesis search over the same space, and a full 5-gateway
+paper-shaped network run whose exported JSONL traces must be
+byte-identical across kernels.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import NetworkConfig
+from repro.core.network import BcWANNetwork
+from repro.lora.channel import Listener, PathLossModel, Position, RadioChannel
+from repro.lora.frames import DataFrame
+from repro.lora.phy import LoRaModulation, batch_time_on_air
+from repro.sim.core import Simulator
+
+FREQS = (868_100_000, 868_300_000, 868_500_000)
+# Start times dense enough that airtimes (60 ms at SF7 up to seconds at
+# SF12) overlap constantly, including exact ties.
+TIME_GRID = (0.0, 0.0, 0.01, 0.02, 0.03, 0.05, 0.1, 0.3, 0.7, 1.5)
+CORPUS_CASES = 220
+
+
+def run_kernel(kernel: str, listeners, transmissions,
+               sigma: float = 0.0, capture_db: float = 6.0):
+    """Replay one scenario on one kernel; return its full observable state."""
+    sim = Simulator()
+    channel = RadioChannel(
+        sim, random.Random(99),
+        path_loss=PathLossModel(shadowing_sigma_db=sigma),
+        capture_threshold_db=capture_db, kernel=kernel,
+    )
+    deliveries: list[tuple] = []
+    channel.verdict_log = []
+    for name, (x, y), owner in listeners:
+        channel.add_listener(Listener(
+            name=name, position=Position(x, y),
+            deliver=lambda frame, rssi, n=name: deliveries.append(
+                (n, frame.sender, frame.nonce, rssi)),
+            half_duplex_owner=owner,
+        ))
+    for i, (t, sender, (x, y), sf, freq_idx, power, payload) in \
+            enumerate(transmissions):
+        frame = DataFrame(sender=sender,
+                          encrypted_message=b"\xab" * payload, nonce=i)
+        modulation = LoRaModulation(spreading_factor=sf)
+        sim.call_at(t, lambda s=sender, p=Position(x, y), f=frame,
+                    m=modulation, fi=freq_idx, pw=power:
+                    channel.transmit(s, p, f, m, frequency_hz=FREQS[fi],
+                                     power_dbm=pw))
+    sim.run()
+    counters = (channel.frames_sent, channel.frames_delivered,
+                channel.frames_lost_sensitivity,
+                channel.frames_lost_collision)
+    return deliveries, channel.verdict_log, counters, channel
+
+
+def assert_kernels_agree(listeners, transmissions, sigma=0.0,
+                         capture_db=6.0) -> tuple:
+    scalar = run_kernel("scalar", listeners, transmissions, sigma, capture_db)
+    vector = run_kernel("vector", listeners, transmissions, sigma, capture_db)
+    assert vector[0] == scalar[0], "delivery lists diverge"
+    assert vector[1] == scalar[1], "verdict logs diverge"
+    assert vector[2] == scalar[2], "channel counters diverge"
+    return scalar, vector
+
+
+def random_case(rng: random.Random):
+    """One random scenario: listeners + overlapping transmissions."""
+    listeners = []
+    for li in range(rng.randint(1, 5)):
+        owner = f"dev-{li}" if rng.random() < 0.5 else None
+        listeners.append((f"ls-{li}",
+                          (rng.uniform(-3000, 3000), rng.uniform(-3000, 3000)),
+                          owner))
+    transmissions = []
+    for _ in range(rng.randint(2, 8)):
+        transmissions.append((
+            rng.choice(TIME_GRID),
+            f"dev-{rng.randint(0, 5)}",
+            (rng.uniform(-6000, 6000), rng.uniform(-6000, 6000)),
+            rng.randint(7, 12),
+            rng.randint(0, len(FREQS) - 1),
+            rng.uniform(2.0, 27.0),
+            rng.randint(4, 24),
+        ))
+    sigma = rng.choice((0.0, 0.0, 0.0, 2.5))  # sometimes force the fallback
+    return listeners, transmissions, sigma
+
+
+def test_seeded_corpus_pins_vector_to_scalar():
+    rng = random.Random(0xBC_1A)
+    vector_path_hits = 0
+    for _ in range(CORPUS_CASES):
+        listeners, transmissions, sigma = random_case(rng)
+        _, vector = assert_kernels_agree(listeners, transmissions, sigma)
+        if vector[3]._loss_rows:
+            vector_path_hits += 1
+    # The corpus must actually exercise the batch path, not just the
+    # shadowing fallback: loss rows are cached only by _deliver_vector.
+    assert vector_path_hits > CORPUS_CASES // 2
+
+
+def test_exact_tie_and_capture_edge():
+    # Two equal-power transmitters at the same position and instant: the
+    # capture margin is exactly 0 < threshold at every listener, so both
+    # frames collide everywhere audible — a worst case for any vectorized
+    # tie handling.
+    listeners = [("gw", (0.0, 0.0), None), ("far", (9000.0, 0.0), None)]
+    transmissions = [
+        (0.0, "a", (500.0, 0.0), 7, 0, 14.0, 12),
+        (0.0, "b", (500.0, 0.0), 7, 0, 14.0, 12),
+    ]
+    scalar, _ = assert_kernels_agree(listeners, transmissions)
+    deliveries, log, counters, _ = scalar
+    assert not deliveries
+    assert counters[3] == 2  # both frames lost to collision at "gw"
+    assert {v for (_, ls, v, _) in log if ls == "far"} == {"sensitivity"}
+
+
+def test_half_duplex_suppression_matches():
+    # The sender's own radio must not hear itself on either kernel.
+    listeners = [("self", (0.0, 0.0), "dev-0"), ("other", (100.0, 0.0), None)]
+    transmissions = [(0.0, "dev-0", (0.0, 0.0), 7, 0, 14.0, 12)]
+    scalar, _ = assert_kernels_agree(listeners, transmissions)
+    deliveries, log, _, _ = scalar
+    assert [entry[0] for entry in deliveries] == ["other"]
+    assert all(ls != "self" for (_, ls, _, _) in log)
+
+
+def test_shadowing_falls_back_to_scalar_path():
+    # sigma > 0 draws from the channel RNG conditionally; the vector
+    # kernel must take the scalar path and consume identical draws.
+    listeners = [("gw", (0.0, 0.0), None)]
+    transmissions = [(0.0, "dev-0", (800.0, 0.0), 7, 0, 14.0, 12),
+                     (0.01, "dev-1", (900.0, 0.0), 7, 0, 14.0, 12)]
+    _, vector = assert_kernels_agree(listeners, transmissions, sigma=4.0)
+    assert not vector[3]._loss_rows, "vector path ran despite shadowing"
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_hypothesis_search_pins_kernels(data):
+    listeners = data.draw(st.lists(
+        st.tuples(
+            st.sampled_from([f"ls-{i}" for i in range(6)]),
+            st.tuples(st.floats(-5000, 5000, allow_nan=False),
+                      st.floats(-5000, 5000, allow_nan=False)),
+            st.sampled_from([None, "dev-0", "dev-1"]),
+        ),
+        min_size=1, max_size=4, unique_by=lambda ls: ls[0]))
+    transmissions = data.draw(st.lists(
+        st.tuples(
+            st.sampled_from(TIME_GRID),
+            st.sampled_from(["dev-0", "dev-1", "dev-2"]),
+            st.tuples(st.floats(-8000, 8000, allow_nan=False),
+                      st.floats(-8000, 8000, allow_nan=False)),
+            st.integers(7, 12),
+            st.integers(0, len(FREQS) - 1),
+            st.floats(2.0, 27.0, allow_nan=False),
+            st.integers(4, 24),
+        ),
+        min_size=2, max_size=6))
+    sigma = data.draw(st.sampled_from([0.0, 0.0, 3.0]))
+    assert_kernels_agree(listeners, transmissions, sigma=sigma)
+
+
+def test_batch_time_on_air_matches_scalar():
+    rng = random.Random(7)
+    sfs = [rng.randint(7, 12) for _ in range(300)]
+    payloads = [rng.randint(0, 255) for _ in range(300)]
+    batched = batch_time_on_air(sfs, payloads)
+    for sf, payload, airtime in zip(sfs, payloads, batched.tolist()):
+        assert airtime == LoRaModulation(
+            spreading_factor=sf).time_on_air(payload)
+
+
+def paper_run(kernel: str):
+    config = NetworkConfig(num_gateways=5, sensors_per_gateway=30, seed=2026,
+                           sim_kernel=kernel, tracing=True)
+    network = BcWANNetwork(config)
+    report = network.run(num_exchanges=40)
+    return report, network.export_trace(), network
+
+
+def test_full_paper_run_traces_byte_identical():
+    """Same seed, 5 gateways x 30 sensors: vector == scalar end to end."""
+    scalar_report, scalar_trace, scalar_net = paper_run("scalar")
+    vector_report, vector_trace, vector_net = paper_run("vector")
+    assert vector_trace == scalar_trace
+    assert scalar_trace, "trace export must not be empty"
+    assert (vector_report.completed, vector_report.failed,
+            vector_report.frames_lost_collision,
+            vector_report.frames_lost_sensitivity) == \
+           (scalar_report.completed, scalar_report.failed,
+            scalar_report.frames_lost_collision,
+            scalar_report.frames_lost_sensitivity)
+    for scalar_site, vector_site in zip(scalar_net.sites, vector_net.sites):
+        assert vector_site.channel.frames_delivered == \
+            scalar_site.channel.frames_delivered
+    # The run must have exercised the batch path on every site's channel.
+    assert all(site.channel._loss_rows for site in vector_net.sites)

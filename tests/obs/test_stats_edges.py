@@ -1,0 +1,60 @@
+"""NaN-and-empty edge cases the sweep runner leans on.
+
+A sweep cell whose scenario completes zero exchanges must serialize as
+an explicit ``count: 0`` row — ``json.dumps(..., allow_nan=False)`` is
+the tripwire: it raises on any NaN/inf that leaks into a result.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs.stats import Summary, histogram
+
+
+def test_empty_summary_serializes_nan_free():
+    for summary in (Summary.empty(), Summary.of([])):
+        row = summary.to_dict()
+        assert row["count"] == 0
+        assert all(value == 0 for value in row.values())
+        encoded = json.dumps(row, allow_nan=False, sort_keys=True)
+        assert "NaN" not in encoded and "Infinity" not in encoded
+
+
+def test_to_dict_round_trips_real_samples():
+    summary = Summary.of([1.0, 2.0, 3.0, 4.0])
+    row = summary.to_dict()
+    assert row["count"] == 4
+    assert row["mean"] == 2.5
+    assert row["min"] == 1.0 and row["max"] == 4.0
+    assert json.loads(json.dumps(row, allow_nan=False))["median"] == 2.5
+
+
+def test_single_sample_summary_is_finite():
+    row = Summary.of([0.25]).to_dict()
+    assert row["count"] == 1
+    assert row["stdev"] == 0.0
+    json.dumps(row, allow_nan=False)
+
+
+def test_to_dict_refuses_poisoned_summary():
+    # A Summary built from garbage must fail loudly at serialization,
+    # never write NaN into a result file.
+    poisoned = Summary(count=1, mean=math.nan, stdev=0.0, minimum=0.0,
+                       p25=0.0, median=0.0, p75=0.0, p95=0.0, p99=0.0,
+                       maximum=0.0)
+    with pytest.raises(ValueError, match="mean"):
+        poisoned.to_dict()
+    infinite = Summary(count=1, mean=0.0, stdev=0.0, minimum=0.0,
+                       p25=0.0, median=0.0, p75=0.0, p95=0.0, p99=0.0,
+                       maximum=math.inf)
+    with pytest.raises(ValueError, match="max"):
+        infinite.to_dict()
+
+
+def test_empty_histogram_and_format():
+    assert histogram([]) == []
+    assert Summary.empty().format() == "n=0 (no samples)"

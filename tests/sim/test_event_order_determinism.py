@@ -139,3 +139,104 @@ def test_all_nodes_converge_within_a_run(blocks):
 def test_rerun_with_same_seed_is_byte_identical(blocks):
     assert run_interleaving(blocks, seed=11) == \
         run_interleaving(blocks, seed=11)
+
+
+# -- tie-break pin against the seed queue ------------------------------------
+#
+# The tightened Simulator (recycled heap entries, batched same-time drain,
+# lazy cancellation) must pop events in exactly the seed kernel's order:
+# strictly increasing (time, insertion-seq).  ReferenceSimulator below *is*
+# the seed algorithm — immutable tuple entries, one pop per step, `until`
+# re-checked before every event — so any drift in the production kernel's
+# equal-time tie-break shows up as a diverging firing log.
+
+import heapq
+import itertools
+
+
+class ReferenceSimulator:
+    """The seed event loop, verbatim."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list = []
+        self._counter = itertools.count()
+
+    def schedule(self, delay, callback) -> None:
+        heapq.heappush(self._queue,
+                       (self.now + delay, next(self._counter), callback))
+
+    def run(self, until=None) -> None:
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                return
+            time, _tie, callback = heapq.heappop(self._queue)
+            self.now = time
+            callback()
+        if until is not None:
+            self.now = max(self.now, until)
+
+
+def _random_workload(seed: int):
+    """A nested schedule: roots spawn children, children spawn children.
+
+    Delays come from a tiny grid so equal-time ties (including ties
+    created *during* a same-time drain) are the common case, not the
+    exception.
+    """
+    rng = random.Random(seed)
+    delays = (0.0, 0.0, 0.25, 0.5, 1.0)
+    plan = []  # (delay, label, children) trees, depth <= 3
+    def subtree(depth: int):
+        children = []
+        if depth < 3:
+            for _ in range(rng.randint(0, 2)):
+                children.append(subtree(depth + 1))
+        return (rng.choice(delays), next(counter), children)
+    counter = itertools.count()
+    for _ in range(rng.randint(4, 10)):
+        plan.append(subtree(0))
+    return plan
+
+
+def _fire_plan(schedule, now, log, plan) -> None:
+    for delay, label, children in plan:
+        def fire(label=label, children=children):
+            log.append((now(), label))
+            _fire_plan(schedule, now, log, children)
+        schedule(delay, fire)
+
+
+@pytest.mark.parametrize("until", [None, 1.5])
+def test_tightened_queue_matches_seed_tie_break(until):
+    for seed in range(30):
+        plan = _random_workload(seed)
+
+        ref = ReferenceSimulator()
+        ref_log: list = []
+        _fire_plan(ref.schedule, lambda: ref.now, ref_log, plan)
+        ref.run(until=until)
+
+        sim = Simulator()
+        sim_log: list = []
+        _fire_plan(lambda d, cb: sim.call_in(d, cb), lambda: sim.now,
+                   sim_log, plan)
+        sim.run(until=until)
+
+        assert sim_log == ref_log, f"firing order diverged for seed {seed}"
+        assert sim.now == ref.now
+
+
+def test_equal_time_events_scheduled_mid_drain_keep_insertion_order():
+    # Events scheduled at the *current* timestamp from inside a callback
+    # must fire within the same drain, after everything already queued at
+    # that instant — exactly the seed semantics.
+    sim = Simulator()
+    log = []
+    sim.call_in(1.0, lambda: (log.append("a"),
+                              sim.call_in(0.0, lambda: log.append("a-child"))))
+    sim.call_in(1.0, lambda: log.append("b"))
+    sim.call_in(2.0, lambda: log.append("later"))
+    sim.run()
+    assert log == ["a", "b", "a-child", "later"]

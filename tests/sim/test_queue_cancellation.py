@@ -1,0 +1,209 @@
+"""Lazy cancellation and the heap-entry free-list under stress.
+
+``Event.cancel()`` marks the queue entry dead in O(1); the pop side
+discards it without running callbacks or counting it as processed.  The
+entry lists themselves are recycled through a bounded free-list.  These
+tests drive schedule/cancel interleavings (including AnyOf losers and
+chains of block deliveries) and require that cancelled work is perfectly
+invisible: same firing order, same counters, same chain/UTXO digests as
+a run that never scheduled the decoys at all.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.blockchain.block import Block
+from repro.blockchain.chain import Chain
+from repro.blockchain.transaction import (
+    COINBASE_OUTPOINT, Transaction, TxInput, TxOutput,
+)
+from repro.chaos.verify import chain_digest, utxo_digest
+from repro.script.builder import p2pkh_locking
+from repro.script.script import Script, encode_number
+from repro.sim.core import Simulator, SimulationError
+
+
+def test_cancelled_callback_never_runs():
+    sim = Simulator()
+    fired = []
+    keep = sim.call_in(1.0, lambda: fired.append("keep"))
+    drop = sim.call_in(1.0, lambda: fired.append("drop"))
+    drop.cancel()
+    sim.run()
+    assert fired == ["keep"]
+    assert keep.processed
+    assert drop.cancelled and not drop.processed
+
+
+def test_cancel_is_idempotent_and_processed_cancel_raises():
+    sim = Simulator()
+    event = sim.call_in(0.5, lambda: None)
+    event.cancel()
+    event.cancel()  # idempotent
+    sim.run()
+    done = sim.call_in(0.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        done.cancel()
+
+
+def test_cancelled_events_do_not_count_as_processed():
+    sim = Simulator()
+    for i in range(10):
+        event = sim.timeout(float(i))
+        if i % 2:
+            event.cancel()
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_peek_skips_cancelled_heads():
+    sim = Simulator()
+    first = sim.timeout(1.0)
+    sim.timeout(2.0)
+    first.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_step_skips_cancelled_and_raises_when_only_dead_entries():
+    sim = Simulator()
+    dead = sim.timeout(1.0)
+    sim.timeout(2.0)
+    dead.cancel()
+    sim.step()
+    assert sim.now == 2.0
+    only_dead = sim.timeout(3.0)
+    only_dead.cancel()
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_anyof_loser_can_be_cancelled_without_affecting_winner():
+    sim = Simulator()
+    results = []
+
+    def waiter():
+        fast = sim.timeout(1.0, value="fast")
+        slow = sim.timeout(10.0, value="slow")
+        winner = yield sim.any_of([fast, slow])
+        results.append(winner)
+        slow.cancel()  # the radio-timeout pattern: reap the loser early
+
+    sim.process(waiter())
+    sim.run()
+    assert results == ["fast"]
+    assert sim.now == 1.0  # the cancelled loser never forced a 10 s tick...
+    assert not sim._queue  # ...and its entry was reaped from the queue
+
+
+def test_schedule_cancel_stress_matches_clean_run():
+    """Heavy interleaving: decoy events everywhere, all cancelled.
+
+    The surviving firing log must equal a run that never scheduled the
+    decoys, and the free-list must stay bounded with no Event leaks.
+    """
+    def run(with_decoys: bool):
+        rng = random.Random(0xDEC0)
+        sim = Simulator()
+        log = []
+        decoys = []
+        for i in range(2000):
+            # Draw every random in both modes so the kept events' times are
+            # identical with and without decoys.
+            delay = rng.choice((0.0, 0.1, 0.5, 1.0, 2.0))
+            at = rng.uniform(0, 50) + delay
+            cancel_main = rng.random() < 0.5
+            decoy_at = rng.uniform(0, 50)
+            decoy_cancel_now = rng.random() < 0.8
+            event = sim.call_in(at, lambda i=i: log.append(i))
+            if cancel_main:
+                event.cancel()
+            if with_decoys:
+                decoy = sim.timeout(decoy_at)
+                if decoy_cancel_now:
+                    decoy.cancel()
+                decoys.append(decoy)
+        for decoy in decoys:
+            if not decoy.cancelled:
+                decoy.cancel()
+        sim.run()
+        return log, sim
+
+    clean_log, _ = run(with_decoys=False)
+    decoy_log, sim = run(with_decoys=True)
+    assert decoy_log == clean_log
+    assert not sim._queue
+    assert len(sim._spares) <= Simulator._SPARES_MAX
+    assert all(entry[2] is None for entry in sim._spares), \
+        "recycled entries must not pin Event objects"
+
+
+# -- digest equality under cancellation interleavings ------------------------
+
+NODES = ("n-0", "n-1")
+BLOCKS = 4
+
+
+def _coinbase(height: int) -> Transaction:
+    return Transaction(
+        inputs=[TxInput(outpoint=COINBASE_OUTPOINT,
+                        script_sig=Script([encode_number(height),
+                                           encode_number(0)]))],
+        outputs=[TxOutput(value=50,
+                          script_pubkey=p2pkh_locking(b"\x02" * 20))],
+    )
+
+
+def _build_blocks(count: int = BLOCKS) -> list[Block]:
+    chain = Chain()
+    blocks = []
+    parent = chain.tip.hash
+    for height in range(1, count + 1):
+        block = Block.assemble(prev_hash=parent, timestamp=float(height),
+                               transactions=[_coinbase(height)])
+        assert chain.add_block(block).status == "active"
+        blocks.append(block)
+        parent = block.hash
+    return blocks
+
+
+def _run_with_cancelled_decoys(blocks: list[Block], seed: int):
+    """Deliver every block to every node; interleave cancelled deliveries.
+
+    The decoys would deliver blocks out of order (a child before its
+    parent) — if a cancelled event ever ran, the digests would diverge.
+    """
+    rng = random.Random(seed)
+    sim = Simulator()
+    chains = {node: Chain() for node in NODES}
+    schedule = []
+    for node in NODES:
+        for index in range(len(blocks)):
+            schedule.append((node, index))
+    rng.shuffle(schedule)
+    cursor = {node: 0 for node in NODES}
+    for node, _ in schedule:
+        index = cursor[node]
+        cursor[node] += 1
+        sim.call_at(5.0, lambda n=node, i=index:
+                    chains[n].add_block(blocks[i]))
+        if rng.random() < 0.7:
+            decoy_index = rng.randrange(len(blocks))
+            decoy = sim.call_at(5.0, lambda n=node, i=decoy_index:
+                                chains[n].add_block(blocks[i]))
+            decoy.cancel()
+    sim.run()
+    return {node: (chain_digest(chains[node]), utxo_digest(chains[node]))
+            for node in NODES}
+
+
+def test_digests_unaffected_by_cancelled_decoy_deliveries():
+    blocks = _build_blocks()
+    reference = _run_with_cancelled_decoys(blocks, seed=1)
+    for node in NODES:
+        assert len(reference[node][0]) == 64
+    for seed in (2, 3, 4):
+        assert _run_with_cancelled_decoys(blocks, seed) == reference

@@ -1,0 +1,108 @@
+"""Scenario-grid expansion with pinned ordering and per-cell seeds.
+
+A grid is a base parameter set plus named axes.  Expansion is the
+cartesian product of the axes **in the given key order, rightmost axis
+varying fastest** (``itertools.product`` semantics) — cell indices and
+``cell_id`` strings are part of the harness contract, pinned by
+``tests/tools/test_sweep.py``, because resume-from-partial and
+byte-identical reruns both depend on cells never renumbering.
+
+Each cell's seed is derived the same way :class:`repro.sim.rng.RngRegistry`
+derives stream seeds — the first 8 bytes of ``sha256("{base_seed}:{cell_id}")``
+— so cells are statistically independent, reproducible in isolation, and
+stable under grid re-expansion.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+__all__ = [
+    "SweepCell",
+    "derive_cell_seed",
+    "expand_grid",
+    "format_cell_id",
+    "load_grid",
+]
+
+
+def derive_cell_seed(base_seed: int, cell_id: str) -> int:
+    """First 8 bytes of ``sha256("{base_seed}:{cell_id}")``, big-endian."""
+    digest = hashlib.sha256(f"{base_seed}:{cell_id}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def format_cell_id(overrides: Mapping[str, Any]) -> str:
+    """``key=value`` pairs joined with ``,`` in the mapping's key order."""
+    return ",".join(f"{key}={overrides[key]}" for key in overrides)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One point of the grid: base params + axis overrides + derived seed."""
+
+    index: int
+    cell_id: str
+    params: tuple[tuple[str, Any], ...]
+    seed: int
+
+    def as_kwargs(self) -> dict[str, Any]:
+        return dict(self.params)
+
+
+def expand_grid(axes: Mapping[str, Sequence[Any]],
+                base: Mapping[str, Any] | None = None,
+                base_seed: int = 0) -> list[SweepCell]:
+    """Expand ``axes`` over ``base`` into pinned-order cells.
+
+    ``base`` entries an axis also names are overridden by the axis value.
+    A grid that pins ``seed`` is rejected: per-cell seeds are derived, so
+    a fixed seed would silently correlate every cell.
+    """
+    base = dict(base or {})
+    if "seed" in base or "seed" in axes:
+        raise ValueError("grids must not pin 'seed'; cell seeds are derived "
+                         "from base_seed and the cell id")
+    names = list(axes)
+    for name in names:
+        if not axes[name]:
+            raise ValueError(f"axis {name!r} is empty")
+    cells: list[SweepCell] = []
+    seen: set[str] = set()
+    for index, combo in enumerate(
+            itertools.product(*(axes[name] for name in names))):
+        overrides = dict(zip(names, combo))
+        cell_id = format_cell_id(overrides)
+        if cell_id in seen:
+            raise ValueError(f"duplicate cell: {cell_id}")
+        seen.add(cell_id)
+        merged = dict(base)
+        merged.update(overrides)
+        cells.append(SweepCell(
+            index=index,
+            cell_id=cell_id,
+            params=tuple(merged.items()),
+            seed=derive_cell_seed(base_seed, cell_id),
+        ))
+    return cells
+
+
+def load_grid(path: str | Path) -> list[SweepCell]:
+    """Expand a grid JSON file: ``{"base_seed": 0, "base": {}, "axes": {}}``.
+
+    JSON objects preserve key order, so the file's axis order *is* the
+    expansion order.
+    """
+    spec = json.loads(Path(path).read_text())
+    unknown = set(spec) - {"base_seed", "base", "axes"}
+    if unknown:
+        raise ValueError(f"unknown grid keys: {sorted(unknown)}")
+    if "axes" not in spec or not isinstance(spec["axes"], dict):
+        raise ValueError("grid file needs an 'axes' object")
+    return expand_grid(spec["axes"], base=spec.get("base"),
+                       base_seed=spec.get("base_seed", 0))
